@@ -1,0 +1,413 @@
+(** The [wap] command-line tool.
+
+    Sub-commands:
+    - [analyze]     run the detectors + false-positive predictor on PHP
+                    files, optionally emitting corrected source;
+    - [weapon-gen]  generate a weapon from ep/ss/san data and a fix
+                    template, and store it on disk;
+    - [corpus-gen]  materialize the synthetic evaluation corpus;
+    - [experiments] regenerate the paper's tables and figures;
+    - [train]       build and export the predictor's training data set;
+    - [symptoms]    list the symptom/attribute catalog (Table I). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let seed_arg =
+  let doc = "Deterministic seed for training and corpus generation." in
+  Arg.(value & opt int 2016 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let version_conv =
+  let parse = function
+    | "wape" | "new" -> Ok Wap_core.Version.Wape
+    | "v21" | "2.1" | "original" -> Ok Wap_core.Version.Wap_v21
+    | s -> Error (`Msg (Printf.sprintf "unknown tool version %S (wape|v21)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Wap_core.Version.name v))
+
+let analyze_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"PHP files to analyze.")
+  in
+  let fix =
+    Arg.(value & flag
+         & info [ "fix" ] ~doc:"Write corrected source next to each file (.fixed.php).")
+  in
+  let version =
+    Arg.(value & opt version_conv Wap_core.Version.Wape
+         & info [ "tool-version" ] ~docv:"V" ~doc:"Tool configuration: wape or v21.")
+  in
+  let weapons =
+    Arg.(value & opt_all string []
+         & info [ "weapon" ] ~docv:"NAME"
+             ~doc:"Activate a weapon: nosqli, hei, wpsqli, or a name stored under --weapon-dir.")
+  in
+  let weapon_dir =
+    Arg.(value & opt (some dir) None
+         & info [ "weapon-dir" ] ~docv:"DIR" ~doc:"Directory holding stored weapons.")
+  in
+  let sanitizers =
+    Arg.(value & opt_all string []
+         & info [ "sanitizer" ] ~docv:"FN"
+             ~doc:"Register a user sanitization function (applies to every detector).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show symptoms and flow steps.")
+  in
+  let confirm =
+    Arg.(value & flag
+         & info [ "confirm" ]
+             ~doc:"Dynamically confirm each finding by replaying it with an attack payload.")
+  in
+  let training_set =
+    Arg.(value & opt (some file) None
+         & info [ "training-set" ] ~docv:"FILE"
+             ~doc:"Train the false-positive predictor from this CSV (as exported by `wap train`).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+  in
+  let html_out =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE" ~doc:"Also write a standalone HTML report.")
+  in
+  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out =
+    let weapons =
+      List.map
+        (fun name ->
+          match name with
+          | "nosqli" -> Wap_weapon.Generator.nosqli ()
+          | "hei" -> Wap_weapon.Generator.hei ()
+          | "wpsqli" -> Wap_weapon.Generator.wpsqli ()
+          | name -> (
+              match weapon_dir with
+              | Some dir -> Wap_weapon.Store.load ~dir ~name
+              | None -> failwith ("unknown weapon " ^ name ^ " (no --weapon-dir)")))
+        weapons
+    in
+    let extra_sanitizers = List.map (fun fn -> (None, fn)) sanitizers in
+    let dataset =
+      Option.map
+        (fun path ->
+          Wap_mining.Dataset.of_csv
+            ~mode:(Wap_core.Version.attribute_mode version)
+            (read_file path))
+        training_set
+    in
+    let tool = Wap_core.Tool.create ~seed ~weapons ~extra_sanitizers ?dataset version in
+    (* expand directories to their .php files, recursively *)
+    let rec expand path =
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort String.compare
+        |> List.concat_map (fun entry -> expand (Filename.concat path entry))
+      else if Filename.check_suffix path ".php" || List.mem path files then [ path ]
+      else []
+    in
+    let paths = List.concat_map expand files in
+    let sources = List.map (fun p -> (p, read_file p)) paths in
+    let result, parse_errors = Wap_core.Tool.analyze_sources tool sources in
+    (match html_out with
+    | Some path ->
+        write_file path (Wap_core.Export.result_to_html ~confirm result);
+        Printf.eprintf "wrote %s\n" path
+    | None -> ());
+    if json then print_endline (Wap_core.Export.result_to_string ~confirm result)
+    else begin
+      List.iter
+        (fun (path, errs) ->
+          List.iter
+            (fun (e : Wap_php.Parser.recovered_error) ->
+              Printf.eprintf "warning: %s: parse error recovered at %s: %s\n" path
+                (Wap_php.Loc.to_string e.Wap_php.Parser.err_loc)
+                e.Wap_php.Parser.err_msg)
+            errs)
+        parse_errors;
+      Printf.printf
+        "%d file(s): %d candidate(s), %d vulnerability(ies), %d predicted false positive(s)\n"
+        (List.length paths)
+        (List.length result.Wap_core.Tool.candidates)
+        (List.length result.Wap_core.Tool.reported)
+        (List.length result.Wap_core.Tool.predicted_fps);
+      let by_file = Hashtbl.create 8 in
+      List.iter
+        (fun (path, src) ->
+          Hashtbl.replace by_file path
+            (lazy (fst (Wap_php.Parser.parse_string_tolerant ~file:path src))))
+        sources;
+      List.iter
+        (fun (f : Wap_core.Tool.finding) ->
+          let c = f.Wap_core.Tool.candidate in
+          let dyn =
+            if not confirm then ""
+            else
+              match Hashtbl.find_opt by_file c.Wap_taint.Trace.file with
+              | Some program -> (
+                  match
+                    Wap_confirm.Confirm.confirm_candidate
+                      ~program:(Lazy.force program) c
+                  with
+                  | Wap_confirm.Confirm.Confirmed -> " (exploit confirmed)"
+                  | Wap_confirm.Confirm.Not_confirmed -> " (exploit not reproduced)"
+                  | Wap_confirm.Confirm.Unsupported -> " (not replayable)")
+              | None -> ""
+          in
+          Printf.printf "  [%s] %s%s\n"
+            (if f.Wap_core.Tool.predicted_fp then "FP " else "VULN")
+            (Wap_taint.Trace.summary c) dyn;
+          if verbose then begin
+            let o = Wap_taint.Trace.primary c in
+            List.iter
+              (fun (s : Wap_taint.Trace.step) ->
+                Printf.printf "        via %s: %s\n"
+                  (Wap_php.Loc.to_string s.Wap_taint.Trace.step_loc)
+                  s.Wap_taint.Trace.step_desc)
+              o.Wap_taint.Trace.steps;
+            Printf.printf "        symptoms: %s\n"
+              (String.concat ", " f.Wap_core.Tool.symptoms)
+          end)
+        result.Wap_core.Tool.findings;
+      if fix then
+        List.iter
+          (fun (path, src) ->
+            let here =
+              List.filter
+                (fun (c : Wap_taint.Trace.candidate) ->
+                  String.equal c.Wap_taint.Trace.file path)
+                result.Wap_core.Tool.reported
+            in
+            if here <> [] then begin
+              let fixed, report =
+                Wap_fixer.Corrector.correct_source ~file:path src here
+              in
+              let out = path ^ ".fixed.php" in
+              write_file out fixed;
+              Printf.printf "  wrote %s (%d fix(es))\n" out
+                (List.length report.Wap_fixer.Corrector.applied)
+            end)
+          sources
+    end;
+    `Ok ()
+  in
+  let doc = "Detect (and optionally correct) vulnerabilities in PHP files." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(ret (const run $ files $ fix $ version $ weapons $ weapon_dir
+               $ sanitizers $ seed_arg $ verbose $ confirm $ json $ training_set
+               $ html_out))
+
+(* ------------------------------------------------------------------ *)
+(* weapon-gen                                                          *)
+
+let weapon_gen_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None
+         & info [ "name" ] ~docv:"NAME" ~doc:"Weapon name; activation flag becomes -NAME.")
+  in
+  let sinks =
+    Arg.(value & opt_all string []
+         & info [ "sink" ] ~docv:"FN" ~doc:"Sensitive sink function (repeatable).")
+  in
+  let sink_methods =
+    Arg.(value & opt_all (pair ~sep:':' string string) []
+         & info [ "sink-method" ] ~docv:"OBJ:METHOD"
+             ~doc:"Sensitive sink method, e.g. wpdb:query (repeatable).")
+  in
+  let sans =
+    Arg.(value & opt_all string []
+         & info [ "san" ] ~docv:"FN" ~doc:"Sanitization function (repeatable).")
+  in
+  let entries =
+    Arg.(value & opt_all string []
+         & info [ "entry-fn" ] ~docv:"FN" ~doc:"Extra entry-point function (repeatable).")
+  in
+  let fix_spec =
+    Arg.(value & opt string "validate:'\""
+         & info [ "fix" ] ~docv:"TEMPLATE"
+             ~doc:"Fix template: php:FUNC, sanitize:CHARS (replaced by space), or validate:CHARS.")
+  in
+  let symptoms =
+    Arg.(value & opt_all (pair ~sep:'=' string string) []
+         & info [ "symptom" ] ~docv:"FN=STATIC"
+             ~doc:"Dynamic symptom: user function FN behaves like static symptom STATIC.")
+  in
+  let out =
+    Arg.(value & opt string "weapons" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run name sinks sink_methods sans entries fix_spec symptoms out =
+    let req_fix =
+      match String.index_opt fix_spec ':' with
+      | Some i -> (
+          let kind = String.sub fix_spec 0 i in
+          let payload = String.sub fix_spec (i + 1) (String.length fix_spec - i - 1) in
+          let chars = List.of_seq (String.to_seq payload) in
+          match kind with
+          | "php" -> Wap_weapon.Generator.With_php_sanitizer payload
+          | "sanitize" ->
+              Wap_weapon.Generator.With_user_sanitization
+                { malicious = chars; neutralizer = " " }
+          | "validate" -> Wap_weapon.Generator.With_user_validation { malicious = chars }
+          | k -> failwith ("unknown fix template kind: " ^ k))
+      | None -> failwith "fix template must be php:FN, sanitize:CHARS or validate:CHARS"
+    in
+    let request =
+      {
+        Wap_weapon.Generator.req_name = name;
+        req_vclass = None;
+        req_sources = List.map (fun f -> Wap_catalog.Catalog.Src_fn f) entries;
+        req_sinks =
+          List.map (fun f -> Wap_catalog.Catalog.Sink_fn (f, [])) sinks
+          @ List.map (fun (o, m) -> Wap_catalog.Catalog.Sink_method (o, m)) sink_methods;
+        req_sanitizers = List.map (fun f -> Wap_catalog.Catalog.San_fn f) sans;
+        req_fix;
+        req_dynamic_symptoms = symptoms;
+      }
+    in
+    let weapon = Wap_weapon.Generator.generate request in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    Wap_weapon.Store.save ~dir:out weapon;
+    Printf.printf "generated %s\nstored under %s/%s/\nactivate with: wap analyze --weapon %s --weapon-dir %s FILE...\n"
+      (Wap_weapon.Weapon.describe weapon) out name name out;
+    `Ok ()
+  in
+  let doc = "Generate a weapon (detector + fix + dynamic symptoms) without programming." in
+  Cmd.v (Cmd.info "weapon-gen" ~doc)
+    Term.(ret (const run $ name_arg $ sinks $ sink_methods $ sans $ entries
+               $ fix_spec $ symptoms $ out))
+
+(* ------------------------------------------------------------------ *)
+(* corpus-gen                                                          *)
+
+let corpus_gen_cmd =
+  let out =
+    Arg.(value & opt string "corpus" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let plugins =
+    Arg.(value & flag & info [ "plugins" ] ~doc:"Also write the 115 WordPress plugins.")
+  in
+  let run out plugins seed =
+    let ( / ) = Filename.concat in
+    let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+    mkdir out;
+    let write_pkg dir (pkg : Wap_corpus.Appgen.package) =
+      let pdir = dir / (pkg.Wap_corpus.Appgen.pkg_name ^ "-" ^ pkg.Wap_corpus.Appgen.pkg_version) in
+      mkdir pdir;
+      List.iter
+        (fun (f : Wap_corpus.Appgen.file) ->
+          write_file (pdir / f.Wap_corpus.Appgen.f_name) f.Wap_corpus.Appgen.f_source)
+        pkg.Wap_corpus.Appgen.pkg_files
+    in
+    let apps = Wap_corpus.Corpus.webapps ~seed () in
+    mkdir (out / "webapps");
+    List.iter (fun (_, pkg) -> write_pkg (out / "webapps") pkg) apps;
+    Printf.printf "wrote %d web applications under %s/webapps\n" (List.length apps) out;
+    if plugins then begin
+      let ps = Wap_corpus.Corpus.plugins ~seed () in
+      mkdir (out / "plugins");
+      List.iter (fun (_, pkg) -> write_pkg (out / "plugins") pkg) ps;
+      Printf.printf "wrote %d plugins under %s/plugins\n" (List.length ps) out
+    end;
+    `Ok ()
+  in
+  let doc = "Materialize the synthetic evaluation corpus on disk." in
+  Cmd.v (Cmd.info "corpus-gen" ~doc) Term.(ret (const run $ out $ plugins $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Only the vulnerable packages.")
+  in
+  let run quick seed =
+    let module E = Wap_core.Experiments in
+    print_string (E.table1 ());
+    print_newline ();
+    let dataset = Wap_core.Training.dataset_for ~seed Wap_core.Version.Wape in
+    print_string (E.table2 ~seed ~dataset ());
+    print_newline ();
+    print_string (E.table3 ~seed ~dataset ());
+    print_newline ();
+    print_string (E.table4 ());
+    print_newline ();
+    let webapps = E.run_webapps ~seed ~only_vulnerable:quick () in
+    print_string (E.table5 webapps);
+    print_newline ();
+    print_string (E.table6 webapps);
+    print_newline ();
+    let plugins = E.run_plugins ~seed ~only_vulnerable:quick () in
+    print_string (E.table7 plugins);
+    print_newline ();
+    print_string (E.fig4 plugins);
+    print_newline ();
+    print_string (E.fig5 webapps plugins);
+    print_newline ();
+    print_string (E.confirmation_table ~seed ~packages:(if quick then 3 else 6) ());
+    `Ok ()
+  in
+  let doc = "Regenerate the paper's evaluation tables and figures." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run $ quick $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* train                                                               *)
+
+let train_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the data set as CSV.")
+  in
+  let version =
+    Arg.(value & opt version_conv Wap_core.Version.Wape
+         & info [ "tool-version" ] ~docv:"V" ~doc:"Data set flavour: wape or v21.")
+  in
+  let arff =
+    Arg.(value & flag & info [ "arff" ] ~doc:"Write WEKA ARFF instead of CSV.")
+  in
+  let run out version seed arff =
+    let d = Wap_core.Training.dataset_for ~seed version in
+    Printf.printf "%s data set: %d instances (%d FP / %d RV), %d attributes\n"
+      (Wap_core.Version.name version)
+      (Wap_mining.Dataset.size d) (Wap_mining.Dataset.positives d)
+      (Wap_mining.Dataset.negatives d)
+      (Wap_mining.Attributes.paper_count d.Wap_mining.Dataset.mode);
+    (match out with
+    | Some path ->
+        write_file path
+          (if arff then Wap_mining.Dataset.to_arff d else Wap_mining.Dataset.to_csv d);
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    `Ok ()
+  in
+  let doc = "Build (and optionally export) the predictor training data set." in
+  Cmd.v (Cmd.info "train" ~doc) Term.(ret (const run $ out $ version $ seed_arg $ arff))
+
+(* ------------------------------------------------------------------ *)
+(* symptoms                                                            *)
+
+let symptoms_cmd =
+  let run () =
+    print_string (Wap_core.Experiments.table1 ());
+    `Ok ()
+  in
+  let doc = "List the symptom and attribute catalog (Table I)." in
+  Cmd.v (Cmd.info "symptoms" ~doc) Term.(ret (const run $ const ()))
+
+let main =
+  let doc = "modular, extensible static analysis for PHP web applications" in
+  let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
+  Cmd.group info
+    [ analyze_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd; train_cmd; symptoms_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/confirm_findings.ml: List Printf Wap_confirm Wap_core Wap_php Wap_taint

@@ -1,0 +1,1 @@
+examples/confirm_findings.mli:

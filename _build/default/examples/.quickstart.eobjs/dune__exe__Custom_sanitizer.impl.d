@@ -1,0 +1,1 @@
+examples/custom_sanitizer.ml: List Printf Wap_catalog Wap_core Wap_taint

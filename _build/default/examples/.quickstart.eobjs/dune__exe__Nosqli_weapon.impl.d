@@ -1,0 +1,1 @@
+examples/nosqli_weapon.ml: Filename List Printf Sys Wap_core Wap_fixer Wap_taint Wap_weapon

@@ -1,0 +1,1 @@
+examples/nosqli_weapon.mli:

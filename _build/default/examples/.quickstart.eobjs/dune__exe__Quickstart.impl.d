@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Wap_core Wap_fixer Wap_php Wap_taint

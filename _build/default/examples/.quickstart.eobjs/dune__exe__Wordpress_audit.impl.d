@@ -1,0 +1,1 @@
+examples/wordpress_audit.ml: List Printf String Wap_core Wap_corpus Wap_taint Wap_weapon

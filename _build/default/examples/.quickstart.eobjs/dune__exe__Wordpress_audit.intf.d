@@ -1,0 +1,1 @@
+examples/wordpress_audit.mli:

@@ -1,0 +1,52 @@
+(** The extensibility experiment of Section V-A: an application ships
+    its own sanitization function ([escape]) that no generic tool can
+    know about.  WAPe reports those flows as vulnerabilities until the
+    user feeds [escape] to the tool as an external sanitization
+    function — then the reports disappear, with zero code changes.
+
+    Run with: [dune exec examples/custom_sanitizer.exe] *)
+
+let app_source =
+  {php|<?php
+// the application's home-grown sanitizer (vfront's "escape")
+function escape($value) {
+    $out = '';
+    for ($i = 0; $i < strlen($value); $i++) {
+        $c = $value[$i];
+        if ($c != "'" && $c != '"' && $c != '\\') {
+            $out = $out . $c;
+        }
+    }
+    return $out;
+}
+
+// flow 1: protected by escape() — a false report for a generic tool
+$name = escape($_POST['name']);
+mysql_query("SELECT * FROM people WHERE name = '$name'");
+
+// flow 2: genuinely vulnerable
+$city = $_POST['city'];
+mysql_query("SELECT * FROM people WHERE city = '$city'");
+|php}
+
+let print_run label tool =
+  let result = Wap_core.Tool.analyze_source tool ~file:"vfront.php" app_source in
+  Printf.printf "%s: %d reported\n" label (List.length result.Wap_core.Tool.reported);
+  List.iter
+    (fun (f : Wap_core.Tool.finding) ->
+      if not f.Wap_core.Tool.predicted_fp then
+        Printf.printf "  VULN %s\n" (Wap_taint.Trace.summary f.Wap_core.Tool.candidate))
+    result.Wap_core.Tool.findings
+
+let () =
+  print_endline "=== user sanitization functions (Section V-A) ===\n";
+  let plain = Wap_core.Tool.create ~seed:2016 Wap_core.Version.Wape in
+  print_run "without knowledge of escape()" plain;
+  print_newline ();
+  let informed =
+    Wap_core.Tool.create ~seed:2016
+      ~extra_sanitizers:[ (Some Wap_catalog.Vuln_class.Sqli, "escape") ]
+      Wap_core.Version.Wape
+  in
+  print_run "with escape() registered as a SQLI sanitizer" informed;
+  print_endline "\nOnly the genuinely vulnerable flow remains reported."

@@ -1,0 +1,1 @@
+lib/catalog/catalog.pp.ml: Hashtbl List Ppx_deriving_runtime Set String Submodule Vuln_class

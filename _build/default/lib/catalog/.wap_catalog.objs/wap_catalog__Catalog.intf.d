@@ -1,0 +1,1 @@
+lib/catalog/catalog.pp.mli: Ppx_deriving_runtime Submodule Vuln_class

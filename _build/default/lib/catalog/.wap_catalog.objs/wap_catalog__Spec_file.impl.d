@@ -1,0 +1,1 @@
+lib/catalog/spec_file.pp.ml: Buffer Catalog List Option Printf String Submodule Vuln_class

@@ -1,0 +1,1 @@
+lib/catalog/spec_file.pp.mli: Catalog Vuln_class

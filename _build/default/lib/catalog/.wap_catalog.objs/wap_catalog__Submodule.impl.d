@@ -1,0 +1,1 @@
+lib/catalog/submodule.pp.ml: Ppx_deriving_runtime Printf Vuln_class

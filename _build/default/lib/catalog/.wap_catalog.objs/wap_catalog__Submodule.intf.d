@@ -1,0 +1,1 @@
+lib/catalog/submodule.pp.mli: Ppx_deriving_runtime Vuln_class

@@ -1,0 +1,1 @@
+lib/catalog/vuln_class.pp.ml: List Ppx_deriving_runtime String

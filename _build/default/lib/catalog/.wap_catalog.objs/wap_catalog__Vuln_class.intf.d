@@ -1,0 +1,1 @@
+lib/catalog/vuln_class.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/catalog/wordpress.pp.ml: Catalog Vuln_class

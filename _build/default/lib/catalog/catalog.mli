@@ -1,0 +1,79 @@
+(** Entry points, sensitive sinks and sanitization functions per
+    vulnerability class.
+
+    In the restructured WAP these three sets live in external files (the
+    ep/ss/san files of Fig. 2) so users can extend a detector without
+    recompiling; {!Spec_file} provides that serialization.  This module
+    defines the shipped defaults. *)
+
+type source =
+  | Src_superglobal of string  (** e.g. [_GET]: any [$_GET[...]] access *)
+  | Src_fn of string
+      (** a function whose return value is attacker-controlled, e.g.
+          database fetch results for stored XSS *)
+[@@deriving show, eq, ord]
+
+type sink =
+  | Sink_fn of string * int list
+      (** named function; the int list is the set of dangerous argument
+          positions (empty = any argument) *)
+  | Sink_method of string * string
+      (** [obj, method]: method call on a named variable, e.g.
+          [$wpdb->query] — obj is matched without the [$] *)
+  | Sink_echo  (** [echo] / [print] / [printf] output constructs *)
+  | Sink_include  (** [include] / [require] constructs *)
+[@@deriving show, eq, ord]
+
+type sanitizer =
+  | San_fn of string
+  | San_method of string * string  (** e.g. [$wpdb->prepare] *)
+[@@deriving show, eq, ord]
+
+(** One detector's configuration. *)
+type spec = {
+  vclass : Vuln_class.t;
+  submodule : Submodule.t;
+  sources : source list;
+  sinks : sink list;
+  sanitizers : sanitizer list;
+}
+[@@deriving show, eq]
+
+(** The superglobal arrays every detector treats as tainted input. *)
+val default_superglobals : string list
+
+val default_sources : source list
+
+(** The name of the fix function the corrector inserts for a class
+    (always registered as a sanitizer, so corrected code is not
+    re-flagged).  Matches [Wap_fixer.Fix.stock]. *)
+val stock_fix_name : Vuln_class.t -> string
+
+(** The shipped detector configuration of a class (Table IV and
+    Section IV-C for the new classes); always includes
+    {!stock_fix_name} among the sanitizers. *)
+val default_spec : Vuln_class.t -> spec
+
+(** [specs_for classes] = [List.map default_spec classes]. *)
+val specs_for : Vuln_class.t list -> spec list
+
+(** Fast membership structures derived from a spec set, used by the
+    taint analyzer on every call site. *)
+module Lookup : sig
+  type t
+
+  val of_specs : spec list -> t
+  val is_superglobal : t -> string -> bool
+  val is_source_fn : t -> string -> bool
+
+  (** All (class, dangerous-argument) entries registered for a function
+      name (case-insensitive); [[]] when it is not a sink. *)
+  val sink_classes_of_fn : t -> string -> (Vuln_class.t * int list) list
+
+  (** Classes registered for an [obj->meth] sink; the object ["*"]
+      matches any variable. *)
+  val sink_class_of_method : t -> string -> string -> Vuln_class.t list
+
+  val is_sanitizer_fn : t -> string -> bool
+  val is_sanitizer_method : t -> string -> string -> bool
+end

@@ -1,0 +1,45 @@
+(** The detector sub-modules of the restructured code analyzer (Fig. 2).
+
+    Every vulnerability class is handled by one sub-module; the
+    [Generated] case corresponds to detectors produced by the weapon
+    generator (the "new vulnerability detector" boxes of the figure). *)
+
+type t =
+  | Rce_file  (** RCE & file injection: OSCI, PHPCI, RFI, LFI, DT, SCD (+SF) *)
+  | Client_side  (** client-side injection: reflected and stored XSS (+CS) *)
+  | Query  (** query injection: SQLI (+LDAPI, XPathI) *)
+  | Generated of string  (** a weapon-generated detector, by weapon name *)
+[@@deriving show, eq, ord]
+
+let name = function
+  | Rce_file -> "RCE & file injection"
+  | Client_side -> "client-side injection"
+  | Query -> "query injection"
+  | Generated w -> Printf.sprintf "generated detector (%s)" w
+
+(** Sub-module that hosts each built-in class.  The assignments for the
+    four reused classes (SF, CS, LDAPI, XPathI) follow Table IV. *)
+let of_class : Vuln_class.t -> t = function
+  | Vuln_class.Osci | Phpci | Rfi | Lfi | Dt_pt | Scd -> Rce_file
+  | Sf -> Rce_file
+  | Xss_reflected | Xss_stored -> Client_side
+  | Cs -> Client_side
+  | Sqli -> Query
+  | Ldapi | Xpathi -> Query
+  | Nosqli -> Generated "nosqli"
+  | Hi | Ei -> Generated "hei"
+  | Wp_sqli -> Generated "wpsqli"
+  | Custom w -> Generated w
+
+let all_static = [ Rce_file; Client_side; Query ]
+
+(** Classes hosted by a given static sub-module (inverse of
+    {!of_class}, restricted to built-ins). *)
+let classes_of = function
+  | Rce_file -> Vuln_class.[ Osci; Phpci; Rfi; Lfi; Dt_pt; Scd; Sf ]
+  | Client_side -> Vuln_class.[ Xss_reflected; Xss_stored; Cs ]
+  | Query -> Vuln_class.[ Sqli; Ldapi; Xpathi ]
+  | Generated "nosqli" -> [ Vuln_class.Nosqli ]
+  | Generated "hei" -> Vuln_class.[ Hi; Ei ]
+  | Generated "wpsqli" -> [ Vuln_class.Wp_sqli ]
+  | Generated w -> [ Vuln_class.Custom w ]

@@ -1,0 +1,26 @@
+(** The detector sub-modules of the restructured code analyzer (Fig. 2).
+
+    Every vulnerability class is handled by one sub-module; the
+    [Generated] case corresponds to detectors produced by the weapon
+    generator (the "new vulnerability detector" boxes of the figure). *)
+
+type t =
+  | Rce_file  (** RCE & file injection: OSCI, PHPCI, RFI, LFI, DT, SCD (+SF) *)
+  | Client_side  (** client-side injection: reflected and stored XSS (+CS) *)
+  | Query  (** query injection: SQLI (+LDAPI, XPathI) *)
+  | Generated of string  (** a weapon-generated detector, by weapon name *)
+[@@deriving show, eq, ord]
+
+(** Display name, e.g. ["RCE & file injection"]. *)
+val name : t -> string
+
+(** Sub-module hosting each built-in class; the assignments of the four
+    reused classes (SF, CS, LDAPI, XPathI) follow Table IV. *)
+val of_class : Vuln_class.t -> t
+
+(** The three static sub-modules. *)
+val all_static : t list
+
+(** Classes hosted by a sub-module (inverse of {!of_class}, restricted
+    to built-ins). *)
+val classes_of : t -> Vuln_class.t list

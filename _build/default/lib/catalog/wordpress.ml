@@ -1,0 +1,42 @@
+(** WordPress-specific functions used by the [-wpsqli] weapon
+    (Section IV-C3).
+
+    WordPress plugins reach the database through the [$wpdb] object and
+    sanitize/validate input with their own helper functions; a stock
+    detector knows none of them.  This module is the catalog half of the
+    weapon: sinks and sanitizers live in {!Catalog.default_spec} under
+    {!Vuln_class.Wp_sqli}; here we list the validation helpers that
+    become {e dynamic symptoms} for the false-positive predictor. *)
+
+(** WordPress validation/sanitization helpers, each mapped to the static
+    symptom it behaves like (Section III-B2).  The static symptom names
+    are those of {!Wap_mining.Symptom}. *)
+let dynamic_symptoms : (string * string) list =
+  [
+    ("absint", "intval");
+    ("sanitize_text_field", "user_white_list");
+    ("sanitize_key", "user_white_list");
+    ("sanitize_email", "user_white_list");
+    ("sanitize_file_name", "user_white_list");
+    ("sanitize_title", "user_white_list");
+    ("esc_attr", "user_white_list");
+    ("esc_html", "user_white_list");
+    ("esc_url", "user_white_list");
+    ("esc_js", "user_white_list");
+    ("wp_kses", "user_white_list");
+    ("wp_kses_post", "user_white_list");
+    ("is_email", "preg_match");
+    ("wp_verify_nonce", "user_white_list");
+  ]
+
+(** Entry points specific to WordPress plugins, in addition to the
+    superglobals: data already persisted that plugin code re-reads. *)
+let extra_sources =
+  [ Catalog.Src_fn "get_option"; Catalog.Src_fn "get_post_meta";
+    Catalog.Src_fn "get_user_meta"; Catalog.Src_fn "get_query_var" ]
+
+(** The full spec for the WordPress SQLI weapon: the stock
+    {!Vuln_class.Wp_sqli} defaults plus the WP-specific entry points. *)
+let wpsqli_spec () : Catalog.spec =
+  let base = Catalog.default_spec Vuln_class.Wp_sqli in
+  { base with sources = base.sources @ extra_sources }

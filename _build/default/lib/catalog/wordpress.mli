@@ -1,0 +1,19 @@
+(** WordPress-specific functions used by the [-wpsqli] weapon
+    (Section IV-C3).
+
+    WordPress plugins reach the database through the [$wpdb] object and
+    sanitize/validate input with their own helper functions; a stock
+    detector knows none of them. *)
+
+(** WordPress validation/sanitization helpers, each mapped to the static
+    symptom it behaves like — the weapon's {e dynamic symptoms}
+    (Section III-B2). *)
+val dynamic_symptoms : (string * string) list
+
+(** Entry points specific to WordPress plugins, in addition to the
+    superglobals: persisted data plugin code re-reads. *)
+val extra_sources : Catalog.source list
+
+(** The full spec for the WordPress SQLI weapon: the stock
+    {!Vuln_class.Wp_sqli} defaults plus the WP-specific entry points. *)
+val wpsqli_spec : unit -> Catalog.spec

@@ -1,0 +1,1 @@
+lib/confirm/builtins.pp.ml: Buffer Char List Option Printf Regex String Value

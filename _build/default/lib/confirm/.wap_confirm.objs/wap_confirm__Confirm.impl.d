@@ -1,0 +1,1 @@
+lib/confirm/confirm.pp.ml: Ast Evaluator Hashtbl List Loc Parser Ppx_deriving_runtime Printf Seq String Value Wap_catalog Wap_php Wap_taint

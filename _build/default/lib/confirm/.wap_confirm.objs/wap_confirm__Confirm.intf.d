@@ -1,0 +1,1 @@
+lib/confirm/confirm.pp.mli: Ppx_deriving_runtime Wap_catalog Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/confirm/evaluator.pp.ml: Ast Builtins Hashtbl List Loc Option String Value Visitor Wap_php

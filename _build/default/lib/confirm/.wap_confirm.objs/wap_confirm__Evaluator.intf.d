@@ -1,0 +1,1 @@
+lib/confirm/evaluator.pp.mli: Ast Hashtbl Loc Value Wap_php

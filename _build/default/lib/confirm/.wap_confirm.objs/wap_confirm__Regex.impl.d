@@ -1,0 +1,1 @@
+lib/confirm/regex.pp.ml: Buffer Char List Printf String

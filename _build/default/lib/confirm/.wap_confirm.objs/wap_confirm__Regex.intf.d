@@ -1,0 +1,1 @@
+lib/confirm/regex.pp.mli:

@@ -1,0 +1,1 @@
+lib/confirm/value.pp.ml: List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/confirm/value.pp.mli: Ppx_deriving_runtime

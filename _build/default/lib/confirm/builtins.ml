@@ -1,0 +1,434 @@
+(** PHP builtin functions implemented by the bounded evaluator — the
+    sanitizers, validators and string manipulations that decide whether
+    an attack payload survives to the sink. *)
+
+open Value
+
+let str1 f = function
+  | [ v ] -> Some (f (to_string v))
+  | _ -> None
+
+let sstr f args = Option.map (fun s -> Str s) (str1 f args)
+
+let lowercase = String.lowercase_ascii
+let uppercase = String.uppercase_ascii
+
+(* deterministic stand-in for md5: 32 hex chars from an FNV-1a pass —
+   what matters is that the output is alphanumeric and input-dependent *)
+let fake_md5 s =
+  let h = ref 2166136261 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 16777619 land 0x3FFFFFFF) s;
+  let h2 = ref (!h lxor 0x5bd1e995) in
+  String.iter (fun c -> h2 := ((!h2 * 31) + Char.code c) land 0x3FFFFFFF) s;
+  Printf.sprintf "%08x%08x%08x%08x" !h !h2 (!h lxor !h2) ((!h + !h2) land 0x3FFFFFFF)
+
+let escape_quotes s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\'' -> Buffer.add_string b "\\'"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\000' -> Buffer.add_string b "\\0"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#039;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let strip_tags s =
+  let b = Buffer.create (String.length s) in
+  let in_tag = ref false in
+  String.iter
+    (fun c ->
+      if c = '<' then in_tag := true
+      else if c = '>' then in_tag := false
+      else if not !in_tag then Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escapeshellarg s =
+  (* POSIX single-quote wrapping *)
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string b "'\\''" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '\'';
+  Buffer.contents b
+
+let escapeshellcmd s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      (match c with
+      | '#' | '&' | ';' | '`' | '|' | '*' | '?' | '~' | '<' | '>' | '^' | '('
+      | ')' | '[' | ']' | '{' | '}' | '$' | '\\' | '\'' | '"' | '\n' ->
+          Buffer.add_char b '\\'
+      | _ -> ());
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ldap_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '*' | '(' | ')' | '\\' | '\000' ->
+          Buffer.add_string b (Printf.sprintf "\\%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let urlencode s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> Buffer.add_char b c
+      | ' ' -> Buffer.add_char b '+'
+      | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents b
+
+let basename s =
+  match String.rindex_opt s '/' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> ( match String.rindex_opt s '\\' with
+              | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+              | None -> s)
+
+let ctype pred s = s <> "" && String.for_all pred s
+
+let str_replace_one ~search ~repl subject =
+  if search = "" then subject
+  else begin
+    let b = Buffer.create (String.length subject) in
+    let slen = String.length search and n = String.length subject in
+    let i = ref 0 in
+    while !i < n do
+      if !i + slen <= n && String.sub subject !i slen = search then begin
+        Buffer.add_string b repl;
+        i := !i + slen
+      end
+      else begin
+        Buffer.add_char b subject.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  end
+
+let str_replace ~ci (search : t) (repl : t) (subject : string) : string =
+  let pairs =
+    match (search, repl) with
+    | Arr searches, Arr repls ->
+        List.mapi
+          (fun i (_, s) ->
+            let r = match List.nth_opt repls i with Some (_, r) -> to_string r | None -> "" in
+            (to_string s, r))
+          searches
+    | Arr searches, r -> List.map (fun (_, s) -> (to_string s, to_string r)) searches
+    | s, r -> [ (to_string s, to_string r) ]
+  in
+  List.fold_left
+    (fun subject (search, repl) ->
+      if ci then
+        (* case-insensitive replace via lowercase scanning *)
+        let low_sub = lowercase subject and low_search = lowercase search in
+        let slen = String.length search and n = String.length subject in
+        if slen = 0 then subject
+        else begin
+          let b = Buffer.create n in
+          let i = ref 0 in
+          while !i < n do
+            if !i + slen <= n && String.sub low_sub !i slen = low_search then begin
+              Buffer.add_string b repl;
+              i := !i + slen
+            end
+            else begin
+              Buffer.add_char b subject.[!i];
+              incr i
+            end
+          done;
+          Buffer.contents b
+        end
+      else str_replace_one ~search ~repl subject)
+    subject pairs
+
+let explode sep s =
+  if sep = "" then [ s ]
+  else begin
+    let out = ref [] in
+    let seplen = String.length sep and n = String.length s in
+    let start = ref 0 in
+    let i = ref 0 in
+    while !i <= n - seplen do
+      if String.sub s !i seplen = sep then begin
+        out := String.sub s !start (!i - !start) :: !out;
+        i := !i + seplen;
+        start := !i
+      end
+      else incr i
+    done;
+    out := String.sub s !start (n - !start) :: !out;
+    List.rev !out
+  end
+
+let sprintf_php fmt (args : t list) : string =
+  let b = Buffer.create (String.length fmt) in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> Null
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      (* skip flags/width/precision *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | '\'' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      (if !j < n then
+         match fmt.[!j] with
+         | '%' -> Buffer.add_char b '%'
+         | 's' -> Buffer.add_string b (to_string (next ()))
+         | 'd' | 'u' -> Buffer.add_string b (string_of_int (to_int (next ())))
+         | 'f' | 'F' -> Buffer.add_string b (Printf.sprintf "%f" (to_float (next ())))
+         | 'x' -> Buffer.add_string b (Printf.sprintf "%x" (to_int (next ())))
+         | 'X' -> Buffer.add_string b (Printf.sprintf "%X" (to_int (next ())))
+         | c ->
+             Buffer.add_char b '%';
+             Buffer.add_char b c);
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char b fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+(** [call name args] evaluates a builtin; [None] when [name] is not a
+    builtin (user function or opaque API). *)
+let call (name : string) (args : t list) : t option =
+  let s0 () = match args with v :: _ -> to_string v | [] -> "" in
+  let v0 () = match args with v :: _ -> v | [] -> Null in
+  match (lowercase name, args) with
+  (* --- string basics --- *)
+  | "strlen", _ -> Some (Int (String.length (s0 ())))
+  | "trim", _ -> Some (Str (String.trim (s0 ())))
+  | "ltrim", _ ->
+      let s = s0 () in
+      let i = ref 0 in
+      while !i < String.length s && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '\r') do incr i done;
+      Some (Str (String.sub s !i (String.length s - !i)))
+  | "rtrim", _ | "chop", _ ->
+      let s = s0 () in
+      let j = ref (String.length s) in
+      while !j > 0 && (let c = s.[!j - 1] in c = ' ' || c = '\t' || c = '\n' || c = '\r') do decr j done;
+      Some (Str (String.sub s 0 !j))
+  | "strtolower", _ -> sstr lowercase args
+  | "strtoupper", _ -> sstr uppercase args
+  | "substr", [ s; start ] ->
+      let s = to_string s and start = to_int start in
+      let n = String.length s in
+      let start = if start < 0 then max 0 (n + start) else min start n in
+      Some (Str (String.sub s start (n - start)))
+  | "substr", [ s; start; len ] ->
+      let s = to_string s and start = to_int start and len = to_int len in
+      let n = String.length s in
+      let start = if start < 0 then max 0 (n + start) else min start n in
+      let len = if len < 0 then max 0 (n - start + len) else min len (n - start) in
+      Some (Str (String.sub s start len))
+  | "str_pad", (s :: len :: rest) ->
+      let s = to_string s and len = to_int len in
+      let pad = match rest with p :: _ -> to_string p | [] -> " " in
+      let pad = if pad = "" then " " else pad in
+      let b = Buffer.create len in
+      Buffer.add_string b s;
+      while Buffer.length b < len do
+        Buffer.add_string b pad
+      done;
+      Some (Str (if Buffer.length b > len && String.length s < len
+                 then String.sub (Buffer.contents b) 0 len
+                 else Buffer.contents b))
+  | "str_repeat", [ s; k ] ->
+      let s = to_string s and k = max 0 (to_int k) in
+      Some (Str (String.concat "" (List.init k (fun _ -> s))))
+  | "strrev", _ ->
+      let s = s0 () in
+      Some (Str (String.init (String.length s) (fun i -> s.[String.length s - 1 - i])))
+  | "str_shuffle", _ -> Some (Str (s0 ()))  (* deterministic: identity *)
+  | "chunk_split", (s :: _) -> Some (Str (to_string s))
+  | "ucfirst", _ ->
+      let s = s0 () in
+      Some (Str (if s = "" then s else String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)))
+  | "str_replace", [ se; re; subj ] -> Some (Str (str_replace ~ci:false se re (to_string subj)))
+  | "str_ireplace", [ se; re; subj ] -> Some (Str (str_replace ~ci:true se re (to_string subj)))
+  | "substr_replace", [ s; repl; start ] ->
+      let s = to_string s and repl = to_string repl and start = to_int start in
+      let n = String.length s in
+      let start = if start < 0 then max 0 (n + start) else min start n in
+      Some (Str (String.sub s 0 start ^ repl))
+  | "substr_replace", [ s; repl; start; len ] ->
+      let s = to_string s and repl = to_string repl and start = to_int start in
+      let n = String.length s in
+      let start = if start < 0 then max 0 (n + start) else min start n in
+      let len = max 0 (min (to_int len) (n - start)) in
+      Some (Str (String.sub s 0 start ^ repl ^ String.sub s (start + len) (n - start - len)))
+  | "implode", [ g; Arr pairs ] | "join", [ g; Arr pairs ] ->
+      Some (Str (String.concat (to_string g) (List.map (fun (_, v) -> to_string v) pairs)))
+  | "implode", [ Arr pairs ] | "join", [ Arr pairs ] ->
+      Some (Str (String.concat "" (List.map (fun (_, v) -> to_string v) pairs)))
+  | "explode", [ sep; s ] ->
+      Some (Arr (List.mapi (fun i p -> (Int i, Str p)) (explode (to_string sep) (to_string s))))
+  | ("split" | "spliti"), [ sep; s ] ->
+      Some (Arr (List.mapi (fun i p -> (Int i, Str p)) (explode (to_string sep) (to_string s))))
+  | "sprintf", (fmt :: rest) -> Some (Str (sprintf_php (to_string fmt) rest))
+  | "number_format", (v :: _) -> Some (Str (string_of_int (to_int v)))
+  (* --- type checks & conversions --- *)
+  | "intval", _ -> Some (Int (to_int (v0 ())))
+  | "floatval", _ | "doubleval", _ -> Some (Float (to_float (v0 ())))
+  | "strval", _ -> Some (Str (s0 ()))
+  | "boolval", _ -> Some (Bool (to_bool (v0 ())))
+  | "is_numeric", _ ->
+      Some (Bool (match v0 () with
+                  | Int _ | Float _ -> true
+                  | Str s -> is_numeric_string s
+                  | _ -> false))
+  | ("is_int" | "is_integer" | "is_long"), _ ->
+      Some (Bool (match v0 () with Int _ -> true | _ -> false))
+  | ("is_float" | "is_double" | "is_real"), _ ->
+      Some (Bool (match v0 () with Float _ -> true | _ -> false))
+  | "is_string", _ -> Some (Bool (match v0 () with Str _ -> true | _ -> false))
+  | "is_bool", _ -> Some (Bool (match v0 () with Bool _ -> true | _ -> false))
+  | "is_array", _ -> Some (Bool (match v0 () with Arr _ -> true | _ -> false))
+  | "is_null", _ -> Some (Bool (v0 () = Null))
+  | "is_scalar", _ ->
+      Some (Bool (match v0 () with Int _ | Float _ | Str _ | Bool _ -> true | _ -> false))
+  | "ctype_digit", _ -> Some (Bool (ctype (fun c -> c >= '0' && c <= '9') (s0 ())))
+  | "ctype_alpha", _ ->
+      Some (Bool (ctype (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) (s0 ())))
+  | "ctype_alnum", _ ->
+      Some (Bool (ctype (fun c ->
+                      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+                    (s0 ())))
+  (* --- comparisons --- *)
+  | "strcmp", [ a; b ] -> Some (Int (compare (to_string a) (to_string b)))
+  | "strcasecmp", [ a; b ] ->
+      Some (Int (compare (lowercase (to_string a)) (lowercase (to_string b))))
+  | "strncmp", [ a; b; k ] ->
+      let k = to_int k in
+      let cut s = String.sub s 0 (min k (String.length s)) in
+      Some (Int (compare (cut (to_string a)) (cut (to_string b))))
+  | "strncasecmp", [ a; b; k ] ->
+      let k = to_int k in
+      let cut s = String.sub s 0 (min k (String.length s)) in
+      Some (Int (compare (lowercase (cut (to_string a))) (lowercase (cut (to_string b)))))
+  | "strnatcmp", [ a; b ] -> Some (Int (compare (to_string a) (to_string b)))
+  | "strpos", [ h; ne ] ->
+      let h = to_string h and ne = to_string ne in
+      let nh = String.length h and nn = String.length ne in
+      let rec go i = if i + nn > nh then None else if String.sub h i nn = ne then Some i else go (i + 1) in
+      Some (match go 0 with Some i -> Int i | None -> Bool false)
+  | "stripos", [ h; ne ] ->
+      let h = lowercase (to_string h) and ne = lowercase (to_string ne) in
+      let nh = String.length h and nn = String.length ne in
+      let rec go i = if i + nn > nh then None else if String.sub h i nn = ne then Some i else go (i + 1) in
+      Some (match go 0 with Some i -> Int i | None -> Bool false)
+  (* --- arrays --- *)
+  | ("count" | "sizeof"), [ Arr pairs ] -> Some (Int (List.length pairs))
+  | ("count" | "sizeof"), _ -> Some (Int 1)
+  | "in_array", [ needle; Arr pairs ] ->
+      Some (Bool (List.exists (fun (_, v) -> loose_eq v needle) pairs))
+  | "in_array", [ needle; Arr pairs; _strict ] ->
+      Some (Bool (List.exists (fun (_, v) -> strict_eq v needle) pairs))
+  | "array_key_exists", [ key; Arr pairs ] -> Some (Bool (arr_has pairs key))
+  | "array_keys", [ Arr pairs ] ->
+      Some (Arr (List.mapi (fun i (k, _) -> (Int i, k)) pairs))
+  | "array_values", [ Arr pairs ] ->
+      Some (Arr (List.mapi (fun i (_, v) -> (Int i, v)) pairs))
+  | "array_merge", _ ->
+      Some (Arr (List.concat_map (function Arr p -> p | _ -> []) args))
+  (* --- sanitizers --- *)
+  | ("mysql_real_escape_string" | "mysql_escape_string" | "mysqli_real_escape_string"
+    | "mysqli_escape_string" | "addslashes" | "pg_escape_string"
+    | "sqlite_escape_string" | "esc_sql"), _ ->
+      (* two-argument mysqli_real_escape_string($link, $s) *)
+      let s = match args with [ _; s ] -> to_string s | _ -> s0 () in
+      Some (Str (escape_quotes s))
+  | ("htmlspecialchars" | "htmlentities" | "esc_html" | "esc_attr"), _ ->
+      Some (Str (html_escape (s0 ())))
+  | "strip_tags", _ -> Some (Str (strip_tags (s0 ())))
+  | "escapeshellarg", _ -> Some (Str (escapeshellarg (s0 ())))
+  | "escapeshellcmd", _ -> Some (Str (escapeshellcmd (s0 ())))
+  | "ldap_escape", _ -> Some (Str (ldap_escape (s0 ())))
+  | ("urlencode" | "rawurlencode"), _ -> Some (Str (urlencode (s0 ())))
+  | "basename", _ -> Some (Str (basename (s0 ())))
+  | "realpath", _ -> Some (Str (s0 ()))
+  | "absint", _ -> Some (Int (abs (to_int (v0 ()))))
+  | "sanitize_text_field", _ -> Some (Str (strip_tags (String.trim (s0 ()))))
+  | "md5" , _ | "sha1", _ | "crc32", _ -> Some (Str (fake_md5 (s0 ())))
+  (* --- regex --- *)
+  | "preg_match", (pat :: subj :: _) -> (
+      match Regex.compile (to_string pat) with
+      | Some re -> Some (Int (if Regex.matches re (to_string subj) then 1 else 0))
+      | None -> Some (Int 0))
+  | "preg_match_all", (pat :: subj :: _) -> (
+      match Regex.compile (to_string pat) with
+      | Some re -> Some (Int (if Regex.matches re (to_string subj) then 1 else 0))
+      | None -> Some (Int 0))
+  | ("ereg" | "eregi"), [ pat; subj ] -> (
+      let delim = "/" ^ to_string pat ^ "/" ^ (if lowercase name = "eregi" then "i" else "") in
+      match Regex.compile delim with
+      | Some re -> Some (Int (if Regex.matches re (to_string subj) then 1 else 0))
+      | None -> Some (Int 0))
+  | ("preg_replace" | "preg_filter"), [ pat; repl; subj ] -> (
+      match Regex.compile (to_string pat) with
+      | Some re -> Some (Str (Regex.replace re ~template:(to_string repl) (to_string subj)))
+      | None -> Some (Str (to_string subj)))
+  | ("ereg_replace" | "eregi_replace"), [ pat; repl; subj ] -> (
+      match Regex.compile ("/" ^ to_string pat ^ "/") with
+      | Some re -> Some (Str (Regex.replace re ~template:(to_string repl) (to_string subj)))
+      | None -> Some (Str (to_string subj)))
+  | "preg_split", (pat :: subj :: _) -> (
+      match Regex.compile (to_string pat) with
+      | Some re ->
+          Some (Arr (List.mapi (fun i p -> (Int i, Str p)) (Regex.split re (to_string subj))))
+      | None -> Some (Arr [ (Int 0, Str (to_string subj)) ]))
+  (* --- misc no-ops with benign results --- *)
+  | "rand", _ | "mt_rand", _ -> Some (Int 4)  (* deterministic *)
+  | "time", _ -> Some (Int 1_450_000_000)
+  | "date", _ -> Some (Str "2016-06-28")
+  | ("error_log" | "trigger_error" | "user_error"), _ -> Some (Bool true)
+  | "checkdate", _ -> Some (Bool true)
+  | "filter_var", (v :: _) -> Some v
+  | _ -> None

@@ -1,0 +1,544 @@
+(** A bounded evaluator for the PHP subset: executes a program with
+    attacker-chosen superglobal inputs and reports every sink-relevant
+    event (calls, echos, includes, backticks) to a callback.
+
+    This is not a general PHP runtime — objects are opaque, I/O does
+    nothing, and execution is step-bounded — but it is faithful on the
+    string/array/control-flow fragment that decides whether an attack
+    payload survives validation and sanitization on its way to a sink. *)
+
+open Wap_php
+module V = Value
+
+(** A sink-relevant runtime event. *)
+type event = {
+  ev_name : string;
+      (** function name (lowercase), ["obj->method"], ["echo"],
+          ["include"], ["exit"], or ["shell_exec"] for backticks *)
+  ev_args : V.t list;
+  ev_loc : Loc.t;
+}
+
+type config = {
+  input : superglobal:string -> key:string -> V.t;
+      (** value of [$_SG['key']] *)
+  input_array : superglobal:string -> (V.t * V.t) list;
+      (** the whole array, for [foreach ($_GET as ...)] *)
+  on_event : event -> unit;
+  max_steps : int;
+}
+
+exception Exit_script
+exception Timeout
+
+(* internal control flow *)
+exception Return_v of V.t
+exception Break_n of int
+exception Continue_n of int
+exception Php_exception of V.t
+
+type scope = (string, V.t) Hashtbl.t
+
+type state = {
+  cfg : config;
+  globals : scope;
+  functions : (string, Ast.func) Hashtbl.t;
+  mutable steps : int;
+  mutable depth : int;
+}
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.cfg.max_steps then raise Timeout
+
+let get_var (sc : scope) v = Option.value ~default:V.Null (Hashtbl.find_opt sc v)
+
+let constant_value = function
+  | "true" | "TRUE" | "True" -> V.Bool true
+  | "false" | "FALSE" | "False" -> V.Bool false
+  | "null" | "NULL" | "Null" -> V.Null
+  | "PHP_EOL" -> V.Str "\n"
+  | "E_USER_WARNING" -> V.Int 512
+  | "E_USER_ERROR" -> V.Int 256
+  | "FILE_APPEND" -> V.Int 8
+  | c -> V.Str c
+
+let rec eval st (sc : scope) (e : Ast.expr) : V.t =
+  tick st;
+  match e.Ast.e with
+  | Ast.Int n -> V.Int n
+  | Ast.Float f -> V.Float f
+  | Ast.String s -> V.Str s
+  | Ast.Constant c -> constant_value c
+  | Ast.Interp parts ->
+      V.Str
+        (String.concat ""
+           (List.map
+              (function
+                | Ast.Ip_str s -> s
+                | Ast.Ip_expr pe -> V.to_string (eval st sc pe))
+              parts))
+  | Ast.Backtick parts ->
+      let cmd =
+        String.concat ""
+          (List.map
+             (function
+               | Ast.Ip_str s -> s
+               | Ast.Ip_expr pe -> V.to_string (eval st sc pe))
+             parts)
+      in
+      st.cfg.on_event { ev_name = "shell_exec"; ev_args = [ V.Str cmd ]; ev_loc = e.Ast.eloc };
+      V.Str ""
+  | Ast.Var v ->
+      if Ast.is_superglobal v then V.Arr (st.cfg.input_array ~superglobal:v)
+      else get_var sc v
+  | Ast.Var_var inner ->
+      let name = V.to_string (eval st sc inner) in
+      get_var sc name
+  | Ast.Index ({ e = Ast.Var sg; _ }, Some key) when Ast.is_superglobal sg ->
+      let key = V.to_string (eval st sc key) in
+      st.cfg.input ~superglobal:sg ~key
+  | Ast.Index (base, idx) -> (
+      let b = eval st sc base in
+      match (b, idx) with
+      | V.Arr pairs, Some idx -> V.arr_get pairs (eval st sc idx)
+      | V.Str s, Some idx ->
+          let i = V.to_int (eval st sc idx) in
+          if i >= 0 && i < String.length s then V.Str (String.make 1 s.[i]) else V.Str ""
+      | _ -> V.Null)
+  | Ast.Prop (_, _) | Ast.Static_prop _ -> V.Null
+  | Ast.Class_const (_, _) -> V.Null
+  | Ast.Call (callee, args) -> eval_call st sc e.Ast.eloc callee args
+  | Ast.New (_, args) ->
+      List.iter (fun (a : Ast.arg) -> ignore (eval st sc a.Ast.a_expr)) args;
+      V.Null
+  | Ast.Clone inner -> eval st sc inner
+  | Ast.Binop (op, l, r) -> eval_binop st sc op l r
+  | Ast.Unop (op, inner) -> (
+      let v = eval st sc inner in
+      match op with
+      | Ast.Not -> V.Bool (not (V.to_bool v))
+      | Ast.Neg -> (
+          match v with V.Int n -> V.Int (-n) | _ -> V.Float (-.V.to_float v))
+      | Ast.Uplus -> v
+      | Ast.Bit_not -> V.Int (lnot (V.to_int v))
+      | Ast.Silence -> v)
+  | Ast.Incdec (k, target) -> (
+      let old = eval st sc target in
+      let bump d = V.Int (V.to_int old + d) in
+      match k with
+      | Ast.Pre_inc ->
+          let v = bump 1 in
+          assign st sc target v;
+          v
+      | Ast.Pre_dec ->
+          let v = bump (-1) in
+          assign st sc target v;
+          v
+      | Ast.Post_inc ->
+          assign st sc target (bump 1);
+          old
+      | Ast.Post_dec ->
+          assign st sc target (bump (-1));
+          old)
+  | Ast.Assign (Ast.A_eq, lhs, rhs) ->
+      let v = eval st sc rhs in
+      assign st sc lhs v;
+      v
+  | Ast.Assign (op, lhs, rhs) ->
+      let old = eval st sc lhs in
+      let v = eval st sc rhs in
+      let combined =
+        match op with
+        | Ast.A_concat -> V.Str (V.to_string old ^ V.to_string v)
+        | Ast.A_plus -> V.Int (V.to_int old + V.to_int v)
+        | Ast.A_minus -> V.Int (V.to_int old - V.to_int v)
+        | Ast.A_mul -> V.Int (V.to_int old * V.to_int v)
+        | Ast.A_div ->
+            let d = V.to_float v in
+            if d = 0.0 then V.Int 0 else V.Float (V.to_float old /. d)
+        | Ast.A_mod ->
+            let d = V.to_int v in
+            if d = 0 then V.Int 0 else V.Int (V.to_int old mod d)
+        | _ -> v
+      in
+      assign st sc lhs combined;
+      combined
+  | Ast.Assign_ref (lhs, rhs) ->
+      (* references degrade to copies in this evaluator *)
+      let v = eval st sc rhs in
+      assign st sc lhs v;
+      v
+  | Ast.Ternary (c, t, f) ->
+      let cv = eval st sc c in
+      if V.to_bool cv then match t with Some t -> eval st sc t | None -> cv
+      else eval st sc f
+  | Ast.Cast (c, inner) -> (
+      let v = eval st sc inner in
+      match c with
+      | Ast.C_int -> V.Int (V.to_int v)
+      | Ast.C_float -> V.Float (V.to_float v)
+      | Ast.C_string -> V.Str (V.to_string v)
+      | Ast.C_bool -> V.Bool (V.to_bool v)
+      | Ast.C_array -> ( match v with V.Arr _ -> v | _ -> V.Arr [ (V.Int 0, v) ])
+      | Ast.C_object -> v)
+  | Ast.Isset es ->
+      V.Bool
+        (List.for_all
+           (fun e1 ->
+             match e1.Ast.e with
+             | Ast.Index ({ e = Ast.Var sg; _ }, Some _) when Ast.is_superglobal sg -> true
+             | Ast.Var v -> Hashtbl.mem sc v
+             | _ -> eval st sc e1 <> V.Null)
+           es)
+  | Ast.Empty e1 -> V.Bool (not (V.to_bool (eval st sc e1)))
+  | Ast.Exit arg ->
+      (match arg with
+      | Some a ->
+          let v = eval st sc a in
+          st.cfg.on_event { ev_name = "exit"; ev_args = [ v ]; ev_loc = e.Ast.eloc }
+      | None -> ());
+      raise Exit_script
+  | Ast.Print e1 ->
+      let v = eval st sc e1 in
+      st.cfg.on_event { ev_name = "echo"; ev_args = [ v ]; ev_loc = e.Ast.eloc };
+      V.Int 1
+  | Ast.Include (_, e1) ->
+      let v = eval st sc e1 in
+      st.cfg.on_event { ev_name = "include"; ev_args = [ v ]; ev_loc = e.Ast.eloc };
+      V.Null
+  | Ast.List _ -> V.Null
+  | Ast.Array_lit items ->
+      V.Arr
+        (List.fold_left
+           (fun pairs (it : Ast.array_item) ->
+             let v = eval st sc it.Ast.ai_value in
+             match it.Ast.ai_key with
+             | Some k -> V.arr_set pairs (eval st sc k) v
+             | None -> V.arr_push pairs v)
+           [] items)
+  | Ast.Closure _ -> V.Null
+
+and eval_binop st sc op l r =
+  match op with
+  | Ast.Bool_and ->
+      if V.to_bool (eval st sc l) then V.Bool (V.to_bool (eval st sc r)) else V.Bool false
+  | Ast.Bool_or ->
+      if V.to_bool (eval st sc l) then V.Bool true else V.Bool (V.to_bool (eval st sc r))
+  | _ -> (
+      let a = eval st sc l in
+      let b = eval st sc r in
+      match op with
+      | Ast.Concat -> V.Str (V.to_string a ^ V.to_string b)
+      | Ast.Plus -> (
+          match (a, b) with
+          | V.Int x, V.Int y -> V.Int (x + y)
+          | _ -> V.Float (V.to_float a +. V.to_float b))
+      | Ast.Minus -> (
+          match (a, b) with
+          | V.Int x, V.Int y -> V.Int (x - y)
+          | _ -> V.Float (V.to_float a -. V.to_float b))
+      | Ast.Mul -> (
+          match (a, b) with
+          | V.Int x, V.Int y -> V.Int (x * y)
+          | _ -> V.Float (V.to_float a *. V.to_float b))
+      | Ast.Div ->
+          let d = V.to_float b in
+          if d = 0.0 then V.Bool false else V.Float (V.to_float a /. d)
+      | Ast.Mod ->
+          let d = V.to_int b in
+          if d = 0 then V.Bool false else V.Int (V.to_int a mod d)
+      | Ast.Pow -> V.Float (V.to_float a ** V.to_float b)
+      | Ast.Eq_eq -> V.Bool (V.loose_eq a b)
+      | Ast.Neq -> V.Bool (not (V.loose_eq a b))
+      | Ast.Identical -> V.Bool (V.strict_eq a b)
+      | Ast.Not_identical -> V.Bool (not (V.strict_eq a b))
+      | Ast.Lt -> V.Bool (V.to_float a < V.to_float b)
+      | Ast.Gt -> V.Bool (V.to_float a > V.to_float b)
+      | Ast.Le -> V.Bool (V.to_float a <= V.to_float b)
+      | Ast.Ge -> V.Bool (V.to_float a >= V.to_float b)
+      | Ast.Spaceship -> V.Int (compare (V.to_float a) (V.to_float b))
+      | Ast.Bool_xor -> V.Bool (V.to_bool a <> V.to_bool b)
+      | Ast.Bit_and -> V.Int (V.to_int a land V.to_int b)
+      | Ast.Bit_or -> V.Int (V.to_int a lor V.to_int b)
+      | Ast.Bit_xor -> V.Int (V.to_int a lxor V.to_int b)
+      | Ast.Shl -> V.Int (V.to_int a lsl min 62 (max 0 (V.to_int b)))
+      | Ast.Shr -> V.Int (V.to_int a asr min 62 (max 0 (V.to_int b)))
+      | Ast.Coalesce -> if a = V.Null then b else a
+      | Ast.Instanceof -> V.Bool false
+      | Ast.Bool_and | Ast.Bool_or -> assert false)
+
+and assign st sc (lhs : Ast.expr) (v : V.t) : unit =
+  match lhs.Ast.e with
+  | Ast.Var name -> Hashtbl.replace sc name v
+  | Ast.Index (base, idx) -> (
+      match base.Ast.e with
+      | Ast.Var name ->
+          let cur = match get_var sc name with V.Arr p -> p | _ -> [] in
+          let updated =
+            match idx with
+            | Some idx -> V.arr_set cur (eval st sc idx) v
+            | None -> V.arr_push cur v
+          in
+          Hashtbl.replace sc name (V.Arr updated)
+      | _ -> ())
+  | Ast.List es ->
+      let pairs = match v with V.Arr p -> p | _ -> [] in
+      List.iteri
+        (fun i target ->
+          match target with
+          | Some t -> assign st sc t (V.arr_get pairs (V.Int i))
+          | None -> ())
+        es
+  | Ast.Prop _ | Ast.Static_prop _ | Ast.Var_var _ -> ()
+  | _ -> ()
+
+and eval_call st sc loc (callee : Ast.callee) (args : Ast.arg list) : V.t =
+  let argv = List.map (fun (a : Ast.arg) -> eval st sc a.Ast.a_expr) args in
+  match callee with
+  | Ast.F_ident f -> call_function st sc loc (String.lowercase_ascii f) argv
+  | Ast.F_var fe ->
+      let name = V.to_string (eval st sc fe) in
+      call_function st sc loc (String.lowercase_ascii name) argv
+  | Ast.F_method (obj, Ast.Mem_ident m) ->
+      let objname =
+        match obj.Ast.e with Ast.Var v -> String.lowercase_ascii v | _ -> "obj"
+      in
+      st.cfg.on_event
+        { ev_name = objname ^ "->" ^ String.lowercase_ascii m; ev_args = argv; ev_loc = loc };
+      (* $wpdb->prepare behaves like sprintf with escaping *)
+      if String.lowercase_ascii m = "prepare" then
+        match argv with
+        | fmt :: rest ->
+            V.Str
+              (Builtins.sprintf_php (V.to_string fmt)
+                 (List.map (fun v -> V.Str (Builtins.escape_quotes (V.to_string v))) rest))
+        | [] -> V.Null
+      else V.Null
+  | Ast.F_method (_, Ast.Mem_expr _) -> V.Null
+  | Ast.F_static (_, m) -> call_function st sc loc (String.lowercase_ascii m) argv
+
+and call_function st _sc loc (name : string) (argv : V.t list) : V.t =
+  st.cfg.on_event { ev_name = name; ev_args = argv; ev_loc = loc };
+  match Hashtbl.find_opt st.functions name with
+  | Some f -> call_user st f argv
+  | None -> (
+      match Builtins.call name argv with
+      | Some v -> v
+      | None -> (
+          (* a few builtins need the scope *)
+          match name with
+          | "compact" | "extract" -> V.Null
+          | _ -> V.Null))
+
+and call_user st (f : Ast.func) (argv : V.t list) : V.t =
+  if st.depth > 48 then V.Null
+  else begin
+    st.depth <- st.depth + 1;
+    let sc : scope = Hashtbl.create 16 in
+    List.iteri
+      (fun i (p : Ast.param) ->
+        let v =
+          match List.nth_opt argv i with
+          | Some v -> v
+          | None -> (
+              match p.Ast.p_default with
+              | Some d -> eval st sc d
+              | None -> V.Null)
+        in
+        Hashtbl.replace sc p.Ast.p_name v)
+      f.Ast.f_params;
+    let result =
+      try
+        exec_stmts st sc f.Ast.f_body;
+        V.Null
+      with Return_v v -> v
+    in
+    st.depth <- st.depth - 1;
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
+
+and exec_stmts st sc stmts = List.iter (exec_stmt st sc) stmts
+
+and exec_stmt st sc (s : Ast.stmt) : unit =
+  tick st;
+  match s.Ast.s with
+  | Ast.Expr_stmt e -> ignore (eval st sc e)
+  | Ast.Echo es ->
+      List.iter
+        (fun e ->
+          let v = eval st sc e in
+          st.cfg.on_event { ev_name = "echo"; ev_args = [ v ]; ev_loc = s.Ast.sloc })
+        es
+  | Ast.If (branches, els) -> (
+      let rec go = function
+        | (cond, body) :: rest ->
+            if V.to_bool (eval st sc cond) then exec_stmts st sc body else go rest
+        | [] -> ( match els with Some body -> exec_stmts st sc body | None -> ())
+      in
+      go branches)
+  | Ast.While (cond, body) ->
+      let iter = ref 0 in
+      (try
+         while V.to_bool (eval st sc cond) && !iter < 10_000 do
+           incr iter;
+           try exec_stmts st sc body with Continue_n n when n <= 1 -> ()
+         done
+       with Break_n n when n <= 1 -> ())
+  | Ast.Do_while (body, cond) ->
+      let iter = ref 0 in
+      (try
+         let continue = ref true in
+         while !continue && !iter < 10_000 do
+           incr iter;
+           (try exec_stmts st sc body with Continue_n n when n <= 1 -> ());
+           continue := V.to_bool (eval st sc cond)
+         done
+       with Break_n n when n <= 1 -> ())
+  | Ast.For (init, conds, steps, body) ->
+      List.iter (fun e -> ignore (eval st sc e)) init;
+      let check () =
+        match conds with
+        | [] -> true
+        | _ -> V.to_bool (eval st sc (List.nth conds (List.length conds - 1)))
+      in
+      let iter = ref 0 in
+      (try
+         while check () && !iter < 10_000 do
+           incr iter;
+           (try exec_stmts st sc body with Continue_n n when n <= 1 -> ());
+           List.iter (fun e -> ignore (eval st sc e)) steps
+         done
+       with Break_n n when n <= 1 -> ())
+  | Ast.Foreach (subject, binding, body) -> (
+      let subj = eval st sc subject in
+      match subj with
+      | V.Arr pairs -> (
+          try
+            List.iter
+              (fun (k, v) ->
+                tick st;
+                (match binding.Ast.fe_key with
+                | Some ke -> assign st sc ke k
+                | None -> ());
+                assign st sc binding.Ast.fe_value v;
+                try exec_stmts st sc body with Continue_n n when n <= 1 -> ())
+              pairs
+          with Break_n n when n <= 1 -> ())
+      | _ -> ())
+  | Ast.Switch (subject, cases) -> (
+      let v = eval st sc subject in
+      (* find the matching case, then fall through *)
+      let rec find = function
+        | [] -> []
+        | Ast.Case (e, _) :: _ as all when V.loose_eq v (eval st sc e) -> all
+        | _ :: rest -> find rest
+      in
+      let selected =
+        match find cases with
+        | [] ->
+            (* no case matched: run from default *)
+            let rec from_default = function
+              | Ast.Default _ :: _ as all -> all
+              | _ :: rest -> from_default rest
+              | [] -> []
+            in
+            from_default cases
+        | l -> l
+      in
+      try
+        List.iter
+          (function
+            | Ast.Case (_, body) | Ast.Default body -> exec_stmts st sc body)
+          selected
+      with Break_n n when n <= 1 -> ())
+  | Ast.Break n -> raise (Break_n (Option.value ~default:1 n))
+  | Ast.Continue n -> raise (Continue_n (Option.value ~default:1 n))
+  | Ast.Return e ->
+      let v = match e with Some e -> eval st sc e | None -> V.Null in
+      raise (Return_v v)
+  | Ast.Global names ->
+      List.iter
+        (fun name ->
+          Hashtbl.replace sc name (get_var st.globals name))
+        names
+  | Ast.Static_vars vars ->
+      List.iter
+        (fun (name, init) ->
+          if not (Hashtbl.mem sc name) then
+            Hashtbl.replace sc name
+              (match init with Some e -> eval st sc e | None -> V.Null))
+        vars
+  | Ast.Unset es ->
+      List.iter
+        (fun e -> match e.Ast.e with Ast.Var v -> Hashtbl.remove sc v | _ -> ())
+        es
+  | Ast.Throw e -> raise (Php_exception (eval st sc e))
+  | Ast.Try (body, catches, fin) ->
+      (try exec_stmts st sc body
+       with Php_exception v -> (
+         match catches with
+         | c :: _ ->
+             (match c.Ast.c_var with
+             | Some var -> Hashtbl.replace sc var v
+             | None -> ());
+             exec_stmts st sc c.Ast.c_body
+         | [] -> ()));
+      (match fin with Some body -> exec_stmts st sc body | None -> ())
+  | Ast.Func_def _ | Ast.Class_def _ | Ast.Inline_html _ | Ast.Nop | Ast.Const_def _ -> ()
+  | Ast.Block body -> exec_stmts st sc body
+
+(* ------------------------------------------------------------------ *)
+
+(** Collect the callable functions of a program (including methods,
+    registered under their bare name). *)
+let collect_functions (prog : Ast.program) : (string, Ast.func) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Ast.func) ->
+      let key = String.lowercase_ascii f.Ast.f_name in
+      if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key f)
+    (Visitor.collect_functions prog);
+  tbl
+
+(** Execute a program under [config].  Termination is guaranteed by the
+    step bound; the result tells how the run ended.
+
+    [start_line] skips top-level statements that begin before the given
+    line (function definitions are still collected from the whole
+    program) — used by the confirmation replays so an unrelated earlier
+    flow's [die()] cannot mask the flow under test. *)
+type outcome = Completed | Exited | Timed_out | Uncaught of string
+
+let run ?(start_line = 0) (cfg : config) (prog : Ast.program) : outcome =
+  let st =
+    {
+      cfg;
+      globals = Hashtbl.create 32;
+      functions = collect_functions prog;
+      steps = 0;
+      depth = 0;
+    }
+  in
+  let body =
+    (* run from the top-level statement containing [start_line]: the last
+       statement starting at or before it *)
+    let anchor =
+      List.fold_left
+        (fun acc (s : Ast.stmt) ->
+          let l = s.Ast.sloc.Loc.line in
+          if l <= start_line && l > acc then l else acc)
+        0 prog
+    in
+    List.filter (fun (s : Ast.stmt) -> s.Ast.sloc.Loc.line >= anchor) prog
+  in
+  try
+    exec_stmts st st.globals body;
+    Completed
+  with
+  | Exit_script -> Exited
+  | Timeout -> Timed_out
+  | Php_exception v -> Uncaught (V.to_string v)
+  | Return_v _ | Break_n _ | Continue_n _ -> Completed

@@ -1,0 +1,44 @@
+(** A bounded evaluator for the PHP subset: executes a program with
+    attacker-chosen superglobal inputs and reports every sink-relevant
+    event (calls, echos, includes, backticks) to a callback.
+
+    This is not a general PHP runtime — objects are opaque, I/O does
+    nothing, and execution is step-bounded — but it is faithful on the
+    string/array/control-flow fragment that decides whether an attack
+    payload survives validation and sanitization on its way to a sink. *)
+
+open Wap_php
+
+(** A sink-relevant runtime event. *)
+type event = {
+  ev_name : string;
+      (** function name (lowercase), ["obj->method"], ["echo"],
+          ["include"], ["exit"], or ["shell_exec"] for backticks *)
+  ev_args : Value.t list;
+  ev_loc : Loc.t;
+}
+
+type config = {
+  input : superglobal:string -> key:string -> Value.t;
+      (** value of [$_SG['key']] *)
+  input_array : superglobal:string -> (Value.t * Value.t) list;
+      (** the whole array, for [foreach ($_GET as ...)] *)
+  on_event : event -> unit;
+  max_steps : int;
+}
+
+(** How a run ended. *)
+type outcome = Completed | Exited | Timed_out | Uncaught of string
+
+(** Execute a program under [config].  Termination is guaranteed by the
+    step bound (and per-loop iteration caps).
+
+    [start_line] skips top-level statements that begin before the given
+    line — function definitions are still collected from the whole
+    program — so a confirmation replay can start at the flow under
+    test. *)
+val run : ?start_line:int -> config -> Ast.program -> outcome
+
+(** All callable functions of a program (including methods, registered
+    under their bare lowercase name). *)
+val collect_functions : Ast.program -> (string, Ast.func) Hashtbl.t

@@ -1,0 +1,322 @@
+(** A small backtracking regex engine covering the PCRE subset that
+    appears in real validation code: literals, [.], escapes ([\d \w \s]
+    and friends), character classes with ranges and negation, greedy
+    quantifiers ([* + ? {m} {m,} {m,n}]), groups, alternation, anchors
+    and the [i] flag.
+
+    Used by the dynamic confirmation engine to give [preg_match],
+    [preg_replace] and [preg_split] real semantics when replaying
+    candidate flows with attack payloads. *)
+
+type node =
+  | Lit of char
+  | Any  (** [.] — everything but newline *)
+  | Cls of (char * char) list * bool  (** ranges, negated? *)
+  | Seq of node list
+  | Alt of node list
+  | Rep of node * int * int option  (** greedy {min, max} *)
+  | Bol  (** [^] *)
+  | Eol  (** [$] *)
+
+type t = {
+  node : node;
+  ci : bool;  (** case-insensitive ([i] flag) *)
+}
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+
+let class_of_escape = function
+  | 'd' -> Some ([ ('0', '9') ], false)
+  | 'D' -> Some ([ ('0', '9') ], true)
+  | 'w' -> Some ([ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ], false)
+  | 'W' -> Some ([ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ], true)
+  | 's' -> Some ([ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r'); ('\011', '\012') ], false)
+  | 'S' -> Some ([ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r'); ('\011', '\012') ], true)
+  | _ -> None
+
+let escaped_literal = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | 'f' -> '\012'
+  | 'v' -> '\011'
+  | '0' -> '\000'
+  | c -> c
+
+(* parse the body (no delimiters) *)
+let parse_body (src : string) : node =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> raise (Unsupported (Printf.sprintf "expected %c in regex" c))
+  in
+  let parse_int () =
+    let start = !pos in
+    while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+      advance ()
+    done;
+    if !pos = start then None else Some (int_of_string (String.sub src start (!pos - start)))
+  in
+  let parse_class () =
+    (* [ already consumed *)
+    let neg =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec loop () =
+      match peek () with
+      | None -> raise (Unsupported "unterminated character class")
+      | Some ']' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              advance ();
+              (match class_of_escape c with
+              | Some (rs, false) -> ranges := rs @ !ranges
+              | Some (_, true) -> raise (Unsupported "negated escape inside class")
+              | None ->
+                  let c = escaped_literal c in
+                  ranges := (c, c) :: !ranges)
+          | None -> raise (Unsupported "dangling backslash in class"));
+          loop ()
+      | Some c ->
+          advance ();
+          if peek () = Some '-' && !pos + 1 < n && src.[!pos + 1] <> ']' then begin
+            advance ();
+            match peek () with
+            | Some hi ->
+                advance ();
+                ranges := (c, hi) :: !ranges;
+                loop ()
+            | None -> raise (Unsupported "unterminated range")
+          end
+          else begin
+            ranges := (c, c) :: !ranges;
+            loop ()
+          end
+    in
+    loop ();
+    Cls (List.rev !ranges, neg)
+  in
+  let rec parse_alt () =
+    let first = parse_seq () in
+    let rec more acc =
+      match peek () with
+      | Some '|' ->
+          advance ();
+          more (parse_seq () :: acc)
+      | _ -> List.rev acc
+    in
+    match more [ first ] with [ single ] -> single | alts -> Alt alts
+  and parse_seq () =
+    let items = ref [] in
+    let rec loop () =
+      match peek () with
+      | None | Some '|' | Some ')' -> ()
+      | Some _ ->
+          items := parse_postfix () :: !items;
+          loop ()
+    in
+    loop ();
+    match List.rev !items with [ single ] -> single | l -> Seq l
+  and parse_postfix () =
+    let atom = parse_atom () in
+    match peek () with
+    | Some '*' ->
+        advance ();
+        Rep (atom, 0, None)
+    | Some '+' ->
+        advance ();
+        Rep (atom, 1, None)
+    | Some '?' ->
+        advance ();
+        Rep (atom, 0, Some 1)
+    | Some '{' ->
+        advance ();
+        let lo = match parse_int () with Some l -> l | None -> 0 in
+        let hi =
+          match peek () with
+          | Some ',' ->
+              advance ();
+              parse_int ()
+          | _ -> Some lo
+        in
+        expect '}';
+        Rep (atom, lo, hi)
+    | _ -> atom
+  and parse_atom () =
+    match peek () with
+    | None -> raise (Unsupported "empty atom")
+    | Some '(' ->
+        advance ();
+        (* tolerate the non-capturing marker *)
+        if !pos + 1 < n && src.[!pos] = '?' && src.[!pos + 1] = ':' then pos := !pos + 2;
+        let inner = parse_alt () in
+        expect ')';
+        inner
+    | Some '[' ->
+        advance ();
+        parse_class ()
+    | Some '.' ->
+        advance ();
+        Any
+    | Some '^' ->
+        advance ();
+        Bol
+    | Some '$' ->
+        advance ();
+        Eol
+    | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+            advance ();
+            (match class_of_escape c with
+            | Some (ranges, neg) -> Cls (ranges, neg)
+            | None -> Lit (escaped_literal c))
+        | None -> raise (Unsupported "dangling backslash"))
+    | Some ('*' | '+' | '?') -> raise (Unsupported "quantifier without atom")
+    | Some c ->
+        advance ();
+        Lit c
+  in
+  let node = parse_alt () in
+  if !pos <> n then raise (Unsupported "trailing regex syntax");
+  node
+
+(** Compile a full PCRE-style pattern with delimiters and flags, e.g.
+    ["/^[a-z]+$/i"].  Returns [None] when the pattern uses features
+    outside the supported subset. *)
+let compile (pattern : string) : t option =
+  try
+    if String.length pattern < 2 then None
+    else begin
+      let delim = pattern.[0] in
+      let close =
+        match delim with '(' -> ')' | '{' -> '}' | '[' -> ']' | '<' -> '>' | c -> c
+      in
+      match String.rindex_opt pattern close with
+      | None | Some 0 -> None
+      | Some last ->
+          let body = String.sub pattern 1 (last - 1) in
+          let flags = String.sub pattern (last + 1) (String.length pattern - last - 1) in
+          let ci = String.contains flags 'i' in
+          Some { node = parse_body body; ci }
+    end
+  with Unsupported _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Matching.                                                           *)
+
+let canon ci c = if ci then Char.lowercase_ascii c else c
+
+let in_class ci ranges neg c =
+  let c = canon ci c in
+  let hit =
+    List.exists
+      (fun (lo, hi) ->
+        let lo = canon ci lo and hi = canon ci hi in
+        c >= lo && c <= hi)
+      ranges
+  in
+  if neg then not hit else hit
+
+(* continuation-passing backtracking matcher; [k] receives the end
+   position *)
+let rec mnode re (s : string) (node : node) (i : int) (k : int -> bool) : bool =
+  let len = String.length s in
+  match node with
+  | Lit c -> i < len && canon re.ci s.[i] = canon re.ci c && k (i + 1)
+  | Any -> i < len && s.[i] <> '\n' && k (i + 1)
+  | Cls (ranges, neg) -> i < len && in_class re.ci ranges neg s.[i] && k (i + 1)
+  | Bol -> (i = 0 || s.[i - 1] = '\n') && k i
+  | Eol -> (i = len || s.[i] = '\n') && k i
+  | Seq items ->
+      let rec go items i =
+        match items with
+        | [] -> k i
+        | first :: rest -> mnode re s first i (fun j -> go rest j)
+      in
+      go items i
+  | Alt alts -> List.exists (fun a -> mnode re s a i k) alts
+  | Rep (inner, lo, hi) ->
+      (* greedy: consume as many as possible, backtrack down to [lo] *)
+      let rec consume count i =
+        let can_more = match hi with None -> true | Some h -> count < h in
+        (if can_more then
+           mnode re s inner i (fun j -> j > i && consume (count + 1) j)
+         else false)
+        || (count >= lo && k i)
+      in
+      consume 0 i
+
+(** Leftmost match: [Some (start, stop)] of the first match at or after
+    position 0, greedy within. *)
+let find (re : t) (s : string) : (int * int) option =
+  let len = String.length s in
+  let result = ref None in
+  let rec try_at i =
+    if i > len then None
+    else if
+      mnode re s re.node i (fun j ->
+          result := Some (i, j);
+          true)
+    then !result
+    else try_at (i + 1)
+  in
+  try_at 0
+
+(** [preg_match] semantics: does the pattern match anywhere? *)
+let matches (re : t) (s : string) : bool = find re s <> None
+
+(** [preg_replace] semantics: replace every match (no backreferences in
+    the template).  Empty matches advance by one to guarantee
+    termination. *)
+let replace (re : t) ~(template : string) (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let len = String.length s in
+  let rec go pos =
+    if pos > len then ()
+    else
+      let rest = String.sub s pos (len - pos) in
+      match find re rest with
+      | None -> Buffer.add_string buf rest
+      | Some (mstart, mstop) ->
+          Buffer.add_string buf (String.sub rest 0 mstart);
+          Buffer.add_string buf template;
+          let advance = if mstop = mstart then mstart + 1 else mstop in
+          if mstop = mstart && pos + mstart < len then
+            Buffer.add_char buf s.[pos + mstart];
+          go (pos + advance)
+  in
+  go 0;
+  Buffer.contents buf
+
+(** [preg_split] semantics (no limit, no flags). *)
+let split (re : t) (s : string) : string list =
+  let len = String.length s in
+  let out = ref [] in
+  let rec go pos =
+    if pos > len then ()
+    else
+      let rest = String.sub s pos (len - pos) in
+      match find re rest with
+      | None | Some (_, 0) -> out := rest :: !out
+      | Some (mstart, mstop) ->
+          out := String.sub rest 0 mstart :: !out;
+          go (pos + mstop)
+  in
+  go 0;
+  List.rev !out

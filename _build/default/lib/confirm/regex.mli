@@ -1,0 +1,28 @@
+(** A small backtracking regex engine covering the PCRE subset that
+    appears in real validation code: literals, [.], escapes ([\d \w \s]
+    and friends), character classes with ranges and negation, greedy
+    quantifiers ([* + ? {m} {m,} {m,n}]), groups, alternation, anchors
+    and the [i] flag.
+
+    Used by the dynamic confirmation engine to give [preg_match],
+    [preg_replace] and [preg_split] real semantics when replaying
+    candidate flows with attack payloads. *)
+
+type t
+
+(** Compile a full PCRE-style pattern with delimiters and flags, e.g.
+    ["/^[a-z]+$/i"].  [None] when the pattern uses unsupported
+    features. *)
+val compile : string -> t option
+
+(** Leftmost match as [(start, stop)] byte offsets, greedy within. *)
+val find : t -> string -> (int * int) option
+
+(** [preg_match] semantics: does the pattern match anywhere? *)
+val matches : t -> string -> bool
+
+(** [preg_replace] semantics: replace every match (no backreferences). *)
+val replace : t -> template:string -> string -> string
+
+(** [preg_split] semantics (no limit, no flags). *)
+val split : t -> string -> string list

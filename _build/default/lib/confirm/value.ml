@@ -1,0 +1,108 @@
+(** Runtime values of the bounded PHP evaluator, with PHP's loose
+    coercion rules (the subset the corpus and fixes exercise). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of (t * t) list  (** insertion-ordered key/value pairs *)
+[@@deriving show, eq]
+
+let to_string = function
+  | Null -> ""
+  | Bool true -> "1"
+  | Bool false -> ""
+  | Int n -> string_of_int n
+  | Float f ->
+      let s = Printf.sprintf "%.10g" f in
+      s
+  | Str s -> s
+  | Arr _ -> "Array"
+
+let to_bool = function
+  | Null -> false
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Float f -> f <> 0.0
+  | Str s -> s <> "" && s <> "0"
+  | Arr l -> l <> []
+
+let is_numeric_string s =
+  let s = String.trim s in
+  s <> ""
+  &&
+  match float_of_string_opt s with
+  | Some _ -> true
+  | None -> false
+
+let to_float = function
+  | Null -> 0.0
+  | Bool b -> if b then 1.0 else 0.0
+  | Int n -> float_of_int n
+  | Float f -> f
+  | Str s -> (
+      (* PHP takes the numeric prefix *)
+      let rec prefix i =
+        if i < String.length s
+           && (match s.[i] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+        then prefix (i + 1)
+        else i
+      in
+      match float_of_string_opt (String.sub s 0 (prefix 0)) with
+      | Some f -> f
+      | None -> 0.0)
+  | Arr _ -> 1.0
+
+let to_int v = int_of_float (to_float v)
+
+(** PHP loose equality ([==]) for the scalar subset. *)
+let rec loose_eq a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Arr x, Arr y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> loose_eq k1 k2 && loose_eq v1 v2) x y
+  | Str x, Str y ->
+      if is_numeric_string x && is_numeric_string y then to_float a = to_float b
+      else String.equal x y
+  | (Int _ | Float _), Str s when not (is_numeric_string s) -> (
+      (* PHP 8 semantics: number == non-numeric-string compares as strings *)
+      String.equal (to_string a) s)
+  | Str s, (Int _ | Float _) when not (is_numeric_string s) ->
+      String.equal s (to_string b)
+  | Null, x | x, Null -> not (to_bool x)
+  | Bool _, _ | _, Bool _ -> to_bool a = to_bool b
+  | _ -> to_float a = to_float b
+
+(** Strict equality ([===]). *)
+let strict_eq a b = equal a b
+
+(* --- array helpers --- *)
+
+let arr_get (pairs : (t * t) list) key =
+  let rec go = function
+    | [] -> Null
+    | (k, v) :: rest -> if loose_eq k key then v else go rest
+  in
+  go pairs
+
+let arr_set (pairs : (t * t) list) key v =
+  let rec go = function
+    | [] -> [ (key, v) ]
+    | (k, old) :: rest ->
+        if loose_eq k key then (k, v) :: rest else (k, old) :: go rest
+  in
+  go pairs
+
+let arr_push (pairs : (t * t) list) v =
+  let next =
+    List.fold_left
+      (fun acc (k, _) -> match k with Int n when n >= acc -> n + 1 | _ -> acc)
+      0 pairs
+  in
+  pairs @ [ (Int next, v) ]
+
+let arr_has (pairs : (t * t) list) key =
+  List.exists (fun (k, _) -> loose_eq k key) pairs

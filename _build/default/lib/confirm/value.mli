@@ -1,0 +1,35 @@
+(** Runtime values of the bounded PHP evaluator, with PHP's loose
+    coercion rules (the subset the corpus and fixes exercise). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of (t * t) list  (** insertion-ordered key/value pairs *)
+[@@deriving show, eq]
+
+val to_string : t -> string
+val to_bool : t -> bool
+val to_float : t -> float
+val to_int : t -> int
+
+(** Is the string numeric in PHP's sense ([is_numeric])? *)
+val is_numeric_string : string -> bool
+
+(** PHP loose equality ([==]) for the scalar subset. *)
+val loose_eq : t -> t -> bool
+
+(** Strict equality ([===]). *)
+val strict_eq : t -> t -> bool
+
+(** {1 Array helpers} *)
+
+val arr_get : (t * t) list -> t -> t
+val arr_set : (t * t) list -> t -> t -> (t * t) list
+
+(** Append with the next free integer key ([$a[] = v]). *)
+val arr_push : (t * t) list -> t -> (t * t) list
+
+val arr_has : (t * t) list -> t -> bool

@@ -1,0 +1,1 @@
+lib/core/aggregate.pp.ml: Hashtbl List Option String Tool Wap_catalog Wap_corpus Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/core/aggregate.pp.mli: Tool Wap_corpus Wap_taint

@@ -1,0 +1,1 @@
+lib/core/experiments.pp.ml: Aggregate List Printf String Tool Training Version Wap_catalog Wap_confirm Wap_corpus Wap_mining Wap_php Wap_report Wap_taint Wap_weapon

@@ -1,0 +1,1 @@
+lib/core/experiments.pp.mli: Aggregate Tool Wap_corpus Wap_mining

@@ -1,0 +1,1 @@
+lib/core/export.pp.ml: Hashtbl Lazy List Option Printf Tool Wap_catalog Wap_confirm Wap_corpus Wap_php Wap_report Wap_taint

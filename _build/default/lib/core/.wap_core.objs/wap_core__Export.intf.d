@@ -1,0 +1,1 @@
+lib/core/export.pp.mli: Tool Wap_confirm Wap_php Wap_report Wap_taint

@@ -1,0 +1,1 @@
+lib/core/tool.pp.ml: Hashtbl List Printf Sys Training Version Wap_catalog Wap_corpus Wap_fixer Wap_mining Wap_php Wap_taint Wap_weapon

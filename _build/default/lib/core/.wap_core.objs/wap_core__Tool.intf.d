@@ -1,0 +1,1 @@
+lib/core/tool.pp.mli: Version Wap_catalog Wap_corpus Wap_fixer Wap_mining Wap_php Wap_taint Wap_weapon

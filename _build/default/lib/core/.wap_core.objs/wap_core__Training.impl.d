@@ -1,0 +1,1 @@
+lib/core/training.pp.ml: List Version Wap_catalog Wap_corpus Wap_mining Wap_php Wap_taint

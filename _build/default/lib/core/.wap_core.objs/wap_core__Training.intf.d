@@ -1,0 +1,1 @@
+lib/core/training.pp.mli: Version Wap_catalog Wap_corpus Wap_mining Wap_taint

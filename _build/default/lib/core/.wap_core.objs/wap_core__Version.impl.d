@@ -1,0 +1,1 @@
+lib/core/version.pp.ml: Ppx_deriving_runtime Wap_catalog Wap_mining

@@ -1,0 +1,1 @@
+lib/core/version.pp.mli: Ppx_deriving_runtime Wap_catalog Wap_mining

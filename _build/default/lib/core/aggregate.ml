@@ -1,0 +1,109 @@
+(** Scoring pipeline results against corpus ground truth, and
+    aggregating them into the shapes of the paper's tables. *)
+
+module VC = Wap_catalog.Vuln_class
+module App = Wap_corpus.Appgen
+
+(** Ground-truth lookup for one candidate: the seeded snippet whose line
+    range contains the candidate's sink. *)
+let truth_of_candidate (pkg : App.package) (c : Wap_taint.Trace.candidate) :
+    App.seeded option =
+  let line = c.Wap_taint.Trace.sink_loc.Wap_php.Loc.line in
+  List.find_opt
+    (fun (s : App.seeded) ->
+      String.equal s.App.sd_file c.Wap_taint.Trace.file
+      && line >= s.App.sd_line_lo && line <= s.App.sd_line_hi)
+    pkg.App.pkg_seeded
+
+let is_fp_label = function
+  | Wap_corpus.Snippet.Fp_easy | Wap_corpus.Snippet.Fp_hard -> true
+  | Wap_corpus.Snippet.Real | Wap_corpus.Snippet.Sanitized -> false
+
+(** Per-package score: the FPP/FP bookkeeping of Tables VI and VII. *)
+type score = {
+  real_reported : int;  (** real vulnerabilities correctly reported *)
+  real_missed : int;  (** real vulnerabilities dismissed as FP (bad!) *)
+  real_undetected : int;  (** seeded real flows the detector never flagged *)
+  fpp : int;  (** false positives correctly predicted (FPP column) *)
+  fp : int;  (** false positives reported as vulnerabilities (FP column) *)
+  unmatched : int;  (** candidates with no ground-truth entry (should be 0) *)
+  by_group : (string * int) list;  (** reported real vulns per report group *)
+  vuln_files : int;  (** files with at least one reported real vuln *)
+}
+
+let score_package (r : Tool.package_result) : score =
+  let pkg = r.Tool.package in
+  let real_reported = ref 0
+  and real_missed = ref 0
+  and fpp = ref 0
+  and fp = ref 0
+  and unmatched = ref 0 in
+  let by_group : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let vuln_files : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Tool.finding) ->
+      match truth_of_candidate pkg f.Tool.candidate with
+      | None -> incr unmatched
+      | Some seeded ->
+          let truly_fp = is_fp_label seeded.App.sd_label in
+          if truly_fp then if f.Tool.predicted_fp then incr fpp else incr fp
+          else if f.Tool.predicted_fp then incr real_missed
+          else begin
+            incr real_reported;
+            let grp = VC.report_group seeded.App.sd_class in
+            Hashtbl.replace by_group grp
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_group grp));
+            Hashtbl.replace vuln_files f.Tool.candidate.Wap_taint.Trace.file ()
+          end)
+    r.Tool.findings;
+  let seeded_real =
+    List.length
+      (List.filter
+         (fun s -> Wap_corpus.Snippet.equal_label s.App.sd_label Wap_corpus.Snippet.Real)
+         pkg.App.pkg_seeded)
+  in
+  let detected_real = !real_reported + !real_missed in
+  {
+    real_reported = !real_reported;
+    real_missed = !real_missed;
+    real_undetected = max 0 (seeded_real - detected_real);
+    fpp = !fpp;
+    fp = !fp;
+    unmatched = !unmatched;
+    by_group =
+      Hashtbl.fold (fun g n acc -> (g, n) :: acc) by_group []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    vuln_files = Hashtbl.length vuln_files;
+  }
+
+let group_count score g = Option.value ~default:0 (List.assoc_opt g score.by_group)
+
+(** The report-group columns of Table VI (web applications). *)
+let webapp_groups = [ "SQLI"; "XSS"; "Files"; "SCD"; "LDAPI"; "SF"; "HI"; "CS" ]
+
+(** The report-group columns of Table VII (plugins). *)
+let plugin_groups = [ "SQLI"; "XSS"; "Files"; "SCD"; "CS"; "HI" ]
+
+let sum_scores (scores : score list) : score =
+  List.fold_left
+    (fun acc s ->
+      {
+        real_reported = acc.real_reported + s.real_reported;
+        real_missed = acc.real_missed + s.real_missed;
+        real_undetected = acc.real_undetected + s.real_undetected;
+        fpp = acc.fpp + s.fpp;
+        fp = acc.fp + s.fp;
+        unmatched = acc.unmatched + s.unmatched;
+        by_group =
+          List.fold_left
+            (fun bg (g, n) ->
+              let cur = Option.value ~default:0 (List.assoc_opt g bg) in
+              (g, cur + n) :: List.remove_assoc g bg)
+            acc.by_group s.by_group;
+        vuln_files = acc.vuln_files + s.vuln_files;
+      })
+    {
+      real_reported = 0; real_missed = 0; real_undetected = 0; fpp = 0; fp = 0;
+      unmatched = 0; by_group = []; vuln_files = 0;
+    }
+    scores

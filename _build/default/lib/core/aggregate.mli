@@ -1,0 +1,35 @@
+(** Scoring pipeline results against corpus ground truth, and
+    aggregating them into the shapes of the paper's tables. *)
+
+(** The seeded snippet whose line range contains the candidate's sink,
+    if any. *)
+val truth_of_candidate :
+  Wap_corpus.Appgen.package ->
+  Wap_taint.Trace.candidate ->
+  Wap_corpus.Appgen.seeded option
+
+val is_fp_label : Wap_corpus.Snippet.label -> bool
+
+(** Per-package score: the FPP/FP bookkeeping of Tables VI and VII. *)
+type score = {
+  real_reported : int;  (** real vulnerabilities correctly reported *)
+  real_missed : int;  (** real vulnerabilities dismissed as FP (bad!) *)
+  real_undetected : int;  (** seeded real flows the detector never flagged *)
+  fpp : int;  (** false positives correctly predicted (FPP column) *)
+  fp : int;  (** false positives reported as vulnerabilities (FP column) *)
+  unmatched : int;  (** candidates with no ground-truth entry (should be 0) *)
+  by_group : (string * int) list;  (** reported real vulns per report group *)
+  vuln_files : int;  (** files with at least one reported real vuln *)
+}
+
+val score_package : Tool.package_result -> score
+val group_count : score -> string -> int
+
+(** The report-group columns of Table VI (web applications). *)
+val webapp_groups : string list
+
+(** The report-group columns of Table VII (plugins). *)
+val plugin_groups : string list
+
+(** Pointwise sum of scores (group counts merged). *)
+val sum_scores : score list -> score

@@ -1,0 +1,24 @@
+(** Machine-readable export of analysis results (JSON), for integration
+    with editors, CI pipelines and issue trackers. *)
+
+val loc_to_json : Wap_php.Loc.t -> Wap_report.Json.t
+val origin_to_json : Wap_taint.Trace.origin -> Wap_report.Json.t
+
+(** One finding; [verdict] attaches a dynamic-confirmation result. *)
+val finding_to_json :
+  ?verdict:Wap_confirm.Confirm.verdict -> Tool.finding -> Wap_report.Json.t
+
+(** The whole result of one analyzed package/file as a JSON document.
+    [confirm] additionally replays each finding with an attack payload
+    and attaches the verdict. *)
+val result_to_json : ?confirm:bool -> Tool.package_result -> Wap_report.Json.t
+
+val result_to_string : ?confirm:bool -> Tool.package_result -> string
+
+(** One finding as an HTML report row. *)
+val html_row :
+  ?verdict:Wap_confirm.Confirm.verdict -> Tool.finding -> Wap_report.Html.row
+
+(** The whole result as a standalone HTML report; [confirm] attaches
+    dynamic-confirmation verdicts. *)
+val result_to_html : ?confirm:bool -> Tool.package_result -> string

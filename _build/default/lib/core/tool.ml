@@ -1,0 +1,193 @@
+(** The WAP tool pipeline (Fig. 1): code analyzer -> false positive
+    predictor -> code corrector, assembled for one of the two tool
+    versions, optionally equipped with weapons. *)
+
+module VC = Wap_catalog.Vuln_class
+module Cat = Wap_catalog.Catalog
+
+type t = {
+  version : Version.t;
+  specs : Cat.spec list;  (** active detectors, sub-modules + weapons *)
+  predictor : Wap_mining.Predictor.t;
+  weapons : Wap_weapon.Weapon.t list;
+}
+
+(** Create a tool instance.
+
+    [weapons] adds weapon detectors (and their dynamic symptoms);
+    [extra_sanitizers] registers user sanitization functions for
+    specific classes, the §V-A "escape" extensibility mechanism —
+    [None] as the class applies to every detector. *)
+let create ?(seed = 2016) ?(weapons = []) ?(extra_sanitizers = []) ?dataset
+    (version : Version.t) : t =
+  let base_specs = Cat.specs_for (Version.classes version) in
+  let weapon_specs = List.map (fun w -> w.Wap_weapon.Weapon.spec) weapons in
+  let apply_extra (spec : Cat.spec) =
+    let extras =
+      List.filter_map
+        (fun (cls, fn) ->
+          match cls with
+          | None -> Some (Cat.San_fn fn)
+          | Some c when VC.equal c spec.Cat.vclass -> Some (Cat.San_fn fn)
+          | Some _ -> None)
+        extra_sanitizers
+    in
+    { spec with Cat.sanitizers = spec.Cat.sanitizers @ extras }
+  in
+  let specs = List.map apply_extra (base_specs @ weapon_specs) in
+  let dynamic =
+    List.concat_map (fun w -> w.Wap_weapon.Weapon.dynamic_symptoms) weapons
+  in
+  let config =
+    Wap_mining.Predictor.with_dynamic_symptoms
+      (Version.predictor_config version)
+      dynamic
+  in
+  let dataset =
+    match dataset with
+    | Some d -> d
+    | None -> Training.dataset_for ~seed version
+  in
+  let predictor = Wap_mining.Predictor.train ~seed config dataset in
+  { version; specs; predictor; weapons }
+
+(* ------------------------------------------------------------------ *)
+(* Analysis results.                                                   *)
+
+type finding = {
+  candidate : Wap_taint.Trace.candidate;
+  predicted_fp : bool;
+  symptoms : string list;  (** justification (Fig. 3) *)
+}
+
+type package_result = {
+  package : Wap_corpus.Appgen.package;
+  files_analyzed : int;
+  loc : int;
+  analysis_seconds : float;
+  candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
+  findings : finding list;
+  reported : Wap_taint.Trace.candidate list;  (** predicted real -> reported *)
+  predicted_fps : Wap_taint.Trace.candidate list;
+}
+
+(** De-duplicate candidates found by several detectors for the same sink
+    location and report group (e.g. RFI and LFI both firing on one
+    include). *)
+let dedup_candidates (cands : Wap_taint.Trace.candidate list) :
+    Wap_taint.Trace.candidate list =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      let key = Wap_taint.Trace.dedup_key c in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    cands
+
+exception Parse_failure of string * string (* file, message *)
+
+let parse_package (pkg : Wap_corpus.Appgen.package) :
+    Wap_taint.Analyzer.file_unit list =
+  List.map
+    (fun (f : Wap_corpus.Appgen.file) ->
+      try
+        {
+          Wap_taint.Analyzer.path = f.Wap_corpus.Appgen.f_name;
+          program =
+            Wap_php.Parser.parse_string ~file:f.Wap_corpus.Appgen.f_name
+              f.Wap_corpus.Appgen.f_source;
+        }
+      with
+      | Wap_php.Parser.Error (msg, loc) ->
+          raise (Parse_failure (f.Wap_corpus.Appgen.f_name,
+                                Printf.sprintf "%s at %s" msg (Wap_php.Loc.to_string loc)))
+      | Wap_php.Lexer.Error (msg, loc) ->
+          raise (Parse_failure (f.Wap_corpus.Appgen.f_name,
+                                Printf.sprintf "%s at %s" msg (Wap_php.Loc.to_string loc))))
+    pkg.Wap_corpus.Appgen.pkg_files
+
+(* the pipeline proper, once files are parsed *)
+let analyze_units (t : t) (pkg : Wap_corpus.Appgen.package)
+    (units : Wap_taint.Analyzer.file_unit list) ~(t0 : float) : package_result =
+  let raw = Wap_taint.Analyzer.analyze_with_specs ~specs:t.specs units in
+  let candidates = dedup_candidates raw in
+  let findings =
+    List.map
+      (fun c ->
+        {
+          candidate = c;
+          predicted_fp = Wap_mining.Predictor.is_false_positive t.predictor c;
+          symptoms = Wap_mining.Predictor.justification t.predictor c;
+        })
+      candidates
+  in
+  let predicted_fps, reported =
+    List.partition (fun f -> f.predicted_fp) findings
+  in
+  {
+    package = pkg;
+    files_analyzed = List.length pkg.Wap_corpus.Appgen.pkg_files;
+    loc = Wap_corpus.Appgen.loc_of_package pkg;
+    analysis_seconds = Sys.time () -. t0;
+    candidates;
+    findings;
+    reported = List.map (fun f -> f.candidate) reported;
+    predicted_fps = List.map (fun f -> f.candidate) predicted_fps;
+  }
+
+(** Run the full pipeline over one package. *)
+let analyze_package (t : t) (pkg : Wap_corpus.Appgen.package) : package_result =
+  let t0 = Sys.time () in
+  let units = parse_package pkg in
+  analyze_units t pkg units ~t0
+
+(** Analyze a set of in-memory files as one application, parsing
+    tolerantly: malformed files contribute what parses plus recovered
+    errors instead of aborting the scan. *)
+let analyze_sources (t : t) (files : (string * string) list) :
+    package_result * (string * Wap_php.Parser.recovered_error list) list =
+  let t0 = Sys.time () in
+  let pkg =
+    {
+      Wap_corpus.Appgen.pkg_name =
+        (match files with (n, _) :: _ -> n | [] -> "<empty>");
+      pkg_version = "";
+      pkg_kind = Wap_corpus.Appgen.Webapp;
+      pkg_files =
+        List.map
+          (fun (f_name, f_source) -> { Wap_corpus.Appgen.f_name; f_source })
+          files;
+      pkg_seeded = [];
+    }
+  in
+  let units, errors =
+    List.fold_left
+      (fun (units, errors) (path, src) ->
+        let program, errs = Wap_php.Parser.parse_string_tolerant ~file:path src in
+        ( { Wap_taint.Analyzer.path; program } :: units,
+          if errs = [] then errors else (path, errs) :: errors ))
+      ([], []) files
+  in
+  (analyze_units t pkg (List.rev units) ~t0, List.rev errors)
+
+(** Analyze raw PHP source (used by the CLI and the examples). *)
+let analyze_source (t : t) ~file (src : string) : package_result =
+  let pkg =
+    {
+      Wap_corpus.Appgen.pkg_name = file;
+      pkg_version = "";
+      pkg_kind = Wap_corpus.Appgen.Webapp;
+      pkg_files = [ { Wap_corpus.Appgen.f_name = file; f_source = src } ];
+      pkg_seeded = [];
+    }
+  in
+  analyze_package t pkg
+
+(** Correct the reported vulnerabilities of a single source file,
+    returning the fixed PHP. *)
+let correct_source (t : t) ~file (src : string) : string * Wap_fixer.Corrector.report =
+  let result = analyze_source t ~file src in
+  Wap_fixer.Corrector.correct_source ~file src result.reported

@@ -1,0 +1,79 @@
+(** The WAP tool pipeline (Fig. 1): code analyzer -> false positive
+    predictor -> code corrector, assembled for one of the two tool
+    versions, optionally equipped with weapons. *)
+
+type t = {
+  version : Version.t;
+  specs : Wap_catalog.Catalog.spec list;
+      (** active detectors: sub-modules + weapons *)
+  predictor : Wap_mining.Predictor.t;
+  weapons : Wap_weapon.Weapon.t list;
+}
+
+(** Create a tool instance; trains the false-positive predictor
+    deterministically from the seed.
+
+    [weapons] adds weapon detectors (and their dynamic symptoms);
+    [extra_sanitizers] registers user sanitization functions — the §V-A
+    "escape" extensibility mechanism ([(None, fn)] applies to every
+    detector, [(Some cls, fn)] to one class); [dataset] supplies an
+    external training set (the "trained data sets" input of Fig. 1)
+    instead of generating one. *)
+val create :
+  ?seed:int ->
+  ?weapons:Wap_weapon.Weapon.t list ->
+  ?extra_sanitizers:(Wap_catalog.Vuln_class.t option * string) list ->
+  ?dataset:Wap_mining.Dataset.t ->
+  Version.t ->
+  t
+
+type finding = {
+  candidate : Wap_taint.Trace.candidate;
+  predicted_fp : bool;
+  symptoms : string list;  (** justification (Fig. 3) *)
+}
+
+type package_result = {
+  package : Wap_corpus.Appgen.package;
+  files_analyzed : int;
+  loc : int;
+  analysis_seconds : float;
+  candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
+  findings : finding list;
+  reported : Wap_taint.Trace.candidate list;
+      (** predicted real -> reported to the user *)
+  predicted_fps : Wap_taint.Trace.candidate list;
+}
+
+(** De-duplicate candidates found by several detectors for the same sink
+    location and report group (e.g. RFI and LFI both firing on one
+    include). *)
+val dedup_candidates :
+  Wap_taint.Trace.candidate list -> Wap_taint.Trace.candidate list
+
+(** A corpus file failed to parse: (file, message). *)
+exception Parse_failure of string * string
+
+(** Parse a package's files into analyzer units.
+    @raise Parse_failure on malformed PHP. *)
+val parse_package :
+  Wap_corpus.Appgen.package -> Wap_taint.Analyzer.file_unit list
+
+(** Run the full pipeline over one package. *)
+val analyze_package : t -> Wap_corpus.Appgen.package -> package_result
+
+(** Analyze a set of in-memory [(path, source)] files as one
+    application, parsing tolerantly: malformed files contribute what
+    parses, plus their recovered errors, instead of aborting the scan. *)
+val analyze_sources :
+  t ->
+  (string * string) list ->
+  package_result * (string * Wap_php.Parser.recovered_error list) list
+
+(** Analyze raw PHP source (used by the CLI and the examples). *)
+val analyze_source : t -> file:string -> string -> package_result
+
+(** Correct the reported vulnerabilities of a single source file,
+    returning the fixed PHP. *)
+val correct_source :
+  t -> file:string -> string -> string * Wap_fixer.Corrector.report

@@ -1,0 +1,42 @@
+(** Building the predictor's training data set.
+
+    The paper created its data set by running WAP in
+    candidate-outputting mode over 29 open-source applications and
+    labelling every candidate by hand; here the corpus generator plays
+    the role of those applications, and labels come from the generation
+    ground truth.  The rest of the procedure is the paper's: collect
+    symptoms with the real collector, de-duplicate, drop ambiguous
+    instances, balance the classes. *)
+
+(** Candidate flows of one labelled training program, found by the real
+    detector for the program's class. *)
+val candidates_of_program :
+  Wap_corpus.Corpus.training_program -> Wap_taint.Trace.candidate list
+
+(** Labelled (evidence, is-false-positive) pairs, restricted to
+    [classes]. *)
+val evidence_pairs :
+  ?legacy:bool ->
+  seed:int ->
+  classes:Wap_catalog.Vuln_class.t list ->
+  per_label:int ->
+  unit ->
+  (Wap_mining.Evidence.t * bool) list
+
+(** Build a training data set: [target] instances (balanced, or split
+    as [fp, rv] when [split] is given), de-duplicated, deterministic in
+    [seed].  The [Original] attribute mode automatically restricts the
+    generator to legacy-era snippets. *)
+val build_dataset :
+  ?seed:int ->
+  ?split:int * int ->
+  mode:Wap_mining.Attributes.mode ->
+  classes:Wap_catalog.Vuln_class.t list ->
+  target:int ->
+  unit ->
+  Wap_mining.Dataset.t
+
+(** The data set of a tool version: 256 balanced instances for WAPe;
+    for WAP v2.1 the paper's unbalanced split (32 false positives,
+    44 real vulnerabilities, as available). *)
+val dataset_for : ?seed:int -> Version.t -> Wap_mining.Dataset.t

@@ -1,0 +1,27 @@
+(** The two tool configurations compared in the evaluation:
+
+    - [Wap_v21]: the original tool — 8 vulnerability classes, the
+      16-attribute predictor trained on the small 76-instance set with
+      Logistic Regression, Random Tree and SVM;
+    - [Wape]: the extended tool of the paper — 15 classes, the
+      61-attribute predictor trained on the 256-instance set with SVM,
+      Logistic Regression and Random Forest. *)
+
+module VC = Wap_catalog.Vuln_class
+
+type t = Wap_v21 | Wape [@@deriving show, eq]
+
+let name = function Wap_v21 -> "WAP v2.1" | Wape -> "WAPe"
+
+let classes = function Wap_v21 -> VC.wap_v21 | Wape -> VC.wape
+
+let predictor_config = function
+  | Wap_v21 -> Wap_mining.Predictor.original_config
+  | Wape -> Wap_mining.Predictor.extended_config
+
+let attribute_mode = function
+  | Wap_v21 -> Wap_mining.Attributes.Original
+  | Wape -> Wap_mining.Attributes.Extended
+
+(** Training-set size (number of labelled instances). *)
+let training_instances = function Wap_v21 -> 76 | Wape -> 256

@@ -1,0 +1,18 @@
+(** The two tool configurations compared in the evaluation:
+
+    - [Wap_v21]: the original tool — 8 vulnerability classes (9
+      detectors), the 16-attribute predictor trained on the small
+      76-instance set with Logistic Regression, Random Tree and SVM;
+    - [Wape]: the extended tool of the paper — 15 classes (16
+      detectors), the 61-attribute predictor trained on the 256-instance
+      set with SVM, Logistic Regression and Random Forest. *)
+
+type t = Wap_v21 | Wape [@@deriving show, eq]
+
+val name : t -> string
+val classes : t -> Wap_catalog.Vuln_class.t list
+val predictor_config : t -> Wap_mining.Predictor.config
+val attribute_mode : t -> Wap_mining.Attributes.mode
+
+(** Training-set size the paper reports (76 / 256 instances). *)
+val training_instances : t -> int

@@ -1,0 +1,1 @@
+lib/corpus/appgen.pp.ml: Array Buffer Char List Printf Profiles Random Snippet String Wap_catalog

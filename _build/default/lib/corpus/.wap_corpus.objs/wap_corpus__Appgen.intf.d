@@ -1,0 +1,1 @@
+lib/corpus/appgen.pp.mli: Profiles Snippet Wap_catalog

@@ -1,0 +1,1 @@
+lib/corpus/corpus.pp.ml: Appgen List Profiles Snippet String Wap_catalog

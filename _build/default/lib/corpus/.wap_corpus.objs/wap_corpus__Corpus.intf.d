@@ -1,0 +1,1 @@
+lib/corpus/corpus.pp.mli: Appgen Profiles Wap_catalog

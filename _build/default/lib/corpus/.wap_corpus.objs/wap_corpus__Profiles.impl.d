@@ -1,0 +1,1 @@
+lib/corpus/profiles.pp.ml: List Printf Wap_catalog

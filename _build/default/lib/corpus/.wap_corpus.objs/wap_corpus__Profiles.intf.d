@@ -1,0 +1,1 @@
+lib/corpus/profiles.pp.mli: Wap_catalog

@@ -1,0 +1,1 @@
+lib/corpus/snippet.pp.ml: List Ppx_deriving_runtime Printf Random String Wap_catalog

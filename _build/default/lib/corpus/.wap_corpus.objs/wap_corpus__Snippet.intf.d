@@ -1,0 +1,1 @@
+lib/corpus/snippet.pp.mli: Ppx_deriving_runtime Random Wap_catalog

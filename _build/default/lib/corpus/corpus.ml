@@ -1,0 +1,118 @@
+(** Top-level corpus API: the full evaluation workloads.
+
+    The corpus substitutes for the paper's 54 real web-application
+    packages and 115 WordPress plugins (see DESIGN.md §3): every package
+    is regenerated deterministically from a seed, with ground truth
+    attached. *)
+
+module VC = Wap_catalog.Vuln_class
+
+let default_seed = 2016
+
+(** The 54 web application packages of Section V-A. *)
+let webapps ?(seed = default_seed) () :
+    (Profiles.app_profile * Appgen.package) list =
+  List.map
+    (fun p -> (p, Appgen.of_webapp_profile ~seed p))
+    Profiles.all_webapps
+
+(** Only the 17 packages with seeded vulnerabilities (Table V rows). *)
+let vulnerable_webapps ?(seed = default_seed) () =
+  List.map
+    (fun p -> (p, Appgen.of_webapp_profile ~seed p))
+    Profiles.vulnerable_webapps
+
+(** The 115 WordPress plugins of Section V-B. *)
+let plugins ?(seed = default_seed) () :
+    (Profiles.plugin_profile * Appgen.package) list =
+  List.map
+    (fun p -> (p, Appgen.of_plugin_profile ~seed p))
+    Profiles.all_plugins
+
+let vulnerable_plugins ?(seed = default_seed) () =
+  List.map
+    (fun p -> (p, Appgen.of_plugin_profile ~seed p))
+    Profiles.vulnerable_plugins
+
+(* ------------------------------------------------------------------ *)
+(* Training material for the false-positive predictor.                 *)
+
+type training_program = {
+  tp_source : string;  (** a small PHP program with exactly one candidate flow *)
+  tp_class : VC.t;
+  tp_is_fp : bool;  (** ground-truth label *)
+}
+
+let training_classes =
+  [ VC.Sqli; VC.Xss_reflected; VC.Xss_stored; VC.Dt_pt; VC.Osci; VC.Hi;
+    VC.Ldapi; VC.Nosqli; VC.Wp_sqli; VC.Lfi; VC.Ei ]
+
+(** Candidate programs for building the training data set: [n] labelled
+    single-flow programs per label (real vulnerability / false
+    positive), spread over the vulnerability classes.  A small share of
+    the false positives are "hard" ones, mirroring the noise the paper
+    removed from its data set. *)
+let training_programs ?(seed = default_seed) ?(legacy = false) ~per_label () :
+    training_program list =
+  let g = Snippet.make_gen ~seed:(seed * 31 + 7) in
+  let mk i label =
+    let vclass = List.nth training_classes (i mod List.length training_classes) in
+    let snip = Snippet.generate ~legacy g vclass label in
+    let needs_helper =
+      let rec contains h n j =
+        j + String.length n <= String.length h
+        && (String.sub h j (String.length n) = n || contains h n (j + 1))
+      in
+      contains snip.Snippet.code "escape(" 0
+    in
+    {
+      tp_source =
+        "<?php\n"
+        ^ (if needs_helper then Snippet.escape_helper ^ "\n" else "")
+        ^ snip.Snippet.code ^ "\n";
+      tp_class = vclass;
+      tp_is_fp = (match label with Snippet.Real -> false | _ -> true);
+    }
+  in
+  let reals = List.init per_label (fun i -> mk i Snippet.Real) in
+  let n_hard = per_label / 16 in
+  let fps =
+    List.init (per_label - n_hard) (fun i -> mk i Snippet.Fp_easy)
+    @ List.init n_hard (fun i -> mk i Snippet.Fp_hard)
+  in
+  reals @ fps
+
+(* ------------------------------------------------------------------ *)
+(* Ground-truth summaries, used to validate runs against profiles.     *)
+
+type truth = {
+  t_real : int;
+  t_fp : int;  (** easy + hard false-positive candidates *)
+  t_sanitized : int;
+  t_real_by_group : (string * int) list;
+}
+
+let truth_of_package (p : Appgen.package) : truth =
+  let count label =
+    List.length
+      (List.filter
+         (fun s -> Snippet.equal_label s.Appgen.sd_label label)
+         p.Appgen.pkg_seeded)
+  in
+  let by_group =
+    List.fold_left
+      (fun acc (s : Appgen.seeded) ->
+        if Snippet.equal_label s.Appgen.sd_label Snippet.Real then begin
+          let grp = VC.report_group s.Appgen.sd_class in
+          let cur = try List.assoc grp acc with Not_found -> 0 in
+          (grp, cur + 1) :: List.remove_assoc grp acc
+        end
+        else acc)
+      [] p.Appgen.pkg_seeded
+  in
+  {
+    t_real = count Snippet.Real;
+    t_fp = count Snippet.Fp_easy + count Snippet.Fp_hard;
+    t_sanitized = count Snippet.Sanitized;
+    t_real_by_group = by_group;
+  }

@@ -1,0 +1,53 @@
+(** Top-level corpus API: the full evaluation workloads.
+
+    The corpus substitutes for the paper's 54 real web-application
+    packages and 115 WordPress plugins (see DESIGN.md §3): every package
+    is regenerated deterministically from a seed, with ground truth
+    attached. *)
+
+module VC := Wap_catalog.Vuln_class
+
+val default_seed : int
+
+(** The 54 web application packages of Section V-A. *)
+val webapps :
+  ?seed:int -> unit -> (Profiles.app_profile * Appgen.package) list
+
+(** Only the 17 packages with seeded vulnerabilities (Table V rows). *)
+val vulnerable_webapps :
+  ?seed:int -> unit -> (Profiles.app_profile * Appgen.package) list
+
+(** The 115 WordPress plugins of Section V-B. *)
+val plugins :
+  ?seed:int -> unit -> (Profiles.plugin_profile * Appgen.package) list
+
+val vulnerable_plugins :
+  ?seed:int -> unit -> (Profiles.plugin_profile * Appgen.package) list
+
+(** A small labelled PHP program with exactly one candidate flow, used
+    to build the predictor's training data set. *)
+type training_program = {
+  tp_source : string;
+  tp_class : VC.t;
+  tp_is_fp : bool;  (** ground-truth label *)
+}
+
+(** The classes used to build training material. *)
+val training_classes : VC.t list
+
+(** [per_label] labelled single-flow programs per label (real / false
+    positive), spread over the classes; a small share of the false
+    positives are "hard" ones.  [legacy] restricts the snippets to the
+    original WAP's symptom era. *)
+val training_programs :
+  ?seed:int -> ?legacy:bool -> per_label:int -> unit -> training_program list
+
+(** Ground-truth summary of a generated package. *)
+type truth = {
+  t_real : int;
+  t_fp : int;  (** easy + hard false-positive candidates *)
+  t_sanitized : int;
+  t_real_by_group : (string * int) list;
+}
+
+val truth_of_package : Appgen.package -> truth

@@ -1,0 +1,328 @@
+(** Corpus profiles: the 54 web application packages (Tables V and VI)
+    and the 115 WordPress plugins (Table VII, Fig. 4).
+
+    Per-application class counts are reconstructed from the paper so
+    that every row total and every class-column total of the tables
+    match exactly (413 vulnerabilities over 17 vulnerable packages; 169
+    over 23 vulnerable plugins).  Where the paper's per-cell values are
+    ambiguous in the text, cells were chosen to preserve the row and
+    column sums; EXPERIMENTS.md lists the deviations.
+
+    File counts match the paper; lines of code are scaled down (the
+    generator emits ~30-line files instead of the real apps' ~250-line
+    average) so a full evaluation runs in seconds. *)
+
+module VC = Wap_catalog.Vuln_class
+
+type app_profile = {
+  ap_name : string;
+  ap_version : string;
+  ap_files : int;
+  ap_vuln_files : int;
+  ap_vulns : (VC.t * int) list;  (** real vulnerabilities to seed *)
+  ap_fp_easy : int;  (** classic false positives (should be predicted) *)
+  ap_fp_hard : int;  (** symptom-free false positives (WAPe misses) *)
+}
+
+let total_vulns p = List.fold_left (fun acc (_, n) -> acc + n) 0 p.ap_vulns
+
+(* Split an "XSS" count into reflected and stored (every fifth stored),
+   and a "Files" count across RFI / LFI / DT. *)
+let xss n =
+  let stored = n / 5 in
+  [ (VC.Xss_reflected, n - stored); (VC.Xss_stored, stored) ]
+
+let files n =
+  let rfi = n / 3 and lfi = (n + 1) / 3 in
+  let dt = n - rfi - lfi in
+  [ (VC.Rfi, rfi); (VC.Lfi, lfi); (VC.Dt_pt, dt) ]
+
+let nonzero = List.filter (fun (_, n) -> n > 0)
+
+(** The 17 vulnerable packages of Table V / Table VI. *)
+let vulnerable_webapps : app_profile list =
+  [
+    { ap_name = "Admin Control Panel Lite 2"; ap_version = "0.10.2";
+      ap_files = 14; ap_vuln_files = 9;
+      ap_vulns = nonzero ([ (VC.Sqli, 9) ] @ xss 72);
+      ap_fp_easy = 8; ap_fp_hard = 0 };
+    { ap_name = "Anywhere Board Games"; ap_version = "0.150215";
+      ap_files = 3; ap_vuln_files = 1;
+      ap_vulns = nonzero (xss 1 @ [ (VC.Lfi, 1); (VC.Hi, 1) ]);
+      ap_fp_easy = 0; ap_fp_hard = 0 };
+    { ap_name = "Clip Bucket"; ap_version = "2.7.0.4";
+      ap_files = 597; ap_vuln_files = 16;
+      ap_vulns = nonzero ([ (VC.Sqli, 10) ] @ xss 11 @ [ (VC.Scd, 1) ]);
+      ap_fp_easy = 4; ap_fp_hard = 2 };
+    { ap_name = "Clip Bucket"; ap_version = "2.8";
+      ap_files = 606; ap_vuln_files = 18;
+      ap_vulns = nonzero ([ (VC.Sqli, 14) ] @ xss 11 @ [ (VC.Scd, 1) ]);
+      ap_fp_easy = 4; ap_fp_hard = 2 };
+    { ap_name = "Community Mobile Channels"; ap_version = "0.2.0";
+      ap_files = 372; ap_vuln_files = 116;
+      ap_vulns = nonzero ([ (VC.Sqli, 14) ] @ xss 27 @ files 3 @ [ (VC.Hi, 3) ]);
+      ap_fp_easy = 4; ap_fp_hard = 0 };
+    { ap_name = "divine"; ap_version = "0.1.3a";
+      ap_files = 5; ap_vuln_files = 2;
+      ap_vulns = nonzero ([ (VC.Sqli, 4) ] @ xss 2 @ files 3);
+      ap_fp_easy = 0; ap_fp_hard = 0 };
+    { ap_name = "Ldap address book"; ap_version = "0.22";
+      ap_files = 18; ap_vuln_files = 4;
+      ap_vulns = [ (VC.Ldapi, 1) ];
+      ap_fp_easy = 0; ap_fp_hard = 0 };
+    { ap_name = "Minutes"; ap_version = "0.42";
+      ap_files = 19; ap_vuln_files = 2;
+      ap_vulns = nonzero (xss 9 @ [ (VC.Dt_pt, 1) ]);
+      ap_fp_easy = 0; ap_fp_hard = 0 };
+    { ap_name = "Mle Moodle"; ap_version = "0.8.8.5";
+      ap_files = 235; ap_vuln_files = 4;
+      ap_vulns = nonzero (xss 6 @ [ (VC.Lfi, 1) ]);
+      ap_fp_easy = 2; ap_fp_hard = 1 };
+    { ap_name = "Php Open Chat"; ap_version = "3.0.2";
+      ap_files = 249; ap_vuln_files = 9;
+      ap_vulns = nonzero (xss 10 @ [ (VC.Scd, 1) ]);
+      ap_fp_easy = 0; ap_fp_hard = 0 };
+    { ap_name = "Pivotx"; ap_version = "2.3.10";
+      ap_files = 254; ap_vuln_files = 1;
+      ap_vulns = xss 1 |> nonzero;
+      ap_fp_easy = 9; ap_fp_hard = 0 };
+    { ap_name = "Play sms"; ap_version = "1.3.1";
+      ap_files = 1420; ap_vuln_files = 7;
+      ap_vulns = xss 6 |> nonzero;
+      ap_fp_easy = 2; ap_fp_hard = 0 };
+    { ap_name = "RCR AEsir"; ap_version = "0.11a";
+      ap_files = 8; ap_vuln_files = 6;
+      ap_vulns = nonzero ([ (VC.Sqli, 9) ] @ xss 3 @ [ (VC.Hi, 1) ]);
+      ap_fp_easy = 1; ap_fp_hard = 0 };
+    { ap_name = "refbase"; ap_version = "0.9.6";
+      ap_files = 171; ap_vuln_files = 18;
+      ap_vulns = nonzero (xss 46 @ [ (VC.Hi, 2) ]);
+      ap_fp_easy = 9; ap_fp_hard = 2 };
+    { ap_name = "SAE"; ap_version = "1.1";
+      ap_files = 150; ap_vuln_files = 39;
+      ap_vulns =
+        nonzero ([ (VC.Sqli, 11) ] @ xss 25 @ files 10 @ [ (VC.Sf, 1); (VC.Hi, 1) ]);
+      ap_fp_easy = 21; ap_fp_hard = 2 };
+    { ap_name = "Tomahawk Mail"; ap_version = "2.0";
+      ap_files = 155; ap_vuln_files = 3;
+      ap_vulns = nonzero (xss 2 @ [ (VC.Hi, 1) ]);
+      ap_fp_easy = 3; ap_fp_hard = 0 };
+    { ap_name = "vfront"; ap_version = "0.99.3";
+      ap_files = 438; ap_vuln_files = 25;
+      ap_vulns =
+        nonzero
+          ([ (VC.Sqli, 1) ] @ xss 23 @ files 36
+          @ [ (VC.Scd, 1); (VC.Ldapi, 1); (VC.Hi, 10); (VC.Cs, 5) ]);
+      ap_fp_easy = 37; ap_fp_hard = 9 };
+  ]
+
+(** The remaining 37 packages of the 54 analyzed: no vulnerabilities
+    (only sanitized flows and benign code).  File counts bring the
+    corpus to the paper's 8,374 files. *)
+let clean_webapps : app_profile list =
+  let names =
+    [ "Gallerio"; "Notemark"; "FormMailer"; "Cartonis"; "Blogure"; "Wikilite";
+      "Shoplet"; "Eventora"; "Pollbox"; "Faqtory"; "Linkhub"; "Calendra";
+      "Mailform"; "Statsy"; "Guestbookr"; "Filebox"; "Chatlite"; "Newsflow";
+      "Docuview"; "Taskman"; "Invoicer"; "Bookmarkly"; "Surveyor"; "Classify";
+      "Photonis"; "Webshopper"; "Quizmaker"; "Feedview"; "Sitemapr"; "Countrly";
+      "Rsviewer"; "Helpdeskly"; "Timeclock"; "Recipedia"; "Budgetly"; "Forumino";
+      "Accountive" ]
+  in
+  (* 37 apps covering 8374 - 4714 = 3660 files *)
+  let base = 3660 / 37 in
+  let extra = 3660 - (base * 37) in
+  List.mapi
+    (fun i name ->
+      {
+        ap_name = name;
+        ap_version = Printf.sprintf "1.%d" (i mod 10);
+        ap_files = (base + if i < extra then 1 else 0);
+        ap_vuln_files = 0;
+        ap_vulns = [];
+        ap_fp_easy = 0;
+        ap_fp_hard = 0;
+      })
+    names
+
+let all_webapps = vulnerable_webapps @ clean_webapps
+
+(* ------------------------------------------------------------------ *)
+(* WordPress plugins (Table VII, Fig. 4).                              *)
+
+type plugin_profile = {
+  pp_name : string;
+  pp_version : string;
+  pp_files : int;
+  pp_vulns : (VC.t * int) list;
+  pp_fp_easy : int;
+  pp_fp_hard : int;
+  pp_downloads : int;
+  pp_active_installs : int;
+  pp_cve : bool;  (** had vulnerabilities registered in CVE *)
+}
+
+let plugin_total_vulns p = List.fold_left (fun acc (_, n) -> acc + n) 0 p.pp_vulns
+
+(* In plugins the SQLI column comes from the -wpsqli weapon. *)
+let wps n = [ (VC.Wp_sqli, n) ]
+
+(** The 23 vulnerable plugins of Table VII. *)
+let vulnerable_plugins : plugin_profile list =
+  [
+    { pp_name = "Appointment Booking Calendar"; pp_version = "1.1.7"; pp_files = 6;
+      pp_vulns = nonzero (wps 1 @ xss 3); pp_fp_easy = 1; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 1_500; pp_cve = true };
+    { pp_name = "Auth0"; pp_version = "1.3.6"; pp_files = 5;
+      pp_vulns = xss 1 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 7_000; pp_active_installs = 280; pp_cve = false };
+    { pp_name = "Authorizer"; pp_version = "2.3.6"; pp_files = 4;
+      pp_vulns = xss 2 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 71_000; pp_active_installs = 7_200; pp_cve = false };
+    { pp_name = "BuddyPress"; pp_version = "2.4.0"; pp_files = 8;
+      pp_vulns = []; pp_fp_easy = 0; pp_fp_hard = 1;
+      pp_downloads = 1_200_000; pp_active_installs = 28_000; pp_cve = false };
+    { pp_name = "Contact form generator"; pp_version = "2.0.1"; pp_files = 6;
+      pp_vulns = wps 11; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 71_000; pp_active_installs = 3_300; pp_cve = false };
+    { pp_name = "CP Appointment Calendar"; pp_version = "1.1.7"; pp_files = 5;
+      pp_vulns = wps 2; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 700; pp_cve = false };
+    { pp_name = "Easy2map"; pp_version = "1.2.9"; pp_files = 5;
+      pp_vulns = nonzero (wps 1 @ xss 2); pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 1_500; pp_cve = true };
+    { pp_name = "Ecwid Shopping Cart"; pp_version = "3.4.6"; pp_files = 7;
+      pp_vulns = xss 1 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 740_000; pp_active_installs = 28_000; pp_cve = false };
+    { pp_name = "Gantry Framework"; pp_version = "4.1.6"; pp_files = 7;
+      pp_vulns = xss 3 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 210_000; pp_active_installs = 7_200; pp_cve = false };
+    { pp_name = "Google Maps Travel Route"; pp_version = "1.3.1"; pp_files = 4;
+      pp_vulns = nonzero (wps 1 @ xss 2); pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 7_000; pp_active_installs = 280; pp_cve = false };
+    { pp_name = "Lightbox Plus Colorbox"; pp_version = "2.7.2"; pp_files = 5;
+      pp_vulns = xss 8 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 210_000; pp_active_installs = 200_000; pp_cve = false };
+    { pp_name = "Payment form for Paypal pro"; pp_version = "1.0.1"; pp_files = 4;
+      pp_vulns = xss 2 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 700; pp_cve = true };
+    { pp_name = "Recipes writer"; pp_version = "1.0.4"; pp_files = 4;
+      pp_vulns = xss 4 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 3_200; pp_active_installs = 60; pp_cve = false };
+    { pp_name = "ResAds"; pp_version = "1.0.1"; pp_files = 4;
+      pp_vulns = xss 2 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 3_200; pp_active_installs = 280; pp_cve = true };
+    { pp_name = "Simple support ticket system"; pp_version = "1.2"; pp_files = 5;
+      pp_vulns = wps 18; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 3_300; pp_cve = true };
+    { pp_name = "The CartPress eCommerce Shopping Cart"; pp_version = "1.4.7";
+      pp_files = 8;
+      pp_vulns = nonzero (wps 8 @ xss 17); pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 210_000; pp_active_installs = 28_000; pp_cve = false };
+    { pp_name = "WebKite"; pp_version = "2.0.1"; pp_files = 3;
+      pp_vulns = xss 1 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 7_000; pp_active_installs = 280; pp_cve = false };
+    { pp_name = "WP EasyCart - eCommerce Shopping Cart"; pp_version = "3.2.3";
+      pp_files = 12;
+      pp_vulns =
+        nonzero (wps 13 @ xss 6 @ files 29 @ [ (VC.Scd, 5); (VC.Cs, 2); (VC.Hi, 5) ]);
+      pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 740_000; pp_active_installs = 28_000; pp_cve = false };
+    { pp_name = "WP Marketplace"; pp_version = "2.4.1"; pp_files = 6;
+      pp_vulns = nonzero (xss 8 @ [ (VC.Dt_pt, 1) ]); pp_fp_easy = 1; pp_fp_hard = 0;
+      pp_downloads = 71_000; pp_active_installs = 3_300; pp_cve = false };
+    { pp_name = "WP Shop"; pp_version = "3.5.3"; pp_files = 5;
+      pp_vulns = xss 5 |> nonzero; pp_fp_easy = 1; pp_fp_hard = 0;
+      pp_downloads = 210_000; pp_active_installs = 7_200; pp_cve = false };
+    { pp_name = "WP ToolBar Removal Node"; pp_version = "1839"; pp_files = 2;
+      pp_vulns = [ (VC.Lfi, 1) ]; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 800; pp_active_installs = 60; pp_cve = false };
+    { pp_name = "WP ultimate recipe"; pp_version = "2.5"; pp_files = 6;
+      pp_vulns = []; pp_fp_easy = 0; pp_fp_hard = 1;
+      pp_downloads = 800; pp_active_installs = 60; pp_cve = false };
+    { pp_name = "WP Web Scraper"; pp_version = "3.5"; pp_files = 4;
+      pp_vulns = xss 4 |> nonzero; pp_fp_easy = 0; pp_fp_hard = 0;
+      pp_downloads = 23_000; pp_active_installs = 3_300; pp_cve = false };
+  ]
+
+(* Fig. 4 histogram bins. *)
+let download_bins =
+  [ ("< 2000", 0, 1_999); ("2K - 5K", 2_000, 4_999); ("5K - 10K", 5_000, 9_999);
+    ("10K - 50K", 10_000, 49_999); ("50K - 100K", 50_000, 99_999);
+    ("100K - 500K", 100_000, 499_999); ("> 500K", 500_000, max_int) ]
+
+let active_bins =
+  [ ("< 100", 0, 99); ("100 - 500", 100, 499); ("500 - 1K", 500, 999);
+    ("1K - 2K", 1_000, 1_999); ("2K - 5K", 2_000, 4_999);
+    ("5K - 10K", 5_000, 9_999); ("> 10K", 10_000, max_int) ]
+
+(* Per-bin counts for the 92 clean plugins, completing Fig. 4's blue
+   columns: analyzed downloads [10;12;13;33;12;24;11], active installs
+   [18;23;12;12;17;12;21]. *)
+let clean_download_quota = [ 8; 10; 10; 27; 9; 20; 8 ]
+let clean_active_quota = [ 15; 19; 10; 10; 13; 9; 16 ]
+
+let bin_representative = function
+  | 0 -> (800, 60)
+  | 1 -> (3_200, 280)
+  | 2 -> (7_000, 700)
+  | 3 -> (23_000, 1_500)
+  | 4 -> (71_000, 3_300)
+  | 5 -> (210_000, 7_200)
+  | _ -> (740_000, 28_000)
+
+let plugin_tags =
+  [ "arts"; "food"; "health"; "shopping"; "travel"; "authentication"; "popular";
+    "gallery"; "seo"; "social" ]
+
+(** The 92 clean plugins, with popularity metadata filling the Fig. 4
+    quotas. *)
+let clean_plugins : plugin_profile list =
+  (* expand quotas into per-plugin bin assignments *)
+  let expand quota = List.concat (List.mapi (fun bin n -> List.init n (fun _ -> bin)) quota) in
+  let dl_bins = expand clean_download_quota in
+  let ai_bins = expand clean_active_quota in
+  List.mapi
+    (fun i (dl_bin, ai_bin) ->
+      let downloads = fst (bin_representative dl_bin) in
+      let active = snd (bin_representative ai_bin) in
+      let tag = List.nth plugin_tags (i mod List.length plugin_tags) in
+      {
+        pp_name = Printf.sprintf "%s-helper-%d" tag (i + 1);
+        pp_version = Printf.sprintf "%d.%d" (1 + (i mod 3)) (i mod 10);
+        pp_files = 2 + (i mod 5);
+        pp_vulns = [];
+        pp_fp_easy = 0;
+        pp_fp_hard = 0;
+        pp_downloads = downloads;
+        pp_active_installs = active;
+        pp_cve = false;
+      })
+    (List.combine dl_bins ai_bins)
+
+let all_plugins = vulnerable_plugins @ clean_plugins
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checks (used by the test suite).                        *)
+
+let webapp_class_totals () =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc (c, n) ->
+          let g = VC.report_group c in
+          let cur = try List.assoc g acc with Not_found -> 0 in
+          (g, cur + n) :: List.remove_assoc g acc)
+        acc p.ap_vulns)
+    [] vulnerable_webapps
+
+let plugin_class_totals () =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc (c, n) ->
+          let g = VC.report_group c in
+          let cur = try List.assoc g acc with Not_found -> 0 in
+          (g, cur + n) :: List.remove_assoc g acc)
+        acc p.pp_vulns)
+    [] vulnerable_plugins

@@ -1,0 +1,67 @@
+(** Corpus profiles: the 54 web application packages (Tables V and VI)
+    and the 115 WordPress plugins (Table VII, Fig. 4).
+
+    Per-application class counts are reconstructed from the paper so
+    that every row total and every class-column total of the tables
+    match exactly (413 vulnerabilities over 17 vulnerable packages; 169
+    over 23 vulnerable plugins).  File counts match the paper; lines of
+    code are scaled down so a full evaluation runs in seconds
+    (EXPERIMENTS.md discusses the deviations). *)
+
+module VC := Wap_catalog.Vuln_class
+
+type app_profile = {
+  ap_name : string;
+  ap_version : string;
+  ap_files : int;
+  ap_vuln_files : int;
+  ap_vulns : (VC.t * int) list;  (** real vulnerabilities to seed *)
+  ap_fp_easy : int;  (** classic false positives (should be predicted) *)
+  ap_fp_hard : int;  (** symptom-free false positives (WAPe misses) *)
+}
+
+val total_vulns : app_profile -> int
+
+(** The 17 vulnerable packages of Table V / Table VI. *)
+val vulnerable_webapps : app_profile list
+
+(** The remaining 37 clean packages of the 54 analyzed. *)
+val clean_webapps : app_profile list
+
+(** All 54 packages (8,374 files). *)
+val all_webapps : app_profile list
+
+type plugin_profile = {
+  pp_name : string;
+  pp_version : string;
+  pp_files : int;
+  pp_vulns : (VC.t * int) list;
+  pp_fp_easy : int;
+  pp_fp_hard : int;
+  pp_downloads : int;
+  pp_active_installs : int;
+  pp_cve : bool;  (** had vulnerabilities registered in CVE *)
+}
+
+val plugin_total_vulns : plugin_profile -> int
+
+(** The 23 vulnerable plugins of Table VII. *)
+val vulnerable_plugins : plugin_profile list
+
+(** The 92 clean plugins, with popularity metadata filling Fig. 4's
+    analyzed histograms. *)
+val clean_plugins : plugin_profile list
+
+(** All 115 plugins. *)
+val all_plugins : plugin_profile list
+
+(** Fig. 4 histogram bins: (label, inclusive lower, inclusive upper). *)
+val download_bins : (string * int * int) list
+
+val active_bins : (string * int * int) list
+
+(** Seeded real-vulnerability totals by report group (consistency
+    checks for the tests). *)
+val webapp_class_totals : unit -> (string * int) list
+
+val plugin_class_totals : unit -> (string * int) list

@@ -1,0 +1,487 @@
+(** PHP snippet generator with known ground truth.
+
+    Each snippet is a short, self-contained piece of PHP exercising one
+    data flow from an entry point towards a sensitive sink of a given
+    vulnerability class.  Three labels exist:
+
+    - [Real]: exploitable — the flow reaches the sink unsanitized and
+      unvalidated; the detector should flag it and the predictor should
+      keep it.
+    - [Fp_easy]: a false positive with the classic symptoms (type
+      checks, pattern guards, numeric coercion...) — the detector flags
+      it, the trained predictor should dismiss it.
+    - [Fp_hard]: a false positive whose protection leaves no recognized
+      symptom (md5, hand-rolled character filtering) — the paper's 18
+      WAPe misses.
+    - [Sanitized]: protected by the class's sanitization function — the
+      detector must not flag it at all.
+
+    Snippets are deterministic in the [rng] state, so a seeded corpus is
+    fully reproducible. *)
+
+module VC = Wap_catalog.Vuln_class
+
+type label = Real | Fp_easy | Fp_hard | Sanitized [@@deriving show, eq]
+
+type t = {
+  vclass : VC.t;
+  label : label;
+  code : string;  (** PHP statements, no [<?php] marker *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small deterministic helpers.                                        *)
+
+type gen = { rng : Random.State.t; mutable counter : int }
+
+let make_gen ~seed = { rng = Random.State.make [| seed; 2654435761 |]; counter = 0 }
+
+let fresh g prefix =
+  g.counter <- g.counter + 1;
+  Printf.sprintf "%s%d" prefix g.counter
+
+let pick g l = List.nth l (Random.State.int g.rng (List.length l))
+
+let sources = [ "_GET"; "_POST"; "_COOKIE"; "_REQUEST" ]
+let keys = [ "id"; "user"; "name"; "page"; "q"; "cat"; "item"; "ref"; "token"; "v" ]
+
+let source_access g =
+  Printf.sprintf "$%s['%s']" (pick g sources) (pick g keys)
+
+(* a benign string-manipulation step applied to variable [v]; returns
+   the PHP line and keeps the data tainted.  [legacy] restricts the
+   choice to manipulations whose symptom the original WAP already knew
+   (Table I, middle column). *)
+let manipulation ?(legacy = false) ?(preserve_ws = false) g v =
+  (* [preserve_ws] excludes whitespace-normalizing manipulations: on a
+     real header/email-injection flow they would destroy the CRLF that
+     makes the flow exploitable, falsifying the ground-truth label *)
+  let original =
+    [
+      Printf.sprintf "$%s = trim($%s);" v v;
+      Printf.sprintf "$%s = substr($%s, 0, 64);" v v;
+      Printf.sprintf "$%s = strtolower($%s);" v v;
+      Printf.sprintf "$%s = substr_replace($%s, '', 100);" v v;
+    ]
+    @ (if preserve_ws then []
+       else
+         [ Printf.sprintf "$%s = str_replace(' ', '_', $%s);" v v;
+           Printf.sprintf "$%s = preg_replace('/\\s+/', ' ', $%s);" v v ])
+  in
+  let extended =
+    [
+      Printf.sprintf "$%s = ltrim($%s);" v v;
+      Printf.sprintf "$%s = rtrim($%s);" v v;
+      Printf.sprintf "$%s = str_pad($%s, 4, '0');" v v;
+      Printf.sprintf "$%s = str_ireplace('admin', 'user', $%s);" v v;
+      Printf.sprintf "$%s = chunk_split($%s, 76);" v v;
+    ]
+    @ (if preserve_ws then []
+       else
+         [ Printf.sprintf "$%s = implode('-', explode(' ', $%s));" v v;
+           Printf.sprintf "$%s = join(',', preg_split('/\\s+/', $%s));" v v ])
+  in
+  pick g (if legacy then original else original @ extended)
+
+(* zero to two manipulation steps *)
+let manipulations ?(legacy = false) ?(preserve_ws = false) g v =
+  match Random.State.int g.rng 4 with
+  | 0 -> []
+  | 1 | 2 -> [ manipulation ~legacy ~preserve_ws g v ]
+  | _ -> [ manipulation ~legacy ~preserve_ws g v; manipulation ~legacy ~preserve_ws g v ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-class code fragments.                                           *)
+
+(* a read of the entry point into variable [v], possibly through a chain *)
+let intake ?(legacy = false) ?(preserve_ws = false) g v =
+  let src = source_access g in
+  match Random.State.int g.rng 3 with
+  | 0 -> [ Printf.sprintf "$%s = %s;" v src ]
+  | 1 ->
+      let tmp = fresh g "t" in
+      [ Printf.sprintf "$%s = %s;" tmp src; Printf.sprintf "$%s = $%s;" v tmp ]
+  | _ -> [ Printf.sprintf "$%s = %s;" v src; manipulation ~legacy ~preserve_ws g v ]
+
+(* the sink line(s) for a class, consuming tainted variable [v] *)
+let sink_lines g (vclass : VC.t) v : string list =
+  match vclass with
+  | VC.Sqli ->
+      let q = fresh g "q" in
+      let table = pick g [ "users"; "items"; "posts"; "orders"; "news" ] in
+      let col = pick g [ "name"; "login"; "title"; "ref" ] in
+      (match Random.State.int g.rng 10 with
+      | 0 ->
+          [ Printf.sprintf "$%s = \"SELECT * FROM %s WHERE %s = '$%s'\";" q table col v;
+            Printf.sprintf "$r = mysql_query($%s);" q ]
+      | 1 ->
+          [ Printf.sprintf
+              "$%s = \"SELECT id, %s FROM %s WHERE %s = '\" . $%s . \"' ORDER BY id\";"
+              q col table col v;
+            Printf.sprintf "mysql_query($%s);" q ]
+      | 2 ->
+          [ Printf.sprintf "$r = mysqli_query($link, \"UPDATE %s SET %s='$%s' WHERE id=1\");"
+              table col v ]
+      | 3 ->
+          [ Printf.sprintf
+              "$%s = \"SELECT COUNT(*) FROM %s WHERE %s = '$%s' GROUP BY %s ORDER BY 1\";"
+              q table col v col;
+            Printf.sprintf "mysql_query($%s);" q ]
+      | 4 ->
+          [ Printf.sprintf
+              "$%s = \"SELECT AVG(price), MAX(price) FROM %s t JOIN meta m ON m.id = t.id WHERE t.%s = '$%s' LIMIT 25\";"
+              q table col v;
+            Printf.sprintf "mysql_query($%s);" q ]
+      | 5 ->
+          [ Printf.sprintf "$%s = \"SELECT %s FROM %s WHERE id = \" . $%s;" q col table v;
+            Printf.sprintf "$r = mysql_query($%s);" q ]
+      | 6 ->
+          (* no FROM, no concat context beyond the values list *)
+          [ Printf.sprintf "$r = mysql_query(\"INSERT INTO %s (%s) VALUES ('$%s')\");"
+              table col v ]
+      | 7 ->
+          [ Printf.sprintf "$%s = \"SELECT AVG(total) FROM %s WHERE %s = '$%s'\";"
+              q table col v;
+            Printf.sprintf "mysql_query($%s);" q ]
+      | 8 ->
+          [ Printf.sprintf
+              "$%s = \"DELETE FROM %s WHERE %s = \" . $%s . \" LIMIT 1\";" q table col v;
+            Printf.sprintf "mysql_query($%s);" q ]
+      | _ ->
+          (* the whole query comes from the input: no literal context *)
+          [ Printf.sprintf "$r = mysql_query($%s);" v ])
+  | VC.Xss_reflected ->
+      [ pick g
+          [ Printf.sprintf "echo \"<p>$%s</p>\";" v;
+            Printf.sprintf "echo '<td>' . $%s . '</td>';" v;
+            Printf.sprintf "print(\"<div>$%s</div>\");" v;
+            Printf.sprintf "echo $%s;" v;
+            Printf.sprintf "print($%s);" v ] ]
+  | VC.Xss_stored ->
+      let r = fresh g "r" in
+      let row = fresh g "row" in
+      [ Printf.sprintf "$%s = mysql_query(\"SELECT body FROM comments\");" r;
+        Printf.sprintf "while ($%s = mysql_fetch_assoc($%s)) {" row r;
+        Printf.sprintf "    echo \"<li>\" . $%s['body'] . \"</li>\";" row;
+        "}" ]
+  | VC.Rfi ->
+      [ pick g
+          [ Printf.sprintf "include($%s . '.php');" v;
+            Printf.sprintf "include($%s);" v ] ]
+  | VC.Lfi ->
+      [ pick g
+          [ Printf.sprintf "require('./pages/' . $%s);" v;
+            Printf.sprintf "require_once($%s);" v ] ]
+  | VC.Dt_pt ->
+      [ pick g
+          [ Printf.sprintf "$fh = fopen('./data/' . $%s, 'r');" v;
+            Printf.sprintf "readfile('./docs/' . $%s);" v;
+            Printf.sprintf "unlink('./tmp/' . $%s);" v;
+            Printf.sprintf "readfile($%s);" v ] ]
+  | VC.Osci ->
+      [ pick g
+          [ Printf.sprintf "system('ls -l ' . $%s);" v;
+            Printf.sprintf "exec(\"convert $%s out.png\");" v;
+            Printf.sprintf "$out = shell_exec('cat ' . $%s);" v;
+            Printf.sprintf "system($%s);" v ] ]
+  | VC.Scd ->
+      [ pick g
+          [ Printf.sprintf "show_source($%s);" v;
+            Printf.sprintf "highlight_file('./src/' . $%s);" v ] ]
+  | VC.Phpci ->
+      [ pick g
+          [ Printf.sprintf "eval('$x = ' . $%s . ';');" v;
+            Printf.sprintf "assert(\"is_valid('$%s')\");" v ] ]
+  | VC.Ldapi ->
+      [ Printf.sprintf "$res = ldap_search($conn, 'dc=example,dc=org', \"(uid=$%s)\");" v ]
+  | VC.Xpathi ->
+      [ Printf.sprintf "$nodes = xpath_eval($xctx, \"//user[name='$%s']\");" v ]
+  | VC.Nosqli ->
+      [ pick g
+          [ Printf.sprintf "$doc = $collection->find(array('login' => $%s));" v;
+            Printf.sprintf "$doc = $collection->findOne(array('user' => $%s));" v;
+            Printf.sprintf "$collection->remove(array('sid' => $%s));" v ] ]
+  | VC.Cs ->
+      [ Printf.sprintf "file_put_contents('./comments.txt', $%s, FILE_APPEND);" v ]
+  | VC.Hi ->
+      [ pick g
+          [ Printf.sprintf "header('Location: ' . $%s);" v;
+            Printf.sprintf "header(\"X-Forwarded: $%s\");" v ] ]
+  | VC.Ei ->
+      [ Printf.sprintf "mail($%s, 'Notification', 'Your report is ready.');" v ]
+  | VC.Sf ->
+      [ pick g
+          [ Printf.sprintf "session_id($%s);" v;
+            Printf.sprintf "setcookie('session', $%s);" v ] ]
+  | VC.Wp_sqli ->
+      let style = Random.State.int g.rng 2 in
+      if style = 0 then
+        [ Printf.sprintf
+            "$rows = $wpdb->get_results(\"SELECT * FROM {$wpdb->prefix}posts WHERE post_author = $%s\");"
+            v ]
+      else
+        [ Printf.sprintf "$wpdb->query(\"DELETE FROM wp_meta WHERE meta_key = '$%s'\");" v ]
+  | VC.Custom _ -> [ Printf.sprintf "custom_sink($%s);" v ]
+
+(* the class's sanitization call, for [Sanitized] snippets *)
+let sanitize_line (vclass : VC.t) v : string list =
+  match vclass with
+  | VC.Sqli -> [ Printf.sprintf "$%s = mysql_real_escape_string($%s);" v v ]
+  | VC.Xss_reflected | VC.Xss_stored ->
+      [ Printf.sprintf "$%s = htmlspecialchars($%s);" v v ]
+  | VC.Rfi | VC.Lfi | VC.Dt_pt | VC.Scd ->
+      [ Printf.sprintf "$%s = basename($%s);" v v ]
+  | VC.Osci -> [ Printf.sprintf "$%s = escapeshellarg($%s);" v v ]
+  | VC.Ldapi -> [ Printf.sprintf "$%s = ldap_escape($%s);" v v ]
+  | VC.Nosqli -> [ Printf.sprintf "$%s = mysql_real_escape_string($%s);" v v ]
+  | VC.Cs -> [ Printf.sprintf "$%s = strip_tags($%s);" v v ]
+  | VC.Wp_sqli -> [ Printf.sprintf "$%s = esc_sql($%s);" v v ]
+  | VC.Phpci | VC.Xpathi | VC.Hi | VC.Ei | VC.Sf | VC.Custom _ ->
+      (* no stock sanitizer: fall back to a recognized one for tests *)
+      [ Printf.sprintf "$%s = htmlspecialchars($%s);" v v ]
+
+(* validation patterns that create classic false positives.  In
+   [legacy] mode only the patterns visible to the original WAP's
+   symptom set are produced (those are styles 0, 1, 3 and the numeric
+   fallback). *)
+let fp_guard ?(legacy = false) g (vclass : VC.t) v : string list =
+  if vclass = VC.Sf then
+    (* character checks cannot stop session fixation; only a strict
+       server-token format check makes the flow a false positive *)
+    [ Printf.sprintf "if (!preg_match('/^[a-f0-9]{32}$/', $%s)) {" v;
+      "    die('bad session token');"; "}" ]
+  else
+  let numericish =
+    match vclass with
+    | VC.Sqli | VC.Wp_sqli | VC.Nosqli | VC.Ldapi | VC.Xpathi -> true
+    | _ -> false
+  in
+  let style =
+    if legacy then
+      match Random.State.int g.rng (if numericish then 5 else 4) with
+      | 0 -> 0
+      | 1 -> 1
+      | 2 -> 3
+      | 3 -> 4
+      | _ -> 99 (* numeric fallback *)
+    else begin
+      (* weighted draw: the patterns the original symptom set already
+         recognizes dominate, the ambiguous manipulation-only
+         protections are rare — matching the distribution the paper
+         reports (most FPs predicted, a residue of hard cases) *)
+      let roll = Random.State.int g.rng (if numericish then 22 else 20) in
+      if roll < 3 then 0
+      else if roll < 6 then 1
+      else if roll < 8 then 3
+      else if roll < 10 then 4
+      else if roll < 12 then 2
+      else if roll < 14 then 5
+      else if roll < 16 then 6
+      else if roll < 18 then 7
+      else if roll < 19 then 8
+      else if roll < 20 then 9
+      else 99
+    end
+  in
+  match style with
+  | 0 ->
+      [ Printf.sprintf "if (!preg_match('/^[a-zA-Z0-9_-]+$/', $%s)) {" v;
+        "    die('invalid input');"; "}" ]
+  | 1 ->
+      [ Printf.sprintf "if (!isset($%s) || !ctype_alnum($%s)) {" v v;
+        "    exit('bad request');"; "}" ]
+  | 2 ->
+      [ Printf.sprintf "if (strcmp($%s, 'admin') == 0 || strcmp($%s, 'guest') == 0) {" v v;
+        "    $allowed = 1;"; "} else {"; "    die('unknown role');"; "}" ]
+  | 3 ->
+      (* presence checks alone would not protect; the ctype makes it a
+         genuine false positive *)
+      [ Printf.sprintf "if (empty($%s) || !is_string($%s) || !ctype_alnum($%s)) {" v v v;
+        "    exit('missing parameter');"; "}" ]
+  | 4 ->
+      [ Printf.sprintf "if (!ctype_digit($%s) || !preg_match('/^[0-9]{1,6}$/', $%s)) {" v v;
+        "    exit('not a digit');"; "}" ]
+  | 5 ->
+      [ Printf.sprintf "if (strncasecmp($%s, 'pub_', 4) != 0) {" v;
+        "    die('outside public area');"; "}";
+        Printf.sprintf "$%s = trim($%s);" v v ]
+  | 6 ->
+      [ Printf.sprintf "if (!is_scalar($%s) || is_null($%s) || !preg_match('/^[\\w.]+$/', $%s)) {"
+          v v v;
+        "    exit('bad type');"; "}" ]
+  | 7 ->
+      [ Printf.sprintf "if (!eregi('^[a-z ]+$', $%s)) {" v;
+        "    trigger_error('rejected input', E_USER_ERROR);"; "    exit;"; "}" ]
+  | 8 ->
+      (* manipulation-only protection: strips the dangerous characters,
+         leaving just a replace_string symptom — the kind of flow whose
+         attribute vector overlaps with harmless manipulations on real
+         vulnerabilities *)
+      let chars =
+        match vclass with
+        | VC.Sqli | VC.Wp_sqli | VC.Nosqli | VC.Xpathi ->
+            "array(\"'\", '\"', '\\\\')"
+        | VC.Hi | VC.Ei -> "array(\"\\r\", \"\\n\")"
+        | VC.Rfi | VC.Lfi | VC.Dt_pt | VC.Scd -> "array('..', '/', '\\\\')"
+        | VC.Ldapi -> "array('*', '(', ')', '\\\\')"
+        | VC.Phpci -> "array(';', '(', ')', '`')"
+        | VC.Osci -> "array(';', '|', '&', '`')"
+        | VC.Cs -> "array('http://', 'https://')"
+        | _ -> "array('<', '>', \"'\", '\"')"
+      in
+      [ Printf.sprintf "$%s = str_replace(%s, '', $%s);" v chars v ]
+  | 9 ->
+      [ Printf.sprintf "$%s = substr(trim($%s), 0, 8);" v v;
+        Printf.sprintf "if (!in_array($%s, array('news', 'faq', 'home', 'about'))) {" v;
+        "    exit('unknown section');"; "}" ]
+  | _ ->
+      [ Printf.sprintf "if (!is_numeric($%s)) {" v; "    die('expected a number');"; "}";
+        Printf.sprintf "$%s = intval($%s);" v v ]
+
+(* protections that leave no recognized symptom: the hard false
+   positives of Section V-A.  escape() only strips quotes and
+   backslashes, so it genuinely protects only the quote-delimited
+   query classes — other classes get the hashing variants. *)
+let fp_hard_protection g (vclass : VC.t) v : string list =
+  let quote_class =
+    match vclass with
+    | VC.Sqli | VC.Wp_sqli | VC.Nosqli | VC.Xpathi -> true
+    | _ -> false
+  in
+  match Random.State.int g.rng (if quote_class then 3 else 2) with
+  | 0 -> [ Printf.sprintf "$%s = md5($%s);" v v ]
+  | 1 when not quote_class ->
+      [ Printf.sprintf "$%s = sizeof(array($%s)) > 0 ? md5($%s) : '';" v v v ]
+  | 1 -> [ Printf.sprintf "$%s = escape($%s);" v v ]
+  | _ ->
+      [ Printf.sprintf "$%s = sizeof(array($%s)) > 0 ? md5($%s) : '';" v v v ]
+
+(** The hand-rolled sanitizer used by the hard false positives; emitted
+    once per file that needs it.  Its body keeps the data flowing only
+    through character-level operations, so no symptom is visible. *)
+let escape_helper =
+  String.concat "\n"
+    [ "function escape($value) {";
+      "    $out = '';";
+      "    for ($i = 0; $i < strlen($value); $i++) {";
+      "        $c = $value[$i];";
+      "        if ($c != \"'\" && $c != '\"' && $c != '\\\\') {";
+      "            $out = $out . $c;";
+      "        }";
+      "    }";
+      "    return $out;";
+      "}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Snippet assembly.                                                   *)
+
+(* Stored XSS flows live entirely between the database fetch and the
+   echo, so the protection (or its absence) must apply to the fetched
+   row, not to a request parameter. *)
+let stored_xss g (label : label) : string list =
+  let r = fresh g "r" in
+  let row = fresh g "row" in
+  let body =
+    match label with
+    | Real -> [ Printf.sprintf "    echo \"<li>\" . $%s['body'] . \"</li>\";" row ]
+    | Fp_easy ->
+        (match Random.State.int g.rng 3 with
+        | 0 ->
+            [ Printf.sprintf "    if (!ctype_alnum($%s['body'])) {" row;
+              "        continue;"; "    }";
+              Printf.sprintf "    echo \"<li>\" . $%s['body'] . \"</li>\";" row ]
+        | 1 ->
+            [ Printf.sprintf "    if (!preg_match('/^[a-zA-Z0-9 ]*$/', $%s['body'])) {" row;
+              "        continue;"; "    }";
+              Printf.sprintf "    echo '<li>' . $%s['body'] . '</li>';" row ]
+        | _ ->
+            [ Printf.sprintf "    $score = intval($%s['score']);" row;
+              "    echo \"<b>$score</b>\";" ])
+    | Fp_hard ->
+        [ Printf.sprintf "    $h = md5($%s['body']);" row;
+          "    echo \"<i>$h</i>\";" ]
+    | Sanitized ->
+        [ Printf.sprintf "    echo '<li>' . htmlspecialchars($%s['body']) . '</li>';" row ]
+  in
+  [ Printf.sprintf "$%s = mysql_query(\"SELECT body, score FROM comments\");" r;
+    Printf.sprintf "while ($%s = mysql_fetch_assoc($%s)) {" row r ]
+  @ body @ [ "}" ]
+
+let generate ?(legacy = false) (g : gen) (vclass : VC.t) (label : label) : t =
+  let v = fresh g "in" in
+  let preserve_ws =
+    (* never destroy the CRLF of a real header/email-injection flow *)
+    (match vclass with VC.Hi | VC.Ei -> true | _ -> false) && label = Real
+  in
+  let intake g v = intake ~legacy ~preserve_ws g v in
+  if vclass = VC.Xss_stored then
+    { vclass; label; code = String.concat "\n" (stored_xss g label) }
+  else
+  let lines =
+    match label with
+    | Real when (not legacy) && Random.State.int g.rng 5 = 0 ->
+        (* interprocedural variant: the flow crosses a call boundary, the
+           sink lives in a helper function *)
+        let fname = fresh g "flow" in
+        let p = fresh g "p" in
+        intake g v
+        @ [ Printf.sprintf "function %s($%s) {" fname p ]
+        @ List.map (fun l -> "    " ^ l) (sink_lines g vclass p)
+        @ [ "}"; Printf.sprintf "%s($%s);" fname v ]
+    | Real ->
+        let extra = manipulations ~legacy ~preserve_ws g v in
+        (* a quarter of the real vulnerabilities carry a weak presence
+           check — still exploitable, but the isset/empty symptom shows
+           up in both classes, as it does in real applications *)
+        let weak_guard =
+          match Random.State.int g.rng 4 with
+          | 0 ->
+              [ Printf.sprintf "if (!isset($%s)) {" v; "    die('missing');"; "}" ]
+          | 1 ->
+              [ Printf.sprintf "if (empty($%s)) {" v;
+                Printf.sprintf "    $%s = 'default';" v; "}" ]
+          | _ -> []
+        in
+        intake g v @ weak_guard @ extra @ sink_lines g vclass v
+    | Fp_easy ->
+        (* real validation code often checks presence before validating,
+           so a share of the false positives carries an isset/empty
+           prefix on top of the protective guard *)
+        let presence =
+          match Random.State.int g.rng 4 with
+          | 0 -> [ Printf.sprintf "if (!isset($%s)) {" v; "    die('missing');"; "}" ]
+          | 1 ->
+              [ Printf.sprintf "if (empty($%s)) {" v;
+                Printf.sprintf "    $%s = 'none';" v; "}" ]
+          | _ -> []
+        in
+        intake g v @ presence
+        @ fp_guard ~legacy g vclass v
+        @ manipulations ~legacy g v
+        @ sink_lines g vclass v
+    | Fp_hard -> intake g v @ fp_hard_protection g vclass v @ sink_lines g vclass v
+    | Sanitized -> intake g v @ sanitize_line vclass v @ sink_lines g vclass v
+  in
+  { vclass; label; code = String.concat "\n" lines }
+
+(* ------------------------------------------------------------------ *)
+(* Benign filler code: must not touch any source or sink.              *)
+
+let benign (g : gen) : string =
+  let n = fresh g "b" in
+  pick g
+    [
+      Printf.sprintf
+        "function util_%s($a, $b) {\n    return $a * 31 + $b;\n}" n;
+      Printf.sprintf
+        "$cfg_%s = array('debug' => false, 'lang' => 'en', 'items' => 25);" n;
+      Printf.sprintf
+        "function label_%s($k) {\n    $map = array('a' => 'Alpha', 'b' => 'Beta');\n    return isset($map[$k]) ? $map[$k] : 'Unknown';\n}" n;
+      Printf.sprintf
+        "for ($i_%s = 0; $i_%s < 10; $i_%s++) {\n    $acc_%s = ($i_%s * 7) %% 13;\n}" n n n n n;
+      Printf.sprintf
+        "class Model_%s {\n    public $id;\n    public function total($rows) {\n        $sum = 0;\n        foreach ($rows as $r) {\n            $sum += $r;\n        }\n        return $sum;\n    }\n}" n;
+      Printf.sprintf "echo '<div class=\"widget-%s\">static content</div>';" n;
+      Printf.sprintf
+        "function render_%s($title) {\n    return '<h1>' . htmlspecialchars($title) . '</h1>';\n}" n;
+    ]

@@ -1,0 +1,44 @@
+(** PHP snippet generator with known ground truth.
+
+    Each snippet is a short, self-contained piece of PHP exercising one
+    data flow from an entry point towards a sensitive sink of a given
+    vulnerability class.  Snippets are deterministic in the generator
+    state, so a seeded corpus is fully reproducible. *)
+
+module VC := Wap_catalog.Vuln_class
+
+(** Ground-truth labels:
+    - [Real]: exploitable — unsanitized, unvalidated;
+    - [Fp_easy]: a false positive with classic symptoms (type checks,
+      pattern guards, numeric coercion...);
+    - [Fp_hard]: a false positive whose protection leaves no recognized
+      symptom (md5, hand-rolled filtering) — the paper's WAPe misses;
+    - [Sanitized]: protected by the class's sanitization function — the
+      detector must stay silent. *)
+type label = Real | Fp_easy | Fp_hard | Sanitized [@@deriving show, eq]
+
+type t = {
+  vclass : VC.t;
+  label : label;
+  code : string;  (** PHP statements, no [<?php] marker *)
+}
+
+(** Deterministic generator state. *)
+type gen = { rng : Random.State.t; mutable counter : int }
+
+val make_gen : seed:int -> gen
+
+(** Fresh identifier with the given prefix. *)
+val fresh : gen -> string -> string
+
+(** Generate one snippet.  [legacy] restricts validations and
+    manipulations to the symptom set the original WAP already knew
+    (used to build the 76-instance v2.1 training set). *)
+val generate : ?legacy:bool -> gen -> VC.t -> label -> t
+
+(** Benign filler code that touches no source and no sink. *)
+val benign : gen -> string
+
+(** The hand-rolled sanitizer used by the hard false positives; emitted
+    once per file that needs it (the §V-A "escape" function). *)
+val escape_helper : string

@@ -1,0 +1,1 @@
+lib/fixer/corrector.pp.ml: Ast Fix Hashtbl List Loc Parser Printer String Visitor Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/fixer/corrector.pp.mli: Ast Fix Loc Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/fixer/fix.pp.ml: Char List Ppx_deriving_runtime Printf String Wap_catalog

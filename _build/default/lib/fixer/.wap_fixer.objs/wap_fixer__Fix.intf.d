@@ -1,0 +1,1 @@
+lib/fixer/fix.pp.mli: Ppx_deriving_runtime Wap_catalog

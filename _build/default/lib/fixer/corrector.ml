@@ -1,0 +1,121 @@
+(** The code corrector: inserts fixes into vulnerable source (the
+    right-hand module of Fig. 1).
+
+    Correction happens on the AST: the tainted argument expressions at
+    the sink are wrapped in a call to the fix function, whose definition
+    is prepended once per file.  Fixes are applied at the line of the
+    sensitive sink, as in the original WAP. *)
+
+open Wap_php
+
+type correction = {
+  candidate : Wap_taint.Trace.candidate;
+  fix : Fix.t;
+}
+
+type report = {
+  file : string;
+  applied : (Fix.t * Loc.t) list;  (** fix and sink line it protects *)
+}
+
+let wrap_call fix_name (e : Ast.expr) : Ast.expr =
+  Ast.mk_e ~loc:e.Ast.eloc
+    (Ast.Call
+       (Ast.F_ident fix_name, [ { Ast.a_expr = e; a_spread = false } ]))
+
+let already_wrapped fix_name (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Call (Ast.F_ident f, _) -> String.equal f fix_name
+  | _ -> false
+
+(* An expression is "the same sink argument" if it is physically the one
+   the analyzer recorded, or (after a reparse) an equal expression at the
+   same location. *)
+let is_target (targets : Ast.expr list) (e : Ast.expr) =
+  List.exists
+    (fun t ->
+      t == e
+      || (Loc.equal t.Ast.eloc e.Ast.eloc && Ast.equal_expr t e))
+    targets
+
+(** Wrap the tainted sink arguments of one candidate with [fix]. *)
+let apply_one (prog : Ast.program) ({ candidate; fix } : correction) :
+    Ast.program =
+  let tainted_args =
+    List.filteri
+      (fun i _ -> List.mem i candidate.Wap_taint.Trace.tainted_positions)
+      candidate.Wap_taint.Trace.sink_args
+  in
+  let f (e : Ast.expr) =
+    if is_target tainted_args e && not (already_wrapped fix.Fix.fix_name e) then
+      wrap_call fix.Fix.fix_name e
+    else e
+  in
+  Visitor.map_stmts f prog
+
+(* A fix function definition, parsed from its PHP source so it prints
+   uniformly with the rest of the file. *)
+let fix_def_stmts (fix : Fix.t) : Ast.stmt list =
+  Parser.parse_string ~file:"<fix>" ("<?php\n" ^ Fix.runtime_code fix)
+
+let fix_already_defined (prog : Ast.program) name =
+  List.exists
+    (fun (f : Ast.func) -> String.lowercase_ascii f.Ast.f_name = String.lowercase_ascii name)
+    (Visitor.collect_functions prog)
+
+(** Apply a batch of corrections to a parsed file: wraps every tainted
+    sink argument and prepends each needed fix definition once. *)
+let correct_program (prog : Ast.program) (corrections : correction list) :
+    Ast.program * report =
+  let file =
+    match corrections with
+    | c :: _ -> c.candidate.Wap_taint.Trace.file
+    | [] -> "<none>"
+  in
+  (* two detectors can flag the same sink; applying both corrections
+     would double-wrap the argument *)
+  let corrections =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun { candidate; fix } ->
+        let key =
+          ( candidate.Wap_taint.Trace.sink_loc.Loc.line,
+            candidate.Wap_taint.Trace.sink_loc.Loc.col,
+            fix.Fix.fix_name )
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      corrections
+  in
+  let prog = List.fold_left apply_one prog corrections in
+  let needed_fixes =
+    List.sort_uniq
+      (fun (a : Fix.t) b -> String.compare a.fix_name b.fix_name)
+      (List.map (fun c -> c.fix) corrections)
+  in
+  let defs =
+    List.concat_map
+      (fun fix ->
+        if fix_already_defined prog fix.Fix.fix_name then [] else fix_def_stmts fix)
+      needed_fixes
+  in
+  let applied =
+    List.map (fun c -> (c.fix, c.candidate.Wap_taint.Trace.sink_loc)) corrections
+  in
+  (defs @ prog, { file; applied })
+
+(** End-to-end correction of source text: parse, fix every candidate
+    with its class's stock fix, and print the corrected PHP. *)
+let correct_source ~file (src : string)
+    (candidates : Wap_taint.Trace.candidate list) : string * report =
+  let prog = Parser.parse_string ~file src in
+  let corrections =
+    List.map
+      (fun c -> { candidate = c; fix = Fix.stock c.Wap_taint.Trace.vclass })
+      candidates
+  in
+  let prog, report = correct_program prog corrections in
+  (Printer.program_to_string prog, report)

@@ -1,0 +1,151 @@
+(** Fixes: small pieces of PHP inserted to sanitize or validate a
+    vulnerable data flow (Section III-C).
+
+    A fix is realized as a PHP function (e.g. [san_sqli]) whose
+    definition is emitted once per corrected file and whose call wraps
+    the tainted expression at the sink line.  Three templates generate
+    fixes automatically for new vulnerability classes. *)
+
+type template =
+  | Php_sanitization of { sanitizer : string }
+      (** wrap with an existing PHP sanitization function *)
+  | User_sanitization of { malicious : char list; neutralizer : string }
+      (** replace each malicious character with [neutralizer] *)
+  | User_validation of { malicious : char list }
+      (** reject (message + empty result) when a malicious character is
+          present *)
+  | Content_validation of { patterns : string list }
+      (** reject when content matches one of the regex patterns — used by
+          the comment-spamming fixes that look for hyperlinks *)
+  | Session_reset
+      (** the session-fixation fix written from scratch: never accept a
+          caller-provided token *)
+[@@deriving show, eq]
+
+type t = {
+  fix_name : string;  (** the generated PHP function name, e.g. ["san_sqli"] *)
+  vclass : Wap_catalog.Vuln_class.t;
+  template : template;
+}
+[@@deriving show, eq]
+
+(* characters are emitted inside double-quoted PHP strings *)
+let php_escape_char c =
+  match c with
+  | '"' -> "\\\""
+  | '$' -> "\\$"
+  | '\\' -> "\\\\"
+  | '\n' -> "\\n"
+  | '\r' -> "\\r"
+  | '\t' -> "\\t"
+  | c when Char.code c < 32 -> Printf.sprintf "\\x%02x" (Char.code c)
+  | c -> String.make 1 c
+
+let char_array chars =
+  "array("
+  ^ String.concat ", " (List.map (fun c -> "\"" ^ php_escape_char c ^ "\"") chars)
+  ^ ")"
+
+(** The PHP source of the fix function. *)
+let runtime_code (fix : t) : string =
+  match fix.template with
+  | Php_sanitization { sanitizer } ->
+      Printf.sprintf "function %s($v) {\n    return %s($v);\n}\n" fix.fix_name sanitizer
+  | User_sanitization { malicious; neutralizer } ->
+      Printf.sprintf
+        "function %s($v) {\n    return str_replace(%s, \"%s\", $v);\n}\n"
+        fix.fix_name (char_array malicious)
+        (String.concat "" (List.map php_escape_char (String.to_seq neutralizer |> List.of_seq)))
+  | User_validation { malicious } ->
+      Printf.sprintf
+        "function %s($v) {\n\
+        \    foreach (%s as $c) {\n\
+        \        if (strpos($v, $c) !== false) {\n\
+        \            trigger_error('malicious character detected', E_USER_WARNING);\n\
+        \            return '';\n\
+        \        }\n\
+        \    }\n\
+        \    return $v;\n\
+         }\n"
+        fix.fix_name (char_array malicious)
+  | Content_validation { patterns } ->
+      Printf.sprintf
+        "function %s($v) {\n\
+        \    foreach (array(%s) as $re) {\n\
+        \        if (preg_match($re, $v)) {\n\
+        \            trigger_error('forbidden content detected', E_USER_WARNING);\n\
+        \            return '';\n\
+        \        }\n\
+        \    }\n\
+        \    return $v;\n\
+         }\n"
+        fix.fix_name
+        (String.concat ", " (List.map (fun p -> "'" ^ p ^ "'") patterns))
+  | Session_reset ->
+      Printf.sprintf
+        "function %s($v) {\n\
+        \    // never trust a caller-provided session token\n\
+        \    if (!preg_match('/^[a-zA-Z0-9,-]{22,40}$/', $v)) {\n\
+        \        session_regenerate_id(true);\n\
+        \        return session_id();\n\
+        \    }\n\
+        \    session_regenerate_id(true);\n\
+        \    return session_id();\n\
+         }\n"
+        fix.fix_name
+
+(* ------------------------------------------------------------------ *)
+(* Stock fixes shipped with the tool.                                  *)
+
+let hei_malicious = [ '\r'; '\n' ]
+
+let stock (vclass : Wap_catalog.Vuln_class.t) : t =
+  let open Wap_catalog.Vuln_class in
+  match vclass with
+  | Sqli ->
+      { fix_name = "san_sqli"; vclass;
+        template = Php_sanitization { sanitizer = "mysql_real_escape_string" } }
+  | Xss_reflected ->
+      { fix_name = "san_out"; vclass;
+        template = Php_sanitization { sanitizer = "htmlspecialchars" } }
+  | Xss_stored ->
+      { fix_name = "san_wdata"; vclass;
+        template = Php_sanitization { sanitizer = "htmlspecialchars" } }
+  | Osci ->
+      { fix_name = "san_osci"; vclass;
+        template = Php_sanitization { sanitizer = "escapeshellarg" } }
+  | Phpci ->
+      { fix_name = "san_eval"; vclass;
+        template = User_validation { malicious = [ ';'; '('; ')'; '`'; '$' ] } }
+  | Rfi | Lfi | Dt_pt | Scd ->
+      { fix_name = "san_mix"; vclass;
+        template = User_validation { malicious = [ '/'; '\\'; '.'; ':' ] } }
+  | Ldapi ->
+      { fix_name = "san_ldap"; vclass;
+        template = User_validation { malicious = [ '*'; '('; ')'; '\\'; '|'; '&'; '=' ] } }
+  | Xpathi ->
+      { fix_name = "san_xpath"; vclass;
+        template = User_validation { malicious = [ '\''; '"'; '['; ']'; '('; ')'; '=' ] } }
+  | Nosqli ->
+      (* Section IV-C1: PHP sanitization template with
+         mysql_real_escape_string *)
+      { fix_name = "san_nosqli"; vclass;
+        template = Php_sanitization { sanitizer = "mysql_real_escape_string" } }
+  | Hi | Ei ->
+      (* Section IV-C2: user sanitization template replacing \r \n by a
+         space *)
+      { fix_name = "san_hei"; vclass;
+        template = User_sanitization { malicious = hei_malicious; neutralizer = " " } }
+  | Cs ->
+      (* the modified san_read/san_write checking for hyperlinks *)
+      { fix_name = "san_write"; vclass;
+        template =
+          Content_validation
+            { patterns = [ "/https?:\\/\\//i"; "/<a\\s/i"; "/\\[url/i" ] } }
+  | Sf -> { fix_name = "san_sf"; vclass; template = Session_reset }
+  | Wp_sqli ->
+      { fix_name = "san_wpsqli"; vclass;
+        template = Php_sanitization { sanitizer = "esc_sql" } }
+  | Custom name ->
+      { fix_name = "san_" ^ name; vclass;
+        template = User_validation { malicious = [ '\''; '"' ] } }

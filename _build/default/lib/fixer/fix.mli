@@ -1,0 +1,38 @@
+(** Fixes: small pieces of PHP inserted to sanitize or validate a
+    vulnerable data flow (Section III-C).
+
+    A fix is realized as a PHP function (e.g. [san_sqli]) whose
+    definition is emitted once per corrected file and whose call wraps
+    the tainted expression at the sink line.  Three templates generate
+    fixes automatically for new vulnerability classes; two more cover
+    the special CS and SF fixes of Section IV-B. *)
+
+type template =
+  | Php_sanitization of { sanitizer : string }
+      (** wrap with an existing PHP sanitization function *)
+  | User_sanitization of { malicious : char list; neutralizer : string }
+      (** replace each malicious character with [neutralizer] *)
+  | User_validation of { malicious : char list }
+      (** reject (warning + empty result) when a malicious character is
+          present *)
+  | Content_validation of { patterns : string list }
+      (** reject when content matches one of the regex patterns — used
+          by the comment-spamming fixes that look for hyperlinks *)
+  | Session_reset
+      (** the session-fixation fix written from scratch: never accept a
+          caller-provided token *)
+[@@deriving show, eq]
+
+type t = {
+  fix_name : string;  (** the generated PHP function name, e.g. ["san_sqli"] *)
+  vclass : Wap_catalog.Vuln_class.t;
+  template : template;
+}
+[@@deriving show, eq]
+
+(** The PHP source of the fix function (parseable, one function). *)
+val runtime_code : t -> string
+
+(** The fix shipped for each class, with the paper's names
+    ([san_nosqli], [san_hei], [san_wpsqli], ...). *)
+val stock : Wap_catalog.Vuln_class.t -> t

@@ -1,0 +1,1 @@
+lib/mining/attributes.pp.ml: Array Evidence List Ppx_deriving_runtime Symptom

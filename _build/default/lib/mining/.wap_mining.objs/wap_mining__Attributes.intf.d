@@ -1,0 +1,1 @@
+lib/mining/attributes.pp.mli: Evidence Ppx_deriving_runtime

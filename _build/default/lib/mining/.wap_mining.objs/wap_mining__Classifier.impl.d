@@ -1,0 +1,1 @@
+lib/mining/classifier.pp.ml: Array Dataset

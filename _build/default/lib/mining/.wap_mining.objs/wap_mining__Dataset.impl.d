@@ -1,0 +1,1 @@
+lib/mining/dataset.pp.ml: Array Attributes Buffer Evidence Fun Hashtbl List Printf Random String

@@ -1,0 +1,1 @@
+lib/mining/dataset.pp.mli: Attributes Evidence

@@ -1,0 +1,1 @@
+lib/mining/decision_tree.pp.ml: Array Classifier Dataset Fun Hashtbl List Random

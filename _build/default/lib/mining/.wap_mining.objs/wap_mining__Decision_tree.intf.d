@@ -1,0 +1,1 @@
+lib/mining/decision_tree.pp.mli: Classifier Dataset

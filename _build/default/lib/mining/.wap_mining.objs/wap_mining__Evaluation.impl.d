@@ -1,0 +1,1 @@
+lib/mining/evaluation.pp.ml: Classifier Dataset Decision_tree Knn List Logistic Metrics Mlp Naive_bayes Random_forest Random_tree Svm

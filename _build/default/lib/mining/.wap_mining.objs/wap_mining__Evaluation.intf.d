@@ -1,0 +1,1 @@
+lib/mining/evaluation.pp.mli: Classifier Dataset Metrics

@@ -1,0 +1,1 @@
+lib/mining/evidence.pp.ml: Ast List Set String Symptom Wap_catalog Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/mining/evidence.pp.mli: Symptom Wap_php Wap_taint

@@ -1,0 +1,1 @@
+lib/mining/knn.pp.ml: Array Classifier Dataset Int

@@ -1,0 +1,1 @@
+lib/mining/knn.pp.mli: Classifier Dataset

@@ -1,0 +1,1 @@
+lib/mining/logistic.pp.ml: Array Classifier Dataset List

@@ -1,0 +1,1 @@
+lib/mining/logistic.pp.mli: Classifier Dataset

@@ -1,0 +1,1 @@
+lib/mining/metrics.pp.ml: Ppx_deriving_runtime

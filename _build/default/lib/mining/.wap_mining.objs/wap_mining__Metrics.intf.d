@@ -1,0 +1,1 @@
+lib/mining/metrics.pp.mli: Ppx_deriving_runtime

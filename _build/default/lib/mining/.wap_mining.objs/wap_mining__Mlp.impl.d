@@ -1,0 +1,1 @@
+lib/mining/mlp.pp.ml: Array Classifier Dataset Random

@@ -1,0 +1,1 @@
+lib/mining/mlp.pp.mli: Classifier Dataset

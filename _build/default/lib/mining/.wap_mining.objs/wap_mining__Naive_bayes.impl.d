@@ -1,0 +1,1 @@
+lib/mining/naive_bayes.pp.ml: Array Classifier Dataset List

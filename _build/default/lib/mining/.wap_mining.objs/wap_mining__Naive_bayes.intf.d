@@ -1,0 +1,1 @@
+lib/mining/naive_bayes.pp.mli: Classifier Dataset

@@ -1,0 +1,1 @@
+lib/mining/predictor.pp.ml: Attributes Classifier Dataset Evidence List Logistic Random_forest Random_tree Svm Symptom Wap_taint

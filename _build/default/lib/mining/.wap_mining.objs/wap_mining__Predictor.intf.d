@@ -1,0 +1,1 @@
+lib/mining/predictor.pp.mli: Attributes Classifier Dataset Symptom Wap_taint

@@ -1,0 +1,1 @@
+lib/mining/random_forest.pp.ml: Array Classifier Dataset Decision_tree List Random Random_tree

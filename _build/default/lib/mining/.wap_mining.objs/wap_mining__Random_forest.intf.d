@@ -1,0 +1,1 @@
+lib/mining/random_forest.pp.mli: Classifier Dataset Decision_tree

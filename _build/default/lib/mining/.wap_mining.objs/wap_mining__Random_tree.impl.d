@@ -1,0 +1,1 @@
+lib/mining/random_tree.pp.ml: Array Classifier Dataset Decision_tree

@@ -1,0 +1,1 @@
+lib/mining/svm.pp.ml: Array Classifier Dataset Random

@@ -1,0 +1,1 @@
+lib/mining/svm.pp.mli: Classifier Dataset

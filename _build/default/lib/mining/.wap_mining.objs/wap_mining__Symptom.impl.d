@@ -1,0 +1,1 @@
+lib/mining/symptom.pp.ml: List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/mining/symptom.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,36 @@
+(** Attribute vectors for the classifiers.
+
+    Two granularities exist (Section III-B1):
+    - [Original]: WAP v2.1's 15 attributes, each the disjunction of the
+      symptoms in its group (plus the class attribute: 16);
+    - [Extended]: the new WAP's 60 attributes, one per symptom (plus the
+      class attribute: 61). *)
+
+type mode = Original | Extended [@@deriving show, eq]
+
+(** Attribute names, in vector order (without the class attribute). *)
+let names = function
+  | Original -> Symptom.original_groups
+  | Extended -> Symptom.names
+
+let arity mode = List.length (names mode)
+
+(** Number of attributes as the paper counts them (including the class
+    attribute): 16 for the original tool, 61 for the new one. *)
+let paper_count mode = arity mode + 1
+
+(** Encode a symptom set as a binary feature vector. *)
+let vector_of_evidence (mode : mode) (ev : Evidence.t) : float array =
+  match mode with
+  | Extended ->
+      Array.of_list
+        (List.map (fun n -> if Evidence.mem n ev then 1.0 else 0.0) Symptom.names)
+  | Original ->
+      Array.of_list
+        (List.map
+           (fun g ->
+             let syms = Symptom.group_symptoms ~original_only:true g in
+             if List.exists (fun (s : Symptom.t) -> Evidence.mem s.name ev) syms
+             then 1.0
+             else 0.0)
+           Symptom.original_groups)

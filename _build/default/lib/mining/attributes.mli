@@ -1,0 +1,22 @@
+(** Attribute vectors for the classifiers.
+
+    Two granularities exist (Section III-B1):
+    - [Original]: WAP v2.1's 15 attributes, each the disjunction of the
+      symptoms in its group (plus the class attribute: 16);
+    - [Extended]: the new WAP's 60 attributes, one per symptom (plus the
+      class attribute: 61). *)
+
+type mode = Original | Extended [@@deriving show, eq]
+
+(** Attribute names, in vector order (without the class attribute). *)
+val names : mode -> string list
+
+(** Vector length: 15 or 60. *)
+val arity : mode -> int
+
+(** Attribute count as the paper reports it (including the class
+    attribute): 16 or 61. *)
+val paper_count : mode -> int
+
+(** Encode a symptom set as a binary feature vector. *)
+val vector_of_evidence : mode -> Evidence.t -> float array

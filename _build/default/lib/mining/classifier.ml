@@ -1,0 +1,31 @@
+(** Common interface for the machine-learning classifiers.
+
+    Every model predicts whether a candidate vulnerability is a false
+    positive ([true]) from its binary attribute vector.  All training is
+    deterministic given the seed so the experiment tables are
+    reproducible. *)
+
+type model = {
+  name : string;
+  predict : float array -> bool;
+  score : float array -> float;  (** confidence in the FP class, in [0,1] *)
+}
+
+type algorithm = {
+  algo_name : string;
+  train : seed:int -> Dataset.t -> model;
+}
+
+let predict m x = m.predict x
+let score m x = m.score x
+
+(* small shared helpers *)
+
+let dot w x =
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (w.(i) *. x.(i))
+  done;
+  !s
+
+let sigmoid z = 1.0 /. (1.0 +. exp (-.z))

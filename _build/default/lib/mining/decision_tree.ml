@@ -1,0 +1,125 @@
+(** CART-style decision trees over binary attributes.
+
+    Shared by {!Random_tree} (a single tree choosing among a random
+    attribute subset at each split, as in WEKA's RandomTree — one of the
+    original WAP's classifiers) and {!Random_forest} (bagged trees, one
+    of the new top 3). *)
+
+type node =
+  | Leaf of float  (** probability of the FP class *)
+  | Split of int * node * node  (** attribute index; zero branch, one branch *)
+
+type t = { root : node }
+
+type params = {
+  max_depth : int;
+  min_samples : int;
+  feature_subset : int option;
+      (** when set, each split considers only this many randomly chosen
+          attributes — [None] examines all (plain CART) *)
+}
+
+let default_params = { max_depth = 12; min_samples = 2; feature_subset = None }
+
+let gini (instances : Dataset.instance list) =
+  let n = List.length instances in
+  if n = 0 then 0.0
+  else
+    let p = float_of_int (List.length (List.filter (fun i -> i.Dataset.label) instances))
+            /. float_of_int n in
+    2.0 *. p *. (1.0 -. p)
+
+let fp_fraction instances =
+  let n = List.length instances in
+  if n = 0 then 0.5
+  else
+    float_of_int (List.length (List.filter (fun i -> i.Dataset.label) instances))
+    /. float_of_int n
+
+let split_on idx instances =
+  List.partition (fun (i : Dataset.instance) -> i.features.(idx) <= 0.5) instances
+
+let candidate_features ~params ~rng dim =
+  match params.feature_subset with
+  | None -> List.init dim Fun.id
+  | Some k ->
+      let k = min k dim in
+      (* sample k distinct indices *)
+      let chosen = Hashtbl.create k in
+      let rec draw n =
+        if n = 0 then ()
+        else
+          let i = Random.State.int rng dim in
+          if Hashtbl.mem chosen i then draw n
+          else begin
+            Hashtbl.add chosen i ();
+            draw (n - 1)
+          end
+      in
+      draw k;
+      Hashtbl.fold (fun i () acc -> i :: acc) chosen []
+
+let rec build ~params ~rng depth (instances : Dataset.instance list) : node =
+  let n = List.length instances in
+  let impurity = gini instances in
+  if depth >= params.max_depth || n < params.min_samples || impurity = 0.0 then
+    Leaf (fp_fraction instances)
+  else
+    match instances with
+    | [] -> Leaf 0.5
+    | first :: _ ->
+        let dim = Array.length first.features in
+        let best = ref None in
+        List.iter
+          (fun idx ->
+            let zeros, ones = split_on idx instances in
+            if zeros <> [] && ones <> [] then begin
+              let nz = float_of_int (List.length zeros)
+              and no = float_of_int (List.length ones) in
+              let weighted =
+                ((nz *. gini zeros) +. (no *. gini ones)) /. float_of_int n
+              in
+              let gain = impurity -. weighted in
+              match !best with
+              | Some (g, _, _, _) when g >= gain -> ()
+              | _ -> best := Some (gain, idx, zeros, ones)
+            end)
+          (candidate_features ~params ~rng dim);
+        (match !best with
+        | None -> Leaf (fp_fraction instances)
+        | Some (_, idx, zeros, ones) ->
+            (* zero-gain splits are allowed (XOR-style interactions only
+               pay off one level deeper); max_depth bounds the tree *)
+            Split
+              ( idx,
+                build ~params ~rng (depth + 1) zeros,
+                build ~params ~rng (depth + 1) ones ))
+
+let train ?(params = default_params) ~seed (d : Dataset.t) : t =
+  let rng = Random.State.make [| seed; 104729 |] in
+  { root = build ~params ~rng 0 d.Dataset.instances }
+
+let rec score_node node x =
+  match node with
+  | Leaf p -> p
+  | Split (idx, zero, one) ->
+      if x.(idx) <= 0.5 then score_node zero x else score_node one x
+
+let score (m : t) x = score_node m.root x
+let predict (m : t) x = score m x >= 0.5
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "Decision Tree";
+    train =
+      (fun ~seed d ->
+        let m = train ~seed d in
+        { Classifier.name = "Decision Tree"; predict = predict m; score = score m });
+  }
+
+(** Depth and node count, used by tests. *)
+let rec depth_of = function
+  | Leaf _ -> 0
+  | Split (_, a, b) -> 1 + max (depth_of a) (depth_of b)
+
+let rec nodes_of = function Leaf _ -> 1 | Split (_, a, b) -> 1 + nodes_of a + nodes_of b

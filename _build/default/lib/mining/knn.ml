@@ -1,0 +1,40 @@
+(** k-nearest-neighbours over Hamming distance.
+
+    Part of the wider pool evaluated during model selection. *)
+
+type t = { k : int; instances : Dataset.instance array }
+
+let train ?(k = 5) (d : Dataset.t) : t =
+  { k; instances = Array.of_list d.Dataset.instances }
+
+let hamming a b =
+  let d = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    if (a.(i) > 0.5) <> (b.(i) > 0.5) then incr d
+  done;
+  !d
+
+let score (m : t) x =
+  let n = Array.length m.instances in
+  if n = 0 then 0.5
+  else begin
+    let dist = Array.map (fun (i : Dataset.instance) -> (hamming i.features x, i.label)) m.instances in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) dist;
+    let k = min m.k n in
+    let fp = ref 0 in
+    for i = 0 to k - 1 do
+      if snd dist.(i) then incr fp
+    done;
+    float_of_int !fp /. float_of_int k
+  end
+
+let predict (m : t) x = score m x >= 0.5
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "k-NN";
+    train =
+      (fun ~seed:_ d ->
+        let m = train d in
+        { Classifier.name = "k-NN"; predict = predict m; score = score m });
+  }

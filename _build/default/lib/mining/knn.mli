@@ -1,0 +1,13 @@
+(** k-nearest-neighbours over Hamming distance.
+
+    Part of the wider pool evaluated during model selection. *)
+
+type t = { k : int; instances : Dataset.instance array }
+
+val train : ?k:int -> Dataset.t -> t
+
+(** Fraction of FP labels among the k nearest training instances. *)
+val score : t -> float array -> float
+
+val predict : t -> float array -> bool
+val algorithm : Classifier.algorithm

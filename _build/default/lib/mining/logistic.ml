@@ -1,0 +1,58 @@
+(** Logistic regression with L2 regularization, trained by batch
+    gradient descent.
+
+    One of the original WAP's top-3 classifiers, kept in the new top 3
+    (Table II). *)
+
+type params = {
+  learning_rate : float;
+  iterations : int;
+  l2 : float;
+}
+
+let default_params = { learning_rate = 0.5; iterations = 400; l2 = 0.001 }
+
+type t = { weights : float array; bias : float }
+
+let train ?(params = default_params) (d : Dataset.t) : t =
+  match d.Dataset.instances with
+  | [] -> { weights = [||]; bias = 0.0 }
+  | first :: _ ->
+      let dim = Array.length first.Dataset.features in
+      let n = List.length d.Dataset.instances in
+      let w = Array.make dim 0.0 in
+      let b = ref 0.0 in
+      let xs = Array.of_list d.Dataset.instances in
+      for _ = 1 to params.iterations do
+        let grad_w = Array.make dim 0.0 in
+        let grad_b = ref 0.0 in
+        Array.iter
+          (fun (inst : Dataset.instance) ->
+            let y = if inst.label then 1.0 else 0.0 in
+            let p = Classifier.sigmoid (Classifier.dot w inst.features +. !b) in
+            let err = p -. y in
+            for i = 0 to dim - 1 do
+              grad_w.(i) <- grad_w.(i) +. (err *. inst.features.(i))
+            done;
+            grad_b := !grad_b +. err)
+          xs;
+        let nf = float_of_int n in
+        for i = 0 to dim - 1 do
+          w.(i) <-
+            w.(i) -. (params.learning_rate *. ((grad_w.(i) /. nf) +. (params.l2 *. w.(i))))
+        done;
+        b := !b -. (params.learning_rate *. (!grad_b /. nf))
+      done;
+      { weights = w; bias = !b }
+
+let score (m : t) x = Classifier.sigmoid (Classifier.dot m.weights x +. m.bias)
+let predict (m : t) x = score m x >= 0.5
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "Logistic Regression";
+    train =
+      (fun ~seed:_ d ->
+        let m = train d in
+        { Classifier.name = "Logistic Regression"; predict = predict m; score = score m });
+  }

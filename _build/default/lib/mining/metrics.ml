@@ -1,0 +1,89 @@
+(** Confusion matrices and the nine evaluation metrics of Table II.
+
+    Class conventions follow the paper: the positive class "Yes" is
+    {e false positive}; misclassifying a real vulnerability as a false
+    positive therefore shows up as [fp] in the matrix and corresponds to
+    a missed vulnerability. *)
+
+type confusion = {
+  tp : int;  (** false positives predicted as false positives *)
+  fp : int;  (** real vulnerabilities predicted as false positives *)
+  fn : int;  (** false positives predicted as real vulnerabilities *)
+  tn : int;  (** real vulnerabilities predicted as real vulnerabilities *)
+}
+[@@deriving show, eq]
+
+let empty = { tp = 0; fp = 0; fn = 0; tn = 0 }
+
+let add a b = { tp = a.tp + b.tp; fp = a.fp + b.fp; fn = a.fn + b.fn; tn = a.tn + b.tn }
+
+let observe c ~predicted ~actual =
+  match (predicted, actual) with
+  | true, true -> { c with tp = c.tp + 1 }
+  | true, false -> { c with fp = c.fp + 1 }
+  | false, true -> { c with fn = c.fn + 1 }
+  | false, false -> { c with tn = c.tn + 1 }
+
+let total c = c.tp + c.fp + c.fn + c.tn
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+(** tpp = recall = tp / (tp + fn): fraction of false positives caught. *)
+let tpp c = ratio c.tp (c.tp + c.fn)
+
+(** pfp = fallout = fp / (tn + fp): fraction of real vulnerabilities
+    wrongly dismissed — the paper's goal (2) is minimizing this. *)
+let pfp c = ratio c.fp (c.tn + c.fp)
+
+(** prfp = precision on the FP class = tp / (tp + fp). *)
+let prfp c = ratio c.tp (c.tp + c.fp)
+
+(** pd = specificity = tn / (tn + fp). *)
+let pd c = ratio c.tn (c.tn + c.fp)
+
+(** ppd = inverse precision = tn / (tn + fn). *)
+let ppd c = ratio c.tn (c.tn + c.fn)
+
+(** accuracy = (tp + tn) / N. *)
+let acc c = ratio (c.tp + c.tn) (total c)
+
+(** pr = (prfp + ppd) / 2: macro precision. *)
+let pr c = (prfp c +. ppd c) /. 2.0
+
+(** informedness = tpp + pd - 1 = tpp - pfp. *)
+let inform c = tpp c +. pd c -. 1.0
+
+(** jaccard = tp / (tp + fn + fp). *)
+let jacc c = ratio c.tp (c.tp + c.fn + c.fp)
+
+type row = { metric : string; value : float }
+
+let all_metrics c : row list =
+  [
+    { metric = "tpp"; value = tpp c };
+    { metric = "pfp"; value = pfp c };
+    { metric = "prfp"; value = prfp c };
+    { metric = "pd"; value = pd c };
+    { metric = "ppd"; value = ppd c };
+    { metric = "acc"; value = acc c };
+    { metric = "pr"; value = pr c };
+    { metric = "inform"; value = inform c };
+    { metric = "jacc"; value = jacc c };
+  ]
+
+let metric_names =
+  [ "tpp"; "pfp"; "prfp"; "pd"; "ppd"; "acc"; "pr"; "inform"; "jacc" ]
+
+let get c = function
+  | "tpp" -> tpp c
+  | "pfp" -> pfp c
+  | "prfp" -> prfp c
+  | "pd" -> pd c
+  | "ppd" -> ppd c
+  | "acc" -> acc c
+  | "pr" -> pr c
+  | "inform" -> inform c
+  | "jacc" -> jacc c
+  | m -> invalid_arg ("unknown metric " ^ m)
+
+let pct f = 100.0 *. f

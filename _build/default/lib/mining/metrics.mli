@@ -1,0 +1,60 @@
+(** Confusion matrices and the nine evaluation metrics of Table II.
+
+    Class conventions follow the paper: the positive class "Yes" is
+    {e false positive}; misclassifying a real vulnerability as a false
+    positive therefore shows up as [fp] in the matrix and corresponds to
+    a missed vulnerability. *)
+
+type confusion = {
+  tp : int;  (** false positives predicted as false positives *)
+  fp : int;  (** real vulnerabilities predicted as false positives *)
+  fn : int;  (** false positives predicted as real vulnerabilities *)
+  tn : int;  (** real vulnerabilities predicted as real vulnerabilities *)
+}
+[@@deriving show, eq]
+
+val empty : confusion
+val add : confusion -> confusion -> confusion
+val observe : confusion -> predicted:bool -> actual:bool -> confusion
+val total : confusion -> int
+
+(** tpp = recall = tp / (tp + fn): fraction of false positives caught. *)
+val tpp : confusion -> float
+
+(** pfp = fallout = fp / (tn + fp): fraction of real vulnerabilities
+    wrongly dismissed — the paper's goal (2) is minimizing this. *)
+val pfp : confusion -> float
+
+(** prfp = precision on the FP class = tp / (tp + fp). *)
+val prfp : confusion -> float
+
+(** pd = specificity = tn / (tn + fp). *)
+val pd : confusion -> float
+
+(** ppd = inverse precision = tn / (tn + fn). *)
+val ppd : confusion -> float
+
+(** accuracy = (tp + tn) / N. *)
+val acc : confusion -> float
+
+(** pr = (prfp + ppd) / 2: macro precision. *)
+val pr : confusion -> float
+
+(** informedness = tpp + pd - 1 = tpp - pfp. *)
+val inform : confusion -> float
+
+(** jaccard = tp / (tp + fn + fp). *)
+val jacc : confusion -> float
+
+type row = { metric : string; value : float }
+
+(** All nine metrics, in Table II order. *)
+val all_metrics : confusion -> row list
+
+val metric_names : string list
+
+(** Lookup by name; @raise Invalid_argument for unknown names. *)
+val get : confusion -> string -> float
+
+(** Fraction to percentage. *)
+val pct : float -> float

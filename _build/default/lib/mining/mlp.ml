@@ -1,0 +1,97 @@
+(** A small multi-layer perceptron (one hidden layer, sigmoid
+    activations) trained with plain backpropagation.
+
+    WEKA's MultilayerPerceptron was part of the classifier families
+    typically screened in model selections of the paper's era; included
+    here in the re-evaluation pool. *)
+
+type params = {
+  hidden : int;
+  learning_rate : float;
+  epochs : int;
+}
+
+let default_params = { hidden = 8; learning_rate = 0.3; epochs = 200 }
+
+type t = {
+  w1 : float array array;  (** hidden x input *)
+  b1 : float array;
+  w2 : float array;  (** output <- hidden *)
+  mutable b2 : float;
+}
+
+let hidden_activations (m : t) (x : float array) : float array =
+  Array.mapi
+    (fun j row ->
+      let s = ref m.b1.(j) in
+      Array.iteri (fun i w -> s := !s +. (w *. x.(i))) row;
+      Classifier.sigmoid !s)
+    m.w1
+
+let score (m : t) (x : float array) : float =
+  if Array.length m.w1 = 0 then 0.5
+  else begin
+    let h = hidden_activations m x in
+    let o = ref m.b2 in
+    Array.iteri (fun j hv -> o := !o +. (m.w2.(j) *. hv)) h;
+    Classifier.sigmoid !o
+  end
+
+let predict (m : t) x = score m x >= 0.5
+
+let train ?(params = default_params) ~seed (d : Dataset.t) : t =
+  match d.Dataset.instances with
+  | [] -> { w1 = [||]; b1 = [||]; w2 = [||]; b2 = 0.0 }
+  | first :: _ ->
+      let dim = Array.length first.Dataset.features in
+      let rng = Random.State.make [| seed; 7127 |] in
+      let rand () = Random.State.float rng 0.5 -. 0.25 in
+      let m =
+        {
+          w1 = Array.init params.hidden (fun _ -> Array.init dim (fun _ -> rand ()));
+          b1 = Array.init params.hidden (fun _ -> rand ());
+          w2 = Array.init params.hidden (fun _ -> rand ());
+          b2 = rand ();
+        }
+      in
+      let xs = Array.of_list d.Dataset.instances in
+      for _epoch = 1 to params.epochs do
+        Array.iter
+          (fun (inst : Dataset.instance) ->
+            let x = inst.Dataset.features in
+            let y = if inst.Dataset.label then 1.0 else 0.0 in
+            let h = hidden_activations m x in
+            let o =
+              let s = ref m.b2 in
+              Array.iteri (fun j hv -> s := !s +. (m.w2.(j) *. hv)) h;
+              Classifier.sigmoid !s
+            in
+            let delta_o = (o -. y) *. o *. (1.0 -. o) in
+            let delta_h =
+              Array.mapi (fun j hv -> delta_o *. m.w2.(j) *. hv *. (1.0 -. hv)) h
+            in
+            Array.iteri
+              (fun j hv ->
+                m.w2.(j) <- m.w2.(j) -. (params.learning_rate *. delta_o *. hv))
+              h;
+            m.b2 <- m.b2 -. (params.learning_rate *. delta_o);
+            Array.iteri
+              (fun j row ->
+                Array.iteri
+                  (fun i xi ->
+                    row.(i) <- row.(i) -. (params.learning_rate *. delta_h.(j) *. xi))
+                  x;
+                m.b1.(j) <- m.b1.(j) -. (params.learning_rate *. delta_h.(j)))
+              m.w1)
+          xs
+      done;
+      m
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "MLP";
+    train =
+      (fun ~seed d ->
+        let m = train ~seed d in
+        { Classifier.name = "MLP"; predict = predict m; score = score m });
+  }

@@ -1,0 +1,18 @@
+(** A small multi-layer perceptron (one hidden layer, sigmoid
+    activations) trained with plain backpropagation — part of the
+    re-evaluation pool behind the paper's top-3 selection. *)
+
+type params = {
+  hidden : int;
+  learning_rate : float;
+  epochs : int;
+}
+
+val default_params : params
+
+type t
+
+val train : ?params:params -> seed:int -> Dataset.t -> t
+val score : t -> float array -> float
+val predict : t -> float array -> bool
+val algorithm : Classifier.algorithm

@@ -1,0 +1,60 @@
+(** Bernoulli naive Bayes with Laplace smoothing.
+
+    Not among the paper's top 3; included because the paper's model
+    selection re-evaluated a wider pool of classifiers before picking
+    SVM, Logistic Regression and Random Forest. *)
+
+type t = {
+  prior_fp : float;
+  (* per attribute: P(attr=1 | FP) and P(attr=1 | RV) *)
+  p_given_fp : float array;
+  p_given_rv : float array;
+}
+
+let train (d : Dataset.t) : t =
+  match d.Dataset.instances with
+  | [] -> { prior_fp = 0.5; p_given_fp = [||]; p_given_rv = [||] }
+  | first :: _ ->
+      let dim = Array.length first.Dataset.features in
+      let fps = List.filter (fun i -> i.Dataset.label) d.Dataset.instances in
+      let rvs = List.filter (fun i -> not i.Dataset.label) d.Dataset.instances in
+      let count instances idx =
+        List.length
+          (List.filter (fun (i : Dataset.instance) -> i.features.(idx) > 0.5) instances)
+      in
+      let laplace c n = (float_of_int c +. 1.0) /. (float_of_int n +. 2.0) in
+      {
+        prior_fp =
+          float_of_int (List.length fps)
+          /. float_of_int (List.length d.Dataset.instances);
+        p_given_fp = Array.init dim (fun i -> laplace (count fps i) (List.length fps));
+        p_given_rv = Array.init dim (fun i -> laplace (count rvs i) (List.length rvs));
+      }
+
+let log_likelihood probs x =
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i p -> s := !s +. if x.(i) > 0.5 then log p else log (1.0 -. p))
+    probs;
+  !s
+
+let score (m : t) x =
+  if Array.length m.p_given_fp = 0 then 0.5
+  else
+    let lf = log (max 1e-9 m.prior_fp) +. log_likelihood m.p_given_fp x in
+    let lr = log (max 1e-9 (1.0 -. m.prior_fp)) +. log_likelihood m.p_given_rv x in
+    (* normalized posterior *)
+    let mx = max lf lr in
+    let ef = exp (lf -. mx) and er = exp (lr -. mx) in
+    ef /. (ef +. er)
+
+let predict (m : t) x = score m x >= 0.5
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "Naive Bayes";
+    train =
+      (fun ~seed:_ d ->
+        let m = train d in
+        { Classifier.name = "Naive Bayes"; predict = predict m; score = score m });
+  }

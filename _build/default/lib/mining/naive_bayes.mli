@@ -1,0 +1,19 @@
+(** Bernoulli naive Bayes with Laplace smoothing.
+
+    Not among the paper's top 3; included because the paper's model
+    selection re-evaluated a wider pool of classifiers before picking
+    SVM, Logistic Regression and Random Forest. *)
+
+type t = {
+  prior_fp : float;
+  p_given_fp : float array;  (** per attribute, P(attr=1 | FP) *)
+  p_given_rv : float array;  (** per attribute, P(attr=1 | RV) *)
+}
+
+val train : Dataset.t -> t
+
+(** Normalized posterior P(FP | x). *)
+val score : t -> float array -> float
+
+val predict : t -> float array -> bool
+val algorithm : Classifier.algorithm

@@ -1,0 +1,76 @@
+(** The false-positive predictor (Fig. 3): collects symptoms from a
+    candidate, builds the attribute vector, and classifies it with the
+    top-3 ensemble.
+
+    Two stock configurations exist, matching the two tool versions:
+    - {!original_config}: 16 attributes, classifiers LR + Random Tree +
+      SVM (WAP v2.1);
+    - {!extended_config}: 61 attributes, classifiers SVM + LR + Random
+      Forest (WAPe). *)
+
+type config = {
+  mode : Attributes.mode;
+  algorithms : Classifier.algorithm list;  (** the top-3 ensemble *)
+  dynamic_symptoms : Symptom.dynamic_map;
+}
+
+let original_config =
+  {
+    mode = Attributes.Original;
+    algorithms = [ Logistic.algorithm; Random_tree.algorithm; Svm.algorithm ];
+    dynamic_symptoms = [];
+  }
+
+let extended_config =
+  {
+    mode = Attributes.Extended;
+    algorithms = [ Svm.algorithm; Logistic.algorithm; Random_forest.algorithm ];
+    dynamic_symptoms = [];
+  }
+
+let with_dynamic_symptoms config map =
+  { config with dynamic_symptoms = config.dynamic_symptoms @ map }
+
+type t = {
+  config : config;
+  models : Classifier.model list;
+}
+
+(** Train the ensemble on a labelled data set (must be in the same
+    attribute mode as the config). *)
+let train ?(seed = 42) (config : config) (d : Dataset.t) : t =
+  if d.Dataset.mode <> config.mode then
+    invalid_arg "Predictor.train: dataset attribute mode mismatch";
+  { config; models = List.map (fun a -> a.Classifier.train ~seed d) config.algorithms }
+
+(** Majority vote of the top-3 ensemble: is the candidate a false
+    positive? *)
+let is_false_positive (p : t) (c : Wap_taint.Trace.candidate) : bool =
+  let ev = Evidence.collect ~dynamic:p.config.dynamic_symptoms c in
+  let x = Attributes.vector_of_evidence p.config.mode ev in
+  let votes =
+    List.length (List.filter (fun m -> Classifier.predict m x) p.models)
+  in
+  votes * 2 > List.length p.models
+
+(** Ensemble confidence that the candidate is a false positive. *)
+let fp_score (p : t) (c : Wap_taint.Trace.candidate) : float =
+  let ev = Evidence.collect ~dynamic:p.config.dynamic_symptoms c in
+  let x = Attributes.vector_of_evidence p.config.mode ev in
+  match p.models with
+  | [] -> 0.5
+  | models ->
+      List.fold_left (fun acc m -> acc +. Classifier.score m x) 0.0 models
+      /. float_of_int (List.length models)
+
+(** The symptoms the predictor saw for a candidate — used to justify FP
+    verdicts to the user (the "justifying false positives" box of
+    Fig. 3). *)
+let justification (p : t) (c : Wap_taint.Trace.candidate) : string list =
+  Evidence.to_list (Evidence.collect ~dynamic:p.config.dynamic_symptoms c)
+
+(** Split candidates into predicted false positives and predicted real
+    vulnerabilities (the latter are handed to the code corrector). *)
+let triage (p : t) (candidates : Wap_taint.Trace.candidate list) :
+    Wap_taint.Trace.candidate list * Wap_taint.Trace.candidate list =
+  List.partition (is_false_positive p) candidates

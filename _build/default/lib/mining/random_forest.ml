@@ -1,0 +1,59 @@
+(** Random Forest: bagged CART trees with per-split random attribute
+    subsets, majority vote.
+
+    Newly selected into the top 3 (Table II): best fallout (pfp), i.e.
+    it dismisses the fewest real vulnerabilities. *)
+
+type params = {
+  n_trees : int;
+  max_depth : int;
+}
+
+let default_params = { n_trees = 60; max_depth = 14 }
+
+type t = { trees : Decision_tree.t array }
+
+let bootstrap ~rng (instances : Dataset.instance array) : Dataset.instance list =
+  let n = Array.length instances in
+  List.init n (fun _ -> instances.(Random.State.int rng n))
+
+let train ?(params = default_params) ~seed (d : Dataset.t) : t =
+  let instances = Array.of_list d.Dataset.instances in
+  let dim =
+    if Array.length instances = 0 then 1
+    else Array.length instances.(0).Dataset.features
+  in
+  let rng = Random.State.make [| seed; 15485863 |] in
+  let tree_params =
+    {
+      Decision_tree.max_depth = params.max_depth;
+      min_samples = 2;
+      feature_subset = Some (Random_tree.subset_size dim);
+    }
+  in
+  let trees =
+    Array.init params.n_trees (fun i ->
+        let sample = bootstrap ~rng instances in
+        Decision_tree.train ~params:tree_params ~seed:(seed + (i * 31))
+          { d with Dataset.instances = sample })
+  in
+  { trees }
+
+let score (m : t) x =
+  if Array.length m.trees = 0 then 0.5
+  else
+    let s =
+      Array.fold_left (fun acc t -> acc +. Decision_tree.score t x) 0.0 m.trees
+    in
+    s /. float_of_int (Array.length m.trees)
+
+let predict (m : t) x = score m x >= 0.5
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "Random Forest";
+    train =
+      (fun ~seed d ->
+        let m = train ~seed d in
+        { Classifier.name = "Random Forest"; predict = predict m; score = score m });
+  }

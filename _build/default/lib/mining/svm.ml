@@ -1,0 +1,60 @@
+(** Linear support vector machine trained with the Pegasos stochastic
+    sub-gradient algorithm (Shalev-Shwartz et al.).
+
+    The paper's best classifier for goal (1): catching as many false
+    positives as possible (highest tpp in Table II). *)
+
+type params = {
+  lambda : float;  (** regularization strength *)
+  epochs : int;
+}
+
+let default_params = { lambda = 0.005; epochs = 120 }
+
+type t = { weights : float array; bias : float }
+
+let train ?(params = default_params) ~seed (d : Dataset.t) : t =
+  match d.Dataset.instances with
+  | [] -> { weights = [||]; bias = 0.0 }
+  | first :: _ ->
+      let dim = Array.length first.Dataset.features in
+      let xs = Array.of_list d.Dataset.instances in
+      let n = Array.length xs in
+      let rng = Random.State.make [| seed; 7919 |] in
+      let w = Array.make dim 0.0 in
+      let b = ref 0.0 in
+      let t = ref 1 in
+      for _epoch = 1 to params.epochs do
+        for _step = 1 to n do
+          let inst = xs.(Random.State.int rng n) in
+          let y = if inst.Dataset.label then 1.0 else -1.0 in
+          let eta = 1.0 /. (params.lambda *. float_of_int !t) in
+          let margin = y *. (Classifier.dot w inst.features +. !b) in
+          (* shrink *)
+          let shrink = 1.0 -. (eta *. params.lambda) in
+          for i = 0 to dim - 1 do
+            w.(i) <- w.(i) *. shrink
+          done;
+          if margin < 1.0 then begin
+            for i = 0 to dim - 1 do
+              w.(i) <- w.(i) +. (eta *. y *. inst.features.(i))
+            done;
+            b := !b +. (eta *. y *. 0.1)
+          end;
+          incr t
+        done
+      done;
+      { weights = w; bias = !b }
+
+let margin (m : t) x = Classifier.dot m.weights x +. m.bias
+let predict (m : t) x = margin m x >= 0.0
+let score (m : t) x = Classifier.sigmoid (2.0 *. margin m x)
+
+let algorithm : Classifier.algorithm =
+  {
+    algo_name = "SVM";
+    train =
+      (fun ~seed d ->
+        let m = train ~seed d in
+        { Classifier.name = "SVM"; predict = predict m; score = score m });
+  }

@@ -1,0 +1,146 @@
+(** The symptom catalog of Table I.
+
+    A symptom is a source-code feature observed in a candidate
+    vulnerability's data flow: a PHP function that validates or
+    manipulates the entry point, or a property of the SQL query built at
+    the sink.  The original WAP knew 24 symptoms grouped into 15
+    attributes; the new version raises the granularity to 60 symptoms,
+    each being its own attribute (plus the class attribute: 61). *)
+
+type category = Validation | String_manipulation | Sql_manipulation
+[@@deriving show, eq]
+
+type t = {
+  name : string;  (** canonical symptom name, e.g. ["is_int"], ["FROM"] *)
+  category : category;
+  group : string;  (** the original WAP attribute it belongs to *)
+  original : bool;  (** present in WAP v2.1's symptom set *)
+}
+[@@deriving show, eq]
+
+let v ?(original = false) group name = { name; category = Validation; group; original }
+let s ?(original = false) group name =
+  { name; category = String_manipulation; group; original }
+let q ?(original = false) group name = { name; category = Sql_manipulation; group; original }
+
+(** The full symptom list (60 symptoms; with the class attribute the
+    instance vectors of the new WAP have 61 positions). *)
+let all : t list =
+  [
+    (* --- validation: type checking --- *)
+    v ~original:true "type_checking" "is_string";
+    v ~original:true "type_checking" "is_int";
+    v ~original:true "type_checking" "is_float";
+    v ~original:true "type_checking" "is_numeric";
+    v ~original:true "type_checking" "ctype_digit";
+    v ~original:true "type_checking" "ctype_alpha";
+    v ~original:true "type_checking" "ctype_alnum";
+    v ~original:true "type_checking" "intval";
+    v "type_checking" "is_double";
+    v "type_checking" "is_integer";
+    v "type_checking" "is_long";
+    v "type_checking" "is_real";
+    v "type_checking" "is_scalar";
+    (* --- validation: entry point is set --- *)
+    v ~original:true "entry_point_is_set" "isset";
+    v "entry_point_is_set" "is_null";
+    v "entry_point_is_set" "empty";
+    (* --- validation: pattern control --- *)
+    v ~original:true "pattern_control" "preg_match";
+    v "pattern_control" "preg_match_all";
+    v "pattern_control" "ereg";
+    v "pattern_control" "eregi";
+    v "pattern_control" "strnatcmp";
+    v "pattern_control" "strcmp";
+    v "pattern_control" "strncmp";
+    v "pattern_control" "strncasecmp";
+    v "pattern_control" "strcasecmp";
+    (* --- validation: white / black lists of user functions --- *)
+    v ~original:true "white_list" "user_white_list";
+    v ~original:true "black_list" "user_black_list";
+    (* --- validation: error and exit --- *)
+    v ~original:true "error_exit" "error";
+    v ~original:true "error_exit" "exit";
+    (* --- string manipulation: extract substring --- *)
+    s ~original:true "extract_substring" "substr";
+    s "extract_substring" "preg_split";
+    s "extract_substring" "str_split";
+    s "extract_substring" "explode";
+    s "extract_substring" "split";
+    s "extract_substring" "spliti";
+    (* --- string manipulation: concatenation --- *)
+    s ~original:true "string_concatenation" "concat_op";
+    s "string_concatenation" "implode";
+    s "string_concatenation" "join";
+    (* --- string manipulation: add char --- *)
+    s ~original:true "add_char" "addchar";
+    s "add_char" "str_pad";
+    (* --- string manipulation: replace string --- *)
+    s ~original:true "replace_string" "substr_replace";
+    s ~original:true "replace_string" "str_replace";
+    s ~original:true "replace_string" "preg_replace";
+    s "replace_string" "preg_filter";
+    s "replace_string" "ereg_replace";
+    s "replace_string" "eregi_replace";
+    s "replace_string" "str_ireplace";
+    s "replace_string" "str_shuffle";
+    s "replace_string" "chunk_split";
+    (* --- string manipulation: remove whitespace --- *)
+    s ~original:true "remove_whitespace" "trim";
+    s "remove_whitespace" "rtrim";
+    s "remove_whitespace" "ltrim";
+    (* --- SQL query manipulation --- *)
+    q ~original:true "complex_query" "complex_sql";
+    q ~original:true "numeric_entry_point" "is_num";
+    q ~original:true "from_clause" "from";
+    q ~original:true "aggregated_function" "avg";
+    q "aggregated_function" "count";
+    q "aggregated_function" "sum";
+    q "aggregated_function" "max";
+    q "aggregated_function" "min";
+  ]
+
+let count = List.length all
+let () = assert (count = 60)
+
+let names = List.map (fun sym -> sym.name) all
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun sym -> sym.name = name) all
+
+let is_symptom name = find name <> None
+
+(** The original WAP's 15 attribute groups, in Table I order. *)
+let original_groups =
+  [ "type_checking"; "entry_point_is_set"; "pattern_control"; "white_list";
+    "black_list"; "error_exit"; "extract_substring"; "string_concatenation";
+    "add_char"; "replace_string"; "remove_whitespace"; "complex_query";
+    "numeric_entry_point"; "from_clause"; "aggregated_function" ]
+
+(** Symptoms of one original attribute group (original symptom set only
+    when [original_only]). *)
+let group_symptoms ?(original_only = false) g =
+  List.filter (fun sym -> sym.group = g && ((not original_only) || sym.original)) all
+
+(** PHP function names that map directly onto a symptom of the same
+    name, used when interpreting the [through]/[guards] evidence of a
+    candidate.  Aliases cover spelling differences. *)
+let of_function_name fname =
+  let fname = String.lowercase_ascii fname in
+  match fname with
+  | "(int)" | "(integer)" -> Some "intval"
+  | "(float)" | "(double)" | "(real)" -> Some "is_float"
+  | "(bool)" | "(boolean)" -> Some "is_scalar"
+  | "die" -> Some "exit"
+  | "trigger_error" | "error_log" | "user_error" -> Some "error"
+  | "in_array" | "array_key_exists" -> Some "user_white_list"
+  | _ -> if is_symptom fname then Some fname else None
+
+(** Dynamic symptoms: a user-provided mapping from the user's own
+    function names to the static symptom each behaves like
+    (Section III-B2). *)
+type dynamic_map = (string * string) list
+
+let resolve_dynamic (map : dynamic_map) fname =
+  List.assoc_opt (String.lowercase_ascii fname) map

@@ -1,0 +1,51 @@
+(** The symptom catalog of Table I.
+
+    A symptom is a source-code feature observed in a candidate
+    vulnerability's data flow: a PHP function that validates or
+    manipulates the entry point, or a property of the SQL query built at
+    the sink.  The original WAP knew 24 symptoms grouped into 15
+    attributes; the new version raises the granularity to 60 symptoms,
+    each being its own attribute (plus the class attribute: 61). *)
+
+type category = Validation | String_manipulation | Sql_manipulation
+[@@deriving show, eq]
+
+type t = {
+  name : string;  (** canonical symptom name, e.g. ["is_int"], ["from"] *)
+  category : category;
+  group : string;  (** the original WAP attribute it belongs to *)
+  original : bool;  (** present in WAP v2.1's symptom set *)
+}
+[@@deriving show, eq]
+
+(** The full symptom list, in Table I order. *)
+val all : t list
+
+(** [List.length all] = 60. *)
+val count : int
+
+(** All symptom names, in vector order. *)
+val names : string list
+
+(** Case-insensitive lookup. *)
+val find : string -> t option
+
+val is_symptom : string -> bool
+
+(** The original WAP's 15 attribute groups, in Table I order. *)
+val original_groups : string list
+
+(** Symptoms of one attribute group; [original_only] restricts to WAP
+    v2.1's symptom set. *)
+val group_symptoms : ?original_only:bool -> string -> t list
+
+(** Map a PHP function name (or cast marker like ["(int)"]) to the
+    symptom it realizes; [None] when the function is not a symptom. *)
+val of_function_name : string -> string option
+
+(** Dynamic symptoms: a user-provided mapping from the user's own
+    function names to the static symptom each behaves like
+    (Section III-B2). *)
+type dynamic_map = (string * string) list
+
+val resolve_dynamic : dynamic_map -> string -> string option

@@ -1,0 +1,1 @@
+lib/php/ast.pp.ml: List Loc Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/php/ast.pp.mli: Loc Ppx_deriving_runtime

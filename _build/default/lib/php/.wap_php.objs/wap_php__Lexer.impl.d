@@ -1,0 +1,1 @@
+lib/php/lexer.pp.ml: Buffer Char List Loc Printf String Token

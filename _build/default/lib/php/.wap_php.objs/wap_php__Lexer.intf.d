@@ -1,0 +1,1 @@
+lib/php/lexer.pp.mli: Loc Token

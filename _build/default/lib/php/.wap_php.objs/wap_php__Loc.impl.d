@@ -1,0 +1,1 @@
+lib/php/loc.pp.ml: Fmt Int Ppx_deriving_runtime Printf String

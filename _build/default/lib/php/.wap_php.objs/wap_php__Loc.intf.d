@@ -1,0 +1,1 @@
+lib/php/loc.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/php/parser.pp.ml: Array Ast Lexer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/php/parser.pp.mli: Ast Loc

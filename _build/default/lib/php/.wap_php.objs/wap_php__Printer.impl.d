@@ -1,0 +1,1 @@
+lib/php/printer.pp.ml: Ast Buffer Char List Printf String

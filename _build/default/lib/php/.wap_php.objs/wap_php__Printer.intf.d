@@ -1,0 +1,1 @@
+lib/php/printer.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/php/token.pp.ml: List Ppx_deriving_runtime Printf String

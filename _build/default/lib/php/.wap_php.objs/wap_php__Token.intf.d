@@ -1,0 +1,1 @@
+lib/php/token.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/php/visitor.pp.ml: Ast List Loc Option

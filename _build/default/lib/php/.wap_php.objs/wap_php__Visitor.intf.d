@@ -1,0 +1,1 @@
+lib/php/visitor.pp.mli: Ast Loc

@@ -1,0 +1,20 @@
+(** Hand-written lexer for the PHP subset understood by the tool.
+
+    The lexer alternates between two modes, like PHP itself: outside
+    [<?php ... ?>] everything is inline HTML; inside, it produces
+    {!Token.t} values.  Double-quoted strings, heredocs and backticks are
+    split into interpolation parts here so the parser can rebuild the
+    implicit concatenation that WAP's taint analysis must see. *)
+
+(** Lexical error with its position. *)
+exception Error of string * Loc.t
+
+(** [tokenize ~file src] turns a whole source text (HTML and PHP
+    segments) into a located token stream ending with {!Token.EOF}.
+
+    @raise Error on malformed input (unterminated strings or comments,
+    bad characters, malformed literals). *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) list
+
+(** Read and tokenize a file from disk. *)
+val tokenize_file : string -> (Token.t * Loc.t) list

@@ -1,0 +1,41 @@
+(** Generic traversals over the PHP AST.
+
+    The detectors and the symptom collector both need to walk every
+    expression and statement; these folds centralize the recursion so
+    each client only writes the interesting cases. *)
+
+(** [fold_expr f acc e] applies [f] to [e] and every sub-expression, in
+    pre-order (including expressions inside closure bodies). *)
+val fold_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.expr -> 'a
+
+(** [fold_stmts_with_expr f acc stmts] folds [f] over every expression
+    reachable from [stmts], including nested functions and classes. *)
+val fold_stmts_with_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt list -> 'a
+
+val fold_stmt_with_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt -> 'a
+
+(** [iter_exprs f prog] applies [f] to every expression in the program. *)
+val iter_exprs : (Ast.expr -> unit) -> Ast.program -> unit
+
+(** All calls to named functions in a program, with their arguments and
+    locations.  Method names appear lowercased as ["name"]; static calls
+    as ["class::name"]. *)
+val named_calls : Ast.program -> (string * Ast.arg list * Loc.t) list
+
+(** All top-level and nested user function definitions, including class
+    methods. *)
+val collect_functions : Ast.stmt list -> Ast.func list
+
+(** Count of AST statement nodes, used as a cheap program-size proxy in
+    benchmarks. *)
+val stmt_count : Ast.program -> int
+
+(** [map_expr f e] rebuilds [e] bottom-up, applying [f] to every node
+    after its children have been rewritten. *)
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+(** [map_stmts f stmts] applies {!map_expr}[ f] to every expression in
+    the statements, preserving statement structure. *)
+val map_stmts : (Ast.expr -> Ast.expr) -> Ast.stmt list -> Ast.stmt list
+
+val map_stmt : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt

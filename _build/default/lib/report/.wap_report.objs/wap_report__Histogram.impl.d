@@ -1,0 +1,1 @@
+lib/report/histogram.ml: Buffer List Printf String

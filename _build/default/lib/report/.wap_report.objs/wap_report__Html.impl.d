@@ -1,0 +1,1 @@
+lib/report/html.ml: Buffer List Printf String

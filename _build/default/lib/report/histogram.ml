@@ -1,0 +1,42 @@
+(** Horizontal bar charts for the figures (Fig. 4, Fig. 5). *)
+
+type series = { label : string; values : (string * int) list }
+
+(** Render one or two series side by side as labelled bars. *)
+let render ~title (series : series list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b ("== " ^ title ^ " ==\n");
+  let max_v =
+    List.fold_left
+      (fun m s -> List.fold_left (fun m (_, v) -> max m v) m s.values)
+      1 series
+  in
+  let bins =
+    match series with s :: _ -> List.map fst s.values | [] -> []
+  in
+  let bin_w =
+    List.fold_left (fun w bname -> max w (String.length bname)) 4 bins
+  in
+  let scale = 40.0 /. float_of_int max_v in
+  List.iter
+    (fun bin ->
+      List.iteri
+        (fun i s ->
+          let v = try List.assoc bin s.values with Not_found -> 0 in
+          let bar_len = int_of_float (ceil (float_of_int v *. scale)) in
+          let bar = String.make (max (if v > 0 then 1 else 0) bar_len) (if i = 0 then '#' else '*') in
+          Buffer.add_string b
+            (Printf.sprintf "%-*s %-12s |%-41s %d\n" bin_w
+               (if i = 0 then bin else "")
+               s.label bar v))
+        series;
+      Buffer.add_char b '\n')
+    bins;
+  let legend =
+    String.concat "   "
+      (List.mapi
+         (fun i s -> Printf.sprintf "%c = %s" (if i = 0 then '#' else '*') s.label)
+         series)
+  in
+  Buffer.add_string b (legend ^ "\n");
+  Buffer.contents b

@@ -1,0 +1,7 @@
+(** Horizontal bar charts for the figures (Fig. 4, Fig. 5). *)
+
+type series = { label : string; values : (string * int) list }
+
+(** Render one or more series side by side as labelled bars; bins come
+    from the first series. *)
+val render : title:string -> series list -> string

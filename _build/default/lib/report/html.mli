@@ -1,0 +1,27 @@
+(** Self-contained HTML report for analysis results — the shareable
+    artifact a security review hands to developers. *)
+
+type row = {
+  r_kind : [ `Vulnerability | `False_positive ];
+  r_class : string;  (** e.g. ["SQLI"] *)
+  r_file : string;
+  r_line : int;
+  r_sink : string;
+  r_source : string;
+  r_symptoms : string list;
+  r_steps : (string * int * string) list;  (** file, line, code *)
+  r_confirmation : string option;
+      (** e.g. ["exploit confirmed"], when the dynamic replay ran *)
+}
+
+type t = {
+  title : string;
+  generated_by : string;
+  rows : row list;
+}
+
+(** HTML-escape text content. *)
+val escape : string -> string
+
+(** Render a complete standalone HTML document. *)
+val render : t -> string

@@ -1,0 +1,70 @@
+(** A minimal JSON emitter (no external dependency), used to export
+    findings and experiment data for downstream tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec write ~indent buf (v : t) (level : int) =
+  let pad n = if indent then String.make (2 * n) ' ' else "" in
+  let nl = if indent then "\n" else "" in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf ("[" ^ nl);
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ("," ^ nl);
+          Buffer.add_string buf (pad (level + 1));
+          write ~indent buf item (level + 1))
+        items;
+      Buffer.add_string buf (nl ^ pad level ^ "]")
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf ("{" ^ nl);
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ("," ^ nl);
+          Buffer.add_string buf (pad (level + 1));
+          Buffer.add_string buf ("\"" ^ escape_string k ^ "\":");
+          if indent then Buffer.add_char buf ' ';
+          write ~indent buf v (level + 1))
+        fields;
+      Buffer.add_string buf (nl ^ pad level ^ "}")
+
+(** Serialize; [indent] pretty-prints with two-space indentation. *)
+let to_string ?(indent = true) (v : t) : string =
+  let buf = Buffer.create 256 in
+  write ~indent buf v 0;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** A minimal JSON emitter (no external dependency), used to export
+    findings and experiment data for downstream tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialize; [indent] (default true) pretty-prints with two-space
+    indentation.  Strings are escaped per RFC 8259. *)
+val to_string : ?indent:bool -> t -> string

@@ -1,0 +1,1 @@
+lib/taint/analyzer.pp.ml: Ast Buffer Env Filename Hashtbl List Loc Printer Printf String Summary Trace Visitor Wap_catalog Wap_php

@@ -1,0 +1,1 @@
+lib/taint/analyzer.pp.mli: Ast Trace Wap_catalog Wap_php

@@ -1,0 +1,1 @@
+lib/taint/env.pp.ml: List Map Ppx_deriving_runtime String Trace

@@ -1,0 +1,1 @@
+lib/taint/env.pp.mli: Ppx_deriving_runtime Trace

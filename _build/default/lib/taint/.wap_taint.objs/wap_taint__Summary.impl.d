@@ -1,0 +1,1 @@
+lib/taint/summary.pp.ml: Hashtbl List Ppx_deriving_runtime String Trace Wap_php

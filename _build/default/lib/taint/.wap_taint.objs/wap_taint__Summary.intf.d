@@ -1,0 +1,1 @@
+lib/taint/summary.pp.mli: Ppx_deriving_runtime Trace Wap_php

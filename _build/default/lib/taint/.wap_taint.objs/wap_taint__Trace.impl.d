@@ -1,0 +1,1 @@
+lib/taint/trace.pp.ml: Ast List Loc Ppx_deriving_runtime Printf String Wap_catalog Wap_php

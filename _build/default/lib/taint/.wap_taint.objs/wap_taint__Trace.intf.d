@@ -1,0 +1,1 @@
+lib/taint/trace.pp.mli: Ast Loc Ppx_deriving_runtime Wap_catalog Wap_php

@@ -1,0 +1,1021 @@
+(** The taint analyzer: detects candidate vulnerabilities for one
+    detector specification.
+
+    The analysis is flow-sensitive inside each scope and interprocedural
+    through {!Summary} tables.  Sanitization functions of the spec kill
+    taint; validation functions do {e not} — they only add guard
+    evidence to the flow, exactly like the original WAP, whose
+    false-positive predictor is in charge of deciding whether the
+    observed validations make the candidate a false alarm. *)
+
+open Wap_php
+module VC = Wap_catalog.Vuln_class
+module Cat = Wap_catalog.Catalog
+module Lookup = Wap_catalog.Catalog.Lookup
+
+(* ------------------------------------------------------------------ *)
+(* Validation guards (Table I, validation category).                   *)
+
+let set_check_fns = [ "isset"; "empty"; "is_null" ]
+
+(* Functions whose return value is never attacker-controlled text even
+   when their arguments are tainted: query handles, counters, error
+   strings.  Without this barrier a tainted SQL string would taint the
+   result resource and, through a fetch, every page that renders query
+   results. *)
+let return_clean_fns =
+  [ "mysql_query"; "mysql_unbuffered_query"; "mysql_db_query"; "mysqli_query";
+    "mysqli_multi_query"; "mysqli_real_query"; "pg_query"; "pg_send_query";
+    "sqlite_query"; "sqlite_exec"; "mysql_num_rows"; "mysqli_num_rows";
+    "mysql_insert_id"; "mysql_affected_rows"; "mysql_error"; "mysqli_error";
+    "count"; "sizeof"; "strlen"; "array_key_exists" ]
+
+let guard_fns =
+  set_check_fns
+  @ [ "is_string"; "is_int"; "is_integer"; "is_long"; "is_float"; "is_double";
+      "is_real"; "is_numeric"; "is_scalar"; "is_bool";
+      "ctype_digit"; "ctype_alpha"; "ctype_alnum";
+      "preg_match"; "preg_match_all"; "ereg"; "eregi";
+      "strnatcmp"; "strcmp"; "strncmp"; "strncasecmp"; "strcasecmp";
+      "in_array"; "array_key_exists"; "checkdate"; "filter_var" ]
+
+let is_guard_fn name = List.mem (String.lowercase_ascii name) guard_fns
+
+(* ------------------------------------------------------------------ *)
+(* Analysis context.                                                   *)
+
+type phase =
+  | Summaries_only  (** first pass: only collect summaries *)
+  | Full  (** second pass: emit real candidates too *)
+
+type ctx = {
+  spec : Cat.spec;
+  lookup : Lookup.t;
+  summaries : Summary.table;
+  phase : phase;
+  mutable file : string;
+  mutable candidates : Trace.candidate list;
+  seen : (string, unit) Hashtbl.t;  (** candidate de-duplication *)
+  (* function-analysis state *)
+  mutable return_taints : Env.taint list;
+  mutable param_sinks : Summary.param_sink list;
+  mutable current_fn : string option;
+}
+
+let make_ctx ~spec ~phase ~summaries =
+  {
+    spec;
+    lookup = Lookup.of_specs [ spec ];
+    summaries;
+    phase;
+    file = "<none>";
+    candidates = [];
+    seen = Hashtbl.create 64;
+    return_taints = [];
+    param_sinks = [];
+    current_fn = None;
+  }
+
+let render_expr e =
+  let s = Printer.expr_to_string e in
+  if String.length s > 120 then String.sub s 0 117 ^ "..." else s
+
+(* ------------------------------------------------------------------ *)
+(* Candidate emission.                                                 *)
+
+let emit_candidate ctx ~sink_name ~loc ~args ~tainted =
+  (* [tainted] : (position * origin) list *)
+  match tainted with
+  | [] -> ()
+  | _ ->
+      let real, params =
+        List.partition
+          (fun (_, (o : Trace.origin)) ->
+            Trace.param_index_of_source o.Trace.source = None)
+          tainted
+      in
+      (* taint coming from an enclosing function's parameter: record it in
+         the summary being built *)
+      List.iter
+        (fun (_, (o : Trace.origin)) ->
+          match Trace.param_index_of_source o.Trace.source with
+          | Some i ->
+              ctx.param_sinks <-
+                { Summary.ps_index = i; ps_sink_name = sink_name; ps_sink_loc = loc;
+                  ps_through = o.Trace.through }
+                :: ctx.param_sinks
+          | None -> ())
+        params;
+      if real <> [] && ctx.phase = Full then begin
+        (* the sink's own file, not the analyzed unit: included files keep
+           their identity when spliced into an includer *)
+        let file = if loc.Loc.file = "<none>" then ctx.file else loc.Loc.file in
+        let key =
+          Printf.sprintf "%s|%s|%d:%d|%s|%s" file sink_name loc.Loc.line
+            loc.Loc.col
+            (VC.acronym ctx.spec.Cat.vclass)
+            (String.concat ","
+               (List.map (fun (_, o) -> o.Trace.source) real))
+        in
+        if not (Hashtbl.mem ctx.seen key) then begin
+          Hashtbl.add ctx.seen key ();
+          ctx.candidates <-
+            {
+              Trace.vclass = ctx.spec.Cat.vclass;
+              file;
+              sink_name;
+              sink_loc = loc;
+              origins = List.map snd real;
+              sink_args = args;
+              tainted_positions = List.map fst real;
+            }
+            :: ctx.candidates
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Guard refinement.                                                   *)
+
+(* Variables (and rendered superglobal accesses) validated by a guard
+   call's arguments. *)
+let guarded_keys_of_args (args : Ast.arg list) : string list =
+  List.concat_map
+    (fun (a : Ast.arg) ->
+      let acc = ref [] in
+      Visitor.fold_expr
+        (fun () (e : Ast.expr) ->
+          match e.e with
+          | Ast.Var v when not (Ast.is_superglobal v) -> acc := v :: !acc
+          | Ast.Index ({ e = Ast.Var sg; _ }, _) when Ast.is_superglobal sg ->
+              acc := ("@sg:" ^ render_expr e) :: !acc
+          | _ -> ())
+        () a.a_expr;
+      !acc)
+    args
+
+let add_guard_to env keys gname =
+  List.fold_left
+    (fun env k ->
+      if String.length k > 4 && String.sub k 0 4 = "@sg:" then
+        (* superglobal guard: remember it under a pseudo-variable *)
+        match Env.get env k with
+        | Env.Tainted o -> Env.set env k (Env.Tainted (Trace.add_guard o gname))
+        | Env.Clean ->
+            Env.set env k
+              (Env.Tainted
+                 (Trace.add_guard (Trace.origin ~source:k ~source_loc:Loc.dummy) gname))
+      else
+        match Env.get env k with
+        | Env.Tainted o -> Env.set env k (Env.Tainted (Trace.add_guard o gname))
+        | Env.Clean -> env)
+    env keys
+
+(* guard calls appearing syntactically inside an expression *)
+let rec guard_calls_in (e : Ast.expr) : (string * string list) list =
+  Visitor.fold_expr
+    (fun acc (e : Ast.expr) ->
+      match e.e with
+      | Ast.Call (Ast.F_ident f, args) when is_guard_fn f ->
+          (String.lowercase_ascii f, guarded_keys_of_args args) :: acc
+      | Ast.Isset es ->
+          ("isset", guarded_keys_of_args (List.map (fun e -> { Ast.a_expr = e; a_spread = false }) es))
+          :: acc
+      | Ast.Empty e1 ->
+          ("empty", guarded_keys_of_args [ { Ast.a_expr = e1; a_spread = false } ]) :: acc
+      | _ -> acc)
+    [] e
+
+and refine_true env (cond : Ast.expr) =
+  match cond.e with
+  | Ast.Binop (Ast.Bool_and, a, b) -> refine_true (refine_true env a) b
+  | Ast.Binop (Ast.Bool_or, a, b) ->
+      (* symptom semantics, not dominance: a validation on either side of
+         a disjunction still counts as validation evidence (Table I) *)
+      refine_true (refine_true env a) b
+  | Ast.Unop (Ast.Not, a) -> refine_false env a
+  | Ast.Call (Ast.F_ident f, args) when is_guard_fn f ->
+      add_guard_to env (guarded_keys_of_args args) (String.lowercase_ascii f)
+  | Ast.Isset es ->
+      add_guard_to env
+        (guarded_keys_of_args (List.map (fun e -> { Ast.a_expr = e; a_spread = false }) es))
+        "isset"
+  | Ast.Binop ((Ast.Eq_eq | Ast.Identical | Ast.Neq | Ast.Not_identical | Ast.Gt | Ast.Ge | Ast.Lt | Ast.Le), _, _)
+    ->
+      (* comparison over a guard's result, e.g. strcmp($x,...) == 0 *)
+      List.fold_left (fun env (g, keys) -> add_guard_to env keys g) env (guard_calls_in cond)
+  | _ -> env
+
+and refine_false env (cond : Ast.expr) =
+  match cond.e with
+  | Ast.Unop (Ast.Not, a) -> refine_true env a
+  | Ast.Binop (Ast.Bool_or, a, b) -> refine_false (refine_false env a) b
+  | Ast.Call (Ast.F_ident f, args)
+    when List.mem (String.lowercase_ascii f) set_check_fns ->
+      (* `if (empty($x)) ... else <here $x is set>` *)
+      add_guard_to env (guarded_keys_of_args args) (String.lowercase_ascii f)
+  | Ast.Empty e1 ->
+      add_guard_to env
+        (guarded_keys_of_args [ { Ast.a_expr = e1; a_spread = false } ])
+        "empty"
+  | Ast.Binop ((Ast.Eq_eq | Ast.Identical | Ast.Neq | Ast.Not_identical), _, _) ->
+      List.fold_left (fun env (g, keys) -> add_guard_to env keys g) env (guard_calls_in cond)
+  | _ -> env
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation.                                              *)
+
+let cast_name = function
+  | Ast.C_int -> "(int)"
+  | Ast.C_float -> "(float)"
+  | Ast.C_string -> "(string)"
+  | Ast.C_bool -> "(bool)"
+  | Ast.C_array -> "(array)"
+  | Ast.C_object -> "(object)"
+
+(* Syntactic literal/dynamic structure of an expression, recorded on
+   origins so the SQL-symptom collector can analyse queries assembled in
+   variables before the sink. *)
+let rec flatten_parts (e : Ast.expr) : Trace.qpart list =
+  match e.e with
+  | Ast.String s -> [ Trace.Qlit s ]
+  | Ast.Int n -> [ Trace.Qlit (string_of_int n) ]
+  | Ast.Interp parts ->
+      List.concat_map
+        (function
+          | Ast.Ip_str s -> [ Trace.Qlit s ]
+          | Ast.Ip_expr e1 -> flatten_parts e1)
+        parts
+  | Ast.Binop (Ast.Concat, l, r) -> flatten_parts l @ flatten_parts r
+  | Ast.Ternary (_, Some t, f) -> flatten_parts t @ flatten_parts f
+  | _ -> [ Trace.Qdyn ]
+
+(* Split a printf-style format string into literal segments and dynamic
+   holes, mirroring what an interpolated string would record. *)
+let split_format (fmt : string) : Trace.qpart list =
+  let n = String.length fmt in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Trace.Qlit (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    if fmt.[!i] = '%' && !i + 1 < n then begin
+      if fmt.[!i + 1] = '%' then begin
+        Buffer.add_char buf '%';
+        i := !i + 2
+      end
+      else begin
+        flush ();
+        out := Trace.Qdyn :: !out;
+        (* skip flags/width up to the conversion letter *)
+        incr i;
+        while
+          !i < n
+          && not
+               (match fmt.[!i] with
+               | 'a' .. 'z' | 'A' .. 'Z' -> true
+               | _ -> false)
+        do
+          incr i
+        done;
+        if !i < n then incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !out
+
+(* Does a statement list end in a control-flow exit? Used for the
+   `if (!valid($x)) die();` refinement. *)
+let rec terminates (stmts : Ast.stmt list) =
+  match List.rev stmts with
+  | [] -> false
+  | last :: _ -> (
+      match last.Ast.s with
+      | Ast.Return _ | Ast.Throw _ | Ast.Break _ | Ast.Continue _ -> true
+      | Ast.Expr_stmt { e = Ast.Exit _; _ } -> true
+      | Ast.If (branches, Some els) ->
+          List.for_all (fun (_, b) -> terminates b) branches && terminates els
+      | Ast.Block b -> terminates b
+      | _ -> false)
+
+let terminates_with_exit (stmts : Ast.stmt list) =
+  match List.rev stmts with
+  | { Ast.s = Ast.Expr_stmt { e = Ast.Exit _; _ }; _ } :: _ -> true
+  | _ -> false
+
+let rec eval ctx env (e : Ast.expr) : Env.taint * Env.t =
+  match e.e with
+  | Ast.Int _ | Ast.Float _ | Ast.String _ | Ast.Constant _ | Ast.Class_const _
+  | Ast.Static_prop _ ->
+      (Env.Clean, env)
+  | Ast.Interp parts ->
+      let t, env =
+        List.fold_left
+          (fun (t, env) part ->
+            match part with
+            | Ast.Ip_str _ -> (t, env)
+            | Ast.Ip_expr pe ->
+                let t2, env = eval ctx env pe in
+                (Env.join_operands t t2, env))
+          (Env.Clean, env) parts
+      in
+      (* interpolation of tainted data into a literal is an implicit
+         string concatenation (Table I symptom) *)
+      let t =
+        match (t, parts) with
+        | Env.Tainted o, _ :: _ :: _ -> Env.Tainted (Trace.add_through o "concat_op")
+        | t, _ -> t
+      in
+      (t, env)
+  | Ast.Backtick parts ->
+      (* the shell-execution operator: evaluates like an interpolated
+         string and is an OS-command-injection sink *)
+      let t, env =
+        List.fold_left
+          (fun (t, env) part ->
+            match part with
+            | Ast.Ip_str _ -> (t, env)
+            | Ast.Ip_expr pe ->
+                let t2, env = eval ctx env pe in
+                (Env.join_operands t t2, env))
+          (Env.Clean, env) parts
+      in
+      check_fn_sink ctx ~name:"shell_exec" ~loc:e.eloc ~args:[ e ] ~taints:[ (0, t) ];
+      (Env.Clean, env)
+  | Ast.Var v ->
+      if Lookup.is_superglobal ctx.lookup v then
+        (Env.Tainted (Trace.origin ~source:("$" ^ v) ~source_loc:e.eloc), env)
+      else (Env.get env v, env)
+  | Ast.Var_var inner ->
+      let _, env = eval ctx env inner in
+      (Env.Clean, env)
+  | Ast.Index ({ e = Ast.Var sg; _ }, idx) when Lookup.is_superglobal ctx.lookup sg ->
+      let env =
+        match idx with
+        | Some i ->
+            let _, env = eval ctx env i in
+            env
+        | None -> env
+      in
+      let rendered = render_expr e in
+      (* pick up guards previously recorded for this superglobal access *)
+      let base = Trace.origin ~source:rendered ~source_loc:e.eloc in
+      let o =
+        match Env.get env ("@sg:" ^ rendered) with
+        | Env.Tainted prev -> { base with Trace.guards = prev.Trace.guards }
+        | Env.Clean -> base
+      in
+      (Env.Tainted o, env)
+  | Ast.Index (base, idx) ->
+      let t, env = eval ctx env base in
+      let env =
+        match idx with
+        | Some i ->
+            let _, env = eval ctx env i in
+            env
+        | None -> env
+      in
+      (t, env)
+  | Ast.Prop (base, _) -> eval ctx env base
+  | Ast.Call (callee, args) -> eval_call ctx env e.eloc callee args
+  | Ast.New (cname, args) ->
+      let taints, env = eval_args ctx env args in
+      let t =
+        List.fold_left Env.join_operands Env.Clean (List.map snd taints)
+      in
+      let t =
+        match t with
+        | Env.Tainted o -> Env.Tainted (Trace.add_through o ("new " ^ String.lowercase_ascii cname))
+        | Env.Clean -> Env.Clean
+      in
+      (t, env)
+  | Ast.Clone e1 -> eval ctx env e1
+  | Ast.Binop (op, l, r) ->
+      let tl, env = eval ctx env l in
+      let tr, env = eval ctx env r in
+      let t = Env.join_operands tl tr in
+      let t =
+        match (op, t) with
+        | Ast.Concat, Env.Tainted o -> Env.Tainted (Trace.add_through o "concat_op")
+        | _ -> t
+      in
+      (t, env)
+  | Ast.Unop (_, e1) -> eval ctx env e1
+  | Ast.Incdec (_, e1) -> eval ctx env e1
+  | Ast.Assign (op, lhs, rhs) -> eval_assign ctx env e.eloc op lhs rhs
+  | Ast.Assign_ref (lhs, rhs) -> eval_assign ctx env e.eloc Ast.A_eq lhs rhs
+  | Ast.Ternary (c, t_br, f_br) ->
+      let _, env = eval ctx env c in
+      let env_t = refine_true env c and env_f = refine_false env c in
+      let tt, env_t =
+        match t_br with
+        | Some t_br -> eval ctx env_t t_br
+        | None ->
+            (* `c ?: f` : value of c itself *)
+            eval ctx env_t c
+      in
+      let tf, env_f = eval ctx env_f f_br in
+      (Env.join tt tf, Env.merge env_t env_f)
+  | Ast.Cast (c, e1) ->
+      let t, env = eval ctx env e1 in
+      let t =
+        match t with
+        | Env.Tainted o -> Env.Tainted (Trace.add_through o (cast_name c))
+        | Env.Clean -> Env.Clean
+      in
+      (t, env)
+  | Ast.Isset es ->
+      let env = List.fold_left (fun env e1 -> snd (eval ctx env e1)) env es in
+      (Env.Clean, env)
+  | Ast.Empty e1 ->
+      let _, env = eval ctx env e1 in
+      (Env.Clean, env)
+  | Ast.Exit arg ->
+      let env =
+        match arg with
+        | Some a ->
+            let t, env = eval ctx env a in
+            check_fn_sink ctx ~name:"exit" ~loc:e.eloc ~args:[ a ] ~taints:[ (0, t) ];
+            env
+        | None -> env
+      in
+      (Env.Clean, env)
+  | Ast.Print e1 ->
+      let t, env = eval ctx env e1 in
+      if ctx.spec.Cat.sinks |> List.exists (fun s -> s = Cat.Sink_echo) then
+        emit_tainted ctx ~sink_name:"print" ~loc:e.eloc ~args:[ e1 ] ~taints:[ (0, t) ];
+      (Env.Clean, env)
+  | Ast.Include (_, e1) ->
+      let t, env = eval ctx env e1 in
+      if ctx.spec.Cat.sinks |> List.exists (fun s -> s = Cat.Sink_include) then
+        emit_tainted ctx ~sink_name:"include" ~loc:e.eloc ~args:[ e1 ] ~taints:[ (0, t) ];
+      (Env.Clean, env)
+  | Ast.List _ -> (Env.Clean, env)
+  | Ast.Array_lit items ->
+      List.fold_left
+        (fun (t, env) (it : Ast.array_item) ->
+          let env =
+            match it.ai_key with
+            | Some k -> snd (eval ctx env k)
+            | None -> env
+          in
+          let tv, env = eval ctx env it.ai_value in
+          (Env.join_operands t tv, env))
+        (Env.Clean, env) items
+  | Ast.Closure c ->
+      (* analyze the closure body in a scope seeded with captured vars *)
+      let inner_env =
+        List.fold_left
+          (fun acc (_, v) -> Env.set acc v (Env.get env v))
+          Env.empty c.cl_uses
+      in
+      let saved = ctx.return_taints in
+      ctx.return_taints <- [];
+      let _ = exec_stmts ctx inner_env c.cl_body in
+      ctx.return_taints <- saved;
+      (Env.Clean, env)
+
+and emit_tainted ctx ~sink_name ~loc ~args ~taints =
+  let tainted =
+    List.filter_map
+      (fun (i, t) -> match t with Env.Tainted o -> Some (i, o) | Env.Clean -> None)
+      taints
+  in
+  emit_candidate ctx ~sink_name ~loc ~args ~tainted
+
+and check_fn_sink ctx ~name ~loc ~args ~taints =
+  let sinks = Lookup.sink_classes_of_fn ctx.lookup name in
+  List.iter
+    (fun (_cls, danger_args) ->
+      let relevant =
+        match danger_args with
+        | [] -> taints
+        | positions -> List.filter (fun (i, _) -> List.mem i positions) taints
+      in
+      emit_tainted ctx ~sink_name:(String.lowercase_ascii name) ~loc ~args
+        ~taints:relevant)
+    sinks
+
+and eval_args ctx env (args : Ast.arg list) : (int * Env.taint) list * Env.t =
+  let _, taints, env =
+    List.fold_left
+      (fun (i, acc, env) (a : Ast.arg) ->
+        let t, env = eval ctx env a.a_expr in
+        (i + 1, (i, t) :: acc, env))
+      (0, [], env) args
+  in
+  (List.rev taints, env)
+
+and eval_call ctx env loc (callee : Ast.callee) (args : Ast.arg list) :
+    Env.taint * Env.t =
+  let taints, env = eval_args ctx env args in
+  let arg_exprs = List.map (fun (a : Ast.arg) -> a.a_expr) args in
+  let join_all ~through =
+    let t = List.fold_left Env.join_operands Env.Clean (List.map snd taints) in
+    match t with
+    | Env.Tainted o -> Env.Tainted (Trace.add_through o through)
+    | Env.Clean -> Env.Clean
+  in
+  match callee with
+  | Ast.F_method ({ e = Ast.Var obj; _ }, Ast.Mem_ident m)
+    when Lookup.is_sanitizer_method ctx.lookup obj m
+         || Lookup.is_sanitizer_method ctx.lookup "*" m ->
+      (Env.Clean, env)
+  | Ast.F_method ({ e = Ast.Var obj; _ }, Ast.Mem_ident m)
+    when Lookup.sink_class_of_method ctx.lookup obj m <> []
+         || Lookup.sink_class_of_method ctx.lookup "*" m <> [] ->
+      let name = String.lowercase_ascii obj ^ "->" ^ String.lowercase_ascii m in
+      emit_tainted ctx ~sink_name:name ~loc ~args:arg_exprs ~taints;
+      (Env.Clean, env)
+  | Ast.F_method (_, Ast.Mem_ident m) -> (
+      (* maybe a known user method *)
+      match Summary.find ctx.summaries m with
+      | Some s -> apply_summary ctx env loc s taints arg_exprs
+      | None -> (join_all ~through:(String.lowercase_ascii m), env))
+  | Ast.F_method (_, Ast.Mem_expr _) | Ast.F_var _ -> (join_all ~through:"<dynamic>", env)
+  | Ast.F_static (c, m) -> (
+      match Summary.find ctx.summaries m with
+      | Some s -> apply_summary ctx env loc s taints arg_exprs
+      | None ->
+          (join_all ~through:(String.lowercase_ascii c ^ "::" ^ String.lowercase_ascii m), env))
+  | Ast.F_ident f ->
+      let lf = String.lowercase_ascii f in
+      if Lookup.is_sanitizer_fn ctx.lookup lf then (Env.Clean, env)
+      else if Lookup.is_source_fn ctx.lookup lf then
+        (Env.Tainted (Trace.origin ~source:lf ~source_loc:loc), env)
+      else if lf = "sprintf" || lf = "vsprintf" then begin
+        (* format-string building: taint flows from the arguments into
+           the result, and the format literal gives the query structure *)
+        match join_all ~through:lf with
+        | Env.Tainted o ->
+            let parts =
+              match arg_exprs with
+              | { e = Ast.String fmt; _ } :: _ -> split_format fmt
+              | _ -> [ Trace.Qdyn ]
+            in
+            (Env.Tainted (Trace.with_parts o parts), env)
+        | Env.Clean -> (Env.Clean, env)
+      end
+      else begin
+        (* sink check, then propagation *)
+        if lf = "preg_replace" && ctx.spec.Cat.vclass = VC.Phpci then begin
+          (* only the /e modifier makes preg_replace a PHP-code sink *)
+          let dangerous =
+            match (arg_exprs, taints) with
+            | { e = Ast.String pat; _ } :: _, _ ->
+                String.length pat > 0
+                &&
+                let last = pat.[String.length pat - 1] in
+                last = 'e'
+            | _ -> true (* dynamic pattern: conservatively dangerous *)
+          in
+          if dangerous then
+            check_fn_sink ctx ~name:lf ~loc ~args:arg_exprs ~taints
+        end
+        else check_fn_sink ctx ~name:lf ~loc ~args:arg_exprs ~taints;
+        match Summary.find ctx.summaries lf with
+        | Some s -> apply_summary ctx env loc s taints arg_exprs
+        | None ->
+            if is_guard_fn lf || List.mem lf return_clean_fns then (Env.Clean, env)
+            else (join_all ~through:lf, env)
+      end
+
+and apply_summary ctx env loc (s : Summary.t) taints arg_exprs :
+    Env.taint * Env.t =
+  (* interprocedural sinks: a tainted argument reaching a sink inside *)
+  List.iter
+    (fun (ps : Summary.param_sink) ->
+      match List.assoc_opt ps.Summary.ps_index taints with
+      | Some (Env.Tainted o) ->
+          let o =
+            List.fold_left Trace.add_through o ps.Summary.ps_through
+          in
+          let o =
+            Trace.add_step o
+              {
+                Trace.step_loc = loc;
+                step_desc = Printf.sprintf "passed to %s()" s.Summary.fn_name;
+              }
+          in
+          emit_candidate ctx ~sink_name:ps.Summary.ps_sink_name
+            ~loc:ps.Summary.ps_sink_loc ~args:arg_exprs
+            ~tainted:[ (ps.Summary.ps_index, o) ]
+      | _ -> ())
+    s.Summary.param_sinks;
+  (* return taint *)
+  let ret =
+    List.fold_left
+      (fun acc (i, t) ->
+        match (t, Summary.find_param_flow s i) with
+        | Env.Tainted o, Some pf ->
+            let o = List.fold_left Trace.add_through o pf.Summary.pf_through in
+            let o = List.fold_left Trace.add_guard o pf.Summary.pf_guards in
+            let o = Trace.add_through o s.Summary.fn_name in
+            Env.join_operands acc (Env.Tainted o)
+        | _ -> acc)
+      Env.Clean taints
+  in
+  let ret =
+    match (ret, s.Summary.returns_tainted) with
+    | Env.Clean, Some o -> Env.Tainted { o with Trace.source_loc = loc }
+    | t, _ -> t
+  in
+  (ret, env)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment.                                                         *)
+
+and eval_assign ctx env loc op (lhs : Ast.expr) (rhs : Ast.expr) :
+    Env.taint * Env.t =
+  let t_rhs, env = eval ctx env rhs in
+  let t_prev, env =
+    match op with
+    | Ast.A_eq -> (Env.Clean, env)
+    | _ -> eval ctx env lhs
+  in
+  let t = Env.join_operands t_prev t_rhs in
+  let t =
+    match (op, t) with
+    | Ast.A_concat, Env.Tainted o -> Env.Tainted (Trace.add_through o "concat_op")
+    | _ -> t
+  in
+  let t =
+    match t with
+    | Env.Tainted o ->
+        let o =
+          Trace.add_step o
+            { Trace.step_loc = loc; step_desc = render_expr lhs ^ " = " ^ render_expr rhs }
+        in
+        (* remember the string structure being built; `.=` extends it; an
+           opaque right-hand side (e.g. a sprintf call that already
+           recorded its format) keeps the structure gathered so far *)
+        let parts =
+          match op with
+          | Ast.A_concat -> o.Trace.parts @ flatten_parts rhs
+          | _ -> (
+              match flatten_parts rhs with
+              | [ Trace.Qdyn ] when o.Trace.parts <> [] -> o.Trace.parts
+              | p -> p)
+        in
+        Env.Tainted (Trace.with_parts o parts)
+    | Env.Clean -> Env.Clean
+  in
+  let env = assign_to ctx env lhs t in
+  (t, env)
+
+and assign_to ctx env (lhs : Ast.expr) (t : Env.taint) : Env.t =
+  match lhs.e with
+  | Ast.Var v ->
+      if Lookup.is_superglobal ctx.lookup v then env else Env.set env v t
+  | Ast.Index (base, _) | Ast.Prop (base, _) -> (
+      (* coarse: the whole container becomes (partially) tainted *)
+      match Ast.base_variable base with
+      | Some v ->
+          let merged = Env.join_operands (Env.get env v) t in
+          Env.set env v merged
+      | None -> env)
+  | Ast.List es ->
+      List.fold_left
+        (fun env e1 ->
+          match e1 with Some e1 -> assign_to ctx env e1 t | None -> env)
+        env es
+  | Ast.Var_var _ | Ast.Static_prop _ -> env
+  | _ -> env
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                         *)
+
+and exec_stmts ctx env (stmts : Ast.stmt list) : Env.t =
+  List.fold_left (exec_stmt ctx) env stmts
+
+and exec_stmt ctx env (s : Ast.stmt) : Env.t =
+  match s.s with
+  | Ast.Expr_stmt e -> snd (eval ctx env e)
+  | Ast.Echo es ->
+      let has_echo_sink =
+        List.exists (fun s -> s = Cat.Sink_echo) ctx.spec.Cat.sinks
+      in
+      List.fold_left
+        (fun env e ->
+          let t, env = eval ctx env e in
+          if has_echo_sink then
+            emit_tainted ctx ~sink_name:"echo" ~loc:s.sloc ~args:[ e ]
+              ~taints:[ (0, t) ];
+          env)
+        env es
+  | Ast.If (branches, els) -> exec_if ctx env branches els
+  | Ast.While (cond, body) ->
+      let _, env0 = eval ctx env cond in
+      loop_fixpoint ctx env0 ~enter:(fun e -> refine_true e cond) ~body
+  | Ast.Do_while (body, cond) ->
+      let env = exec_stmts ctx env body in
+      let _, env = eval ctx env cond in
+      loop_fixpoint ctx env ~enter:(fun e -> refine_true e cond) ~body
+  | Ast.For (init, conds, steps, body) ->
+      let env = List.fold_left (fun env e -> snd (eval ctx env e)) env init in
+      let env = List.fold_left (fun env e -> snd (eval ctx env e)) env conds in
+      let body' = body in
+      let env =
+        loop_fixpoint ctx env ~enter:(fun e -> e)
+          ~body:body'
+      in
+      List.fold_left (fun env e -> snd (eval ctx env e)) env steps
+  | Ast.Foreach (subject, binding, body) ->
+      let t_subj, env = eval ctx env subject in
+      let t_subj =
+        match t_subj with
+        | Env.Tainted o ->
+            Env.Tainted
+              (Trace.add_step o
+                 { Trace.step_loc = s.sloc;
+                   step_desc = "foreach over " ^ render_expr subject })
+        | Env.Clean -> Env.Clean
+      in
+      let env = assign_to ctx env binding.fe_value t_subj in
+      let env =
+        match binding.fe_key with
+        | Some k -> assign_to ctx env k t_subj
+        | None -> env
+      in
+      loop_fixpoint ctx env ~enter:(fun e -> e) ~body
+  | Ast.Switch (subject, cases) ->
+      let _, env = eval ctx env subject in
+      let case_envs =
+        List.map
+          (fun case ->
+            match case with
+            | Ast.Case (e, body) ->
+                let _, env' = eval ctx env e in
+                exec_stmts ctx env' body
+            | Ast.Default body -> exec_stmts ctx env body)
+          cases
+      in
+      List.fold_left Env.merge env case_envs
+  | Ast.Return e -> (
+      match e with
+      | Some e ->
+          let t, env = eval ctx env e in
+          ctx.return_taints <- t :: ctx.return_taints;
+          env
+      | None -> env)
+  | Ast.Break _ | Ast.Continue _ | Ast.Inline_html _ | Ast.Nop | Ast.Const_def _ -> env
+  | Ast.Global vs ->
+      (* conservative: global state is unknown, treat as clean *)
+      List.fold_left (fun env v -> Env.set env v Env.Clean) env vs
+  | Ast.Static_vars vs ->
+      List.fold_left
+        (fun env (v, init) ->
+          match init with
+          | Some e ->
+              let t, env = eval ctx env e in
+              Env.set env v t
+          | None -> Env.set env v Env.Clean)
+        env vs
+  | Ast.Unset es ->
+      List.fold_left
+        (fun env e ->
+          match e.Ast.e with Ast.Var v -> Env.remove env v | _ -> env)
+        env es
+  | Ast.Throw e -> snd (eval ctx env e)
+  | Ast.Try (body, catches, fin) ->
+      let env_body = exec_stmts ctx env body in
+      let env_catches =
+        List.map
+          (fun (c : Ast.catch) ->
+            let env =
+              match c.c_var with
+              | Some v -> Env.set env v Env.Clean
+              | None -> env
+            in
+            exec_stmts ctx env c.c_body)
+          catches
+      in
+      let env = List.fold_left Env.merge env_body env_catches in
+      (match fin with Some b -> exec_stmts ctx env b | None -> env)
+  | Ast.Func_def _ | Ast.Class_def _ ->
+      (* bodies are analyzed separately, as their own scopes *)
+      env
+  | Ast.Block body -> exec_stmts ctx env body
+
+and exec_if ctx env branches els : Env.t =
+  (* evaluate conditions for side effects first *)
+  let env =
+    List.fold_left (fun env (c, _) -> snd (eval ctx env c)) env branches
+  in
+  let branch_envs =
+    List.map
+      (fun (cond, body) ->
+        let env_in = refine_true env cond in
+        let env_out = exec_stmts ctx env_in body in
+        (cond, body, env_out))
+      branches
+  in
+  let fallthrough_env =
+    (* the path where every condition was false; a branch that rejects bad
+       input with exit/die additionally marks the flow with the
+       "error and exit" symptom *)
+    List.fold_left
+      (fun e (cond, body) ->
+        let e = refine_false e cond in
+        if terminates_with_exit body then
+          List.fold_left
+            (fun e (_, keys) -> add_guard_to e keys "exit")
+            e (guard_calls_in cond)
+        else e)
+      env branches
+  in
+  let else_env =
+    match els with
+    | Some body -> Some (exec_stmts ctx fallthrough_env body)
+    | None -> None
+  in
+  (* branches that exit don't contribute to the merged state *)
+  let live =
+    List.filter_map
+      (fun (_, body, env_out) -> if terminates body then None else Some env_out)
+      branch_envs
+  in
+  let live =
+    match els with
+    | Some body -> (
+        match else_env with
+        | Some e when not (terminates body) -> e :: live
+        | _ -> live)
+    | None -> fallthrough_env :: live
+  in
+  match live with
+  | [] -> fallthrough_env
+  | first :: rest -> List.fold_left Env.merge first rest
+
+and loop_fixpoint ctx env ~enter ~body : Env.t =
+  let rec iterate env n =
+    if n = 0 then env
+    else
+      let env' = Env.merge env (exec_stmts ctx (enter env) body) in
+      if Env.equal_shallow env env' then env' else iterate env' (n - 1)
+  in
+  iterate env 3
+
+(* ------------------------------------------------------------------ *)
+(* Function / scope analysis.                                          *)
+
+let analyze_function ctx (f : Ast.func) : Summary.t =
+  let env =
+    List.fold_left
+      (fun (i, env) (p : Ast.param) ->
+        ( i + 1,
+          Env.set env p.p_name
+            (Env.Tainted
+               (Trace.origin ~source:(Trace.param_source i) ~source_loc:f.f_loc)) ))
+      (0, Env.empty) f.f_params
+    |> snd
+  in
+  ctx.return_taints <- [];
+  ctx.param_sinks <- [];
+  ctx.current_fn <- Some f.f_name;
+  let _ = exec_stmts ctx env f.f_body in
+  let returns_params =
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | Env.Tainted o -> (
+            match Trace.param_index_of_source o.Trace.source with
+            | Some i when not (List.exists (fun pf -> pf.Summary.pf_index = i) acc) ->
+                { Summary.pf_index = i; pf_through = o.Trace.through;
+                  pf_guards = o.Trace.guards }
+                :: acc
+            | _ -> acc)
+        | Env.Clean -> acc)
+      [] ctx.return_taints
+  in
+  let returns_tainted =
+    List.find_map
+      (fun t ->
+        match t with
+        | Env.Tainted o when Trace.param_index_of_source o.Trace.source = None ->
+            Some o
+        | _ -> None)
+      ctx.return_taints
+  in
+  let s =
+    {
+      Summary.fn_name = String.lowercase_ascii f.f_name;
+      arity = List.length f.f_params;
+      returns_params;
+      param_sinks = List.rev ctx.param_sinks;
+      returns_tainted;
+    }
+  in
+  ctx.current_fn <- None;
+  ctx.param_sinks <- [];
+  ctx.return_taints <- [];
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Public API.                                                         *)
+
+type file_unit = { path : string; program : Ast.program }
+
+(* Literal include targets: 'config.php' or 'dir/' . 'file.php'. *)
+let rec literal_path (e : Ast.expr) : string option =
+  match e.e with
+  | Ast.String s -> Some s
+  | Ast.Binop (Ast.Concat, l, r) -> (
+      match (literal_path l, literal_path r) with
+      | Some a, Some b -> Some (a ^ b)
+      | _ -> None)
+  | _ -> None
+
+(** Top-level [include]/[require] of project files is spliced in place,
+    the way PHP assembles pages from headers and configuration files —
+    taint set up in an included file flows into the includer.  Matching
+    is by base name; cycles and deep chains are cut at depth 8. *)
+let rec splice_includes ~(units : file_unit list) ~depth ~visited
+    (prog : Ast.program) : Ast.program =
+  if depth > 8 then prog
+  else
+    List.concat_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.s with
+        | Ast.Expr_stmt { e = Ast.Include (_, arg); _ } -> (
+            match literal_path arg with
+            | Some p -> (
+                let base = Filename.basename p in
+                match
+                  List.find_opt (fun u -> Filename.basename u.path = base) units
+                with
+                | Some u when not (List.mem u.path visited) ->
+                    splice_includes ~units ~depth:(depth + 1)
+                      ~visited:(u.path :: visited) u.program
+                | _ -> [ s ])
+            | None -> [ s ])
+        | _ -> [ s ])
+      prog
+
+(** Analyze a set of files as one application under a single detector
+    spec.  Function summaries are shared across the whole set, which is
+    how WAP sees applications spread over many included files.
+
+    [interprocedural:false] disables the summary mechanism (function
+    bodies are still scanned for local flows, but taint no longer crosses
+    call boundaries) — the ablation of DESIGN.md §6. *)
+let analyze_project ?(interprocedural = true) ~(spec : Cat.spec)
+    (units : file_unit list) : Trace.candidate list =
+  let summaries = Summary.create_table () in
+  if interprocedural then begin
+    (* pass 1: build summaries without emitting candidates *)
+    let ctx1 = make_ctx ~spec ~phase:Summaries_only ~summaries in
+    List.iter
+      (fun u ->
+        ctx1.file <- u.path;
+        List.iter
+          (fun f -> Summary.register summaries (analyze_function ctx1 f))
+          (Visitor.collect_functions u.program))
+      units
+  end;
+  (* pass 2: refine summaries now that callees are known, and emit
+     candidates found inside function bodies *)
+  let ctx2 = make_ctx ~spec ~phase:Full ~summaries in
+  List.iter
+    (fun u ->
+      ctx2.file <- u.path;
+      List.iter
+        (fun f ->
+          let s = analyze_function ctx2 f in
+          if interprocedural then Summary.register summaries s)
+        (Visitor.collect_functions u.program))
+    units;
+  (* pass 3: top-level flows, using the final summaries; literal includes
+     of project files are spliced so taint crosses file boundaries *)
+  List.iter
+    (fun u ->
+      ctx2.file <- u.path;
+      let program =
+        splice_includes ~units ~depth:0 ~visited:[ u.path ] u.program
+      in
+      let _ = exec_stmts ctx2 Env.empty program in
+      ())
+    units;
+  List.rev ctx2.candidates
+
+(** Analyze a single parsed file. *)
+let analyze_program ~spec ~file (program : Ast.program) : Trace.candidate list
+    =
+  analyze_project ~spec [ { path = file; program } ]
+
+(** Run several detector specs over the same project and concatenate the
+    findings (one run per sub-module configuration, as in Fig. 2). *)
+let analyze_with_specs ?(interprocedural = true) ~(specs : Cat.spec list)
+    (units : file_unit list) : Trace.candidate list =
+  List.concat_map
+    (fun spec -> analyze_project ~interprocedural ~spec units)
+    specs

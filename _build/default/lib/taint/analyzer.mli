@@ -1,0 +1,58 @@
+(** The taint analyzer: detects candidate vulnerabilities for one
+    detector specification.
+
+    The analysis is flow-sensitive inside each scope and interprocedural
+    through {!Summary} tables.  Sanitization functions of the spec kill
+    taint; validation functions do {e not} — they only add guard
+    evidence to the flow, exactly like the original WAP, whose
+    false-positive predictor is in charge of deciding whether the
+    observed validations make the candidate a false alarm. *)
+
+open Wap_php
+
+(** The validation functions recognized as guards (Table I's validation
+    category, plus a few common membership checks). *)
+val guard_fns : string list
+
+val is_guard_fn : string -> bool
+
+(** One parsed source file of an application. *)
+type file_unit = { path : string; program : Ast.program }
+
+(** Top-level [include]/[require] of project files (matched by base
+    name, literal paths only) spliced in place, so taint set up in an
+    included file flows into the includer.  Cycles and chains deeper
+    than 8 are cut. *)
+val splice_includes :
+  units:file_unit list -> depth:int -> visited:string list ->
+  Ast.program -> Ast.program
+
+(** Raised by {!Wap_core.Tool} helpers; kept here for reuse. *)
+
+(** Analyze a set of files as one application under a single detector
+    spec.  Function summaries are shared across the whole set, which is
+    how WAP sees applications spread over many included files.
+
+    [interprocedural:false] disables the summary mechanism (function
+    bodies are still scanned for local flows, but taint no longer
+    crosses call boundaries) — the ablation of DESIGN.md §6. *)
+val analyze_project :
+  ?interprocedural:bool ->
+  spec:Wap_catalog.Catalog.spec ->
+  file_unit list ->
+  Trace.candidate list
+
+(** Analyze a single parsed file. *)
+val analyze_program :
+  spec:Wap_catalog.Catalog.spec ->
+  file:string ->
+  Ast.program ->
+  Trace.candidate list
+
+(** Run several detector specs over the same project and concatenate the
+    findings (one run per sub-module configuration, as in Fig. 2). *)
+val analyze_with_specs :
+  ?interprocedural:bool ->
+  specs:Wap_catalog.Catalog.spec list ->
+  file_unit list ->
+  Trace.candidate list

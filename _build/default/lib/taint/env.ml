@@ -1,0 +1,68 @@
+(** Taint environments: a flow-sensitive map from variable names to
+    taint values.
+
+    Arrays and objects are tracked coarsely by their base variable, which
+    matches the granularity of the original WAP analyzer: if any element
+    of [$a] is tainted, [$a] is tainted. *)
+
+type taint = Clean | Tainted of Trace.origin [@@deriving show]
+
+let is_tainted = function Tainted _ -> true | Clean -> false
+
+(** Join for control-flow merges: taint wins (may-analysis).  When both
+    sides are tainted we keep the left origin but merge guard evidence,
+    so a guard present on only one path does not count. *)
+let join a b =
+  match (a, b) with
+  | Clean, Clean -> Clean
+  | Tainted o, Clean | Clean, Tainted o -> Tainted o
+  | Tainted o1, Tainted o2 ->
+      let guards = List.filter (fun g -> List.mem g o2.Trace.guards) o1.Trace.guards in
+      Tainted { o1 with Trace.guards = guards }
+
+(** Join used when combining operands of one expression (concatenation,
+    arithmetic): evidence from both operands accumulates. *)
+let join_operands a b =
+  match (a, b) with
+  | Clean, t | t, Clean -> t
+  | Tainted o1, Tainted o2 ->
+      let add l x = if List.mem x l then l else x :: l in
+      Tainted
+        {
+          o1 with
+          Trace.through = List.fold_left add o1.Trace.through o2.Trace.through;
+          Trace.guards = List.fold_left add o1.Trace.guards o2.Trace.guards;
+        }
+
+module M = Map.Make (String)
+
+type t = taint M.t
+
+let empty : t = M.empty
+let get env v = match M.find_opt v env with Some t -> t | None -> Clean
+let set env v t : t = M.add v t env
+let remove env v : t = M.remove v env
+
+(** Pointwise join of two environments (after an if/else, loop, ...). *)
+let merge (a : t) (b : t) : t =
+  M.merge
+    (fun _ ta tb ->
+      match (ta, tb) with
+      | Some ta, Some tb -> Some (join ta tb)
+      | Some t, None | None, Some t -> Some t
+      | None, None -> None)
+    a b
+
+let equal_shallow (a : t) (b : t) =
+  (* cheap stabilization test for loop fixpoints: same tainted key set *)
+  let keys m = M.fold (fun k v acc -> if is_tainted v then k :: acc else acc) m [] in
+  keys a = keys b
+
+(** Apply [f] to the origin of every tainted variable named in [vars]. *)
+let update_vars env vars f : t =
+  List.fold_left
+    (fun env v ->
+      match M.find_opt v env with
+      | Some (Tainted o) -> M.add v (Tainted (f o)) env
+      | _ -> env)
+    env vars

@@ -1,0 +1,35 @@
+(** Taint environments: a flow-sensitive map from variable names to
+    taint values.
+
+    Arrays and objects are tracked coarsely by their base variable,
+    matching the granularity of the original WAP analyzer: if any
+    element of [$a] is tainted, [$a] is tainted. *)
+
+type taint = Clean | Tainted of Trace.origin [@@deriving show]
+
+val is_tainted : taint -> bool
+
+(** Join for control-flow merges: taint wins (may-analysis); guards
+    present on only one path are dropped. *)
+val join : taint -> taint -> taint
+
+(** Join used when combining operands of one expression (concatenation,
+    arithmetic): evidence from both operands accumulates. *)
+val join_operands : taint -> taint -> taint
+
+type t
+
+val empty : t
+val get : t -> string -> taint
+val set : t -> string -> taint -> t
+val remove : t -> string -> t
+
+(** Pointwise join of two environments (after an if/else, loop, ...). *)
+val merge : t -> t -> t
+
+(** Cheap stabilization test for loop fixpoints: same tainted key set. *)
+val equal_shallow : t -> t -> bool
+
+(** Apply [f] to the origin of every tainted variable named in the
+    list. *)
+val update_vars : t -> string list -> (Trace.origin -> Trace.origin) -> t

@@ -1,0 +1,46 @@
+(** Interprocedural function summaries.
+
+    For each user-defined function the analyzer records, per parameter:
+    whether tainted data entering through it reaches the return value
+    (and through which manipulation functions), and which sensitive
+    sinks inside the body it can reach.  A parameter whose flow is
+    killed by a sanitizer simply does not appear — so a user wrapper
+    around [mysql_real_escape_string] is automatically treated as a
+    sanitizer at call sites. *)
+
+type param_flow = {
+  pf_index : int;
+  pf_through : string list;  (** manipulation functions on the way to return *)
+  pf_guards : string list;  (** validation guards observed on the way *)
+}
+[@@deriving show]
+
+type param_sink = {
+  ps_index : int;
+  ps_sink_name : string;
+  ps_sink_loc : Wap_php.Loc.t;
+  ps_through : string list;
+}
+[@@deriving show]
+
+type t = {
+  fn_name : string;  (** lowercase *)
+  arity : int;
+  returns_params : param_flow list;  (** params that flow to the return value *)
+  param_sinks : param_sink list;  (** params that reach a sink inside *)
+  returns_tainted : Trace.origin option;
+      (** the function returns attacker data of its own (e.g. reads a
+          superglobal and returns it) *)
+}
+[@@deriving show]
+
+val empty : string -> int -> t
+val find_param_flow : t -> int -> param_flow option
+
+(** Summary table keyed by lowercase function name; methods are
+    registered under their bare method name. *)
+type table
+
+val create_table : unit -> table
+val find : table -> string -> t option
+val register : table -> t -> unit

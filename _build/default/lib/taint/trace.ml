@@ -1,0 +1,94 @@
+(** Candidate vulnerabilities: tainted data-flow paths from an entry
+    point to a sensitive sink.
+
+    A candidate is what the code analyzer hands to the false-positive
+    predictor.  Besides the path itself it carries the raw evidence the
+    symptom collector needs: every function the tainted data passed
+    through and every validation guard observed dominating the flow. *)
+
+open Wap_php
+
+type step = {
+  step_loc : Loc.t;
+  step_desc : string;  (** rendered source of the propagating statement *)
+}
+[@@deriving show, eq]
+
+(** Literal/dynamic structure of a string the tainted data was spliced
+    into, e.g. ["SELECT * FROM t WHERE id = "; <dyn>] — the SQL-symptom
+    collector needs it to see FROM clauses and numeric contexts even when
+    the query is built in a variable before reaching the sink. *)
+type qpart = Qlit of string | Qdyn [@@deriving show, eq]
+
+(** Where the tainted data originally came from. *)
+type origin = {
+  source : string;  (** e.g. ["$_GET['user']"] or ["mysql_fetch_assoc"] *)
+  source_loc : Loc.t;
+  steps : step list;  (** propagation chain, oldest first *)
+  through : string list;
+      (** names of functions applied to the data on its way (lowercase);
+          casts appear as ["(int)"] etc. *)
+  guards : string list;
+      (** validation predicates observed guarding the flow, e.g.
+          ["is_numeric"], ["isset"], ["preg_match"] *)
+  parts : qpart list;
+      (** structure of the latest string built from the data (see {!qpart}) *)
+}
+[@@deriving show, eq]
+
+let origin ~source ~source_loc =
+  { source; source_loc; steps = []; through = []; guards = []; parts = [] }
+
+let with_parts o parts = { o with parts }
+
+let add_step o step = { o with steps = o.steps @ [ step ] }
+let add_through o fname = { o with through = fname :: o.through }
+let add_guard o g = if List.mem g o.guards then o else { o with guards = g :: o.guards }
+
+(** Is the origin a function-summary placeholder for parameter [i]? *)
+let param_source i = Printf.sprintf "param:%d" i
+
+let param_index_of_source s =
+  if String.length s > 6 && String.sub s 0 6 = "param:" then
+    int_of_string_opt (String.sub s 6 (String.length s - 6))
+  else None
+
+type candidate = {
+  vclass : Wap_catalog.Vuln_class.t;
+  file : string;
+  sink_name : string;  (** function/construct at the sink, e.g. ["mysql_query"], ["echo"] *)
+  sink_loc : Loc.t;
+  origins : origin list;  (** one per tainted argument flow *)
+  sink_args : Ast.expr list;  (** the sink's argument expressions *)
+  tainted_positions : int list;  (** indices of the tainted arguments *)
+}
+[@@deriving show]
+
+(** Primary origin used for reporting (the first tainted flow). *)
+let primary c = match c.origins with o :: _ -> o | [] -> origin ~source:"?" ~source_loc:Loc.dummy
+
+(** One-line rendering: class, sink and source. *)
+let summary c =
+  let o = primary c in
+  Printf.sprintf "%s: %s -> %s at %s"
+    (Wap_catalog.Vuln_class.acronym c.vclass)
+    o.source c.sink_name
+    (Loc.to_string c.sink_loc)
+
+(** Stable identity used to de-duplicate candidates found by several
+    detectors for the same flow (e.g. RFI and LFI share the include
+    sink, and the paper reports them together as "Files").  The source
+    and the propagation path are part of the key so distinct flows into
+    one shared sink — e.g. two call sites of a query helper — stay
+    distinct. *)
+let dedup_key c =
+  let o = primary c in
+  let path_sig =
+    match List.rev o.steps with
+    | last :: _ -> Printf.sprintf "%s:%d" last.step_loc.Loc.file last.step_loc.Loc.line
+    | [] -> ""
+  in
+  Printf.sprintf "%s|%d:%d|%s|%s|%s" c.file c.sink_loc.Loc.line
+    c.sink_loc.Loc.col
+    (Wap_catalog.Vuln_class.report_group c.vclass)
+    o.source path_sig

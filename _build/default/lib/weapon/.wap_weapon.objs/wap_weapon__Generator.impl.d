@@ -1,0 +1,1 @@
+lib/weapon/generator.pp.ml: List Printf String Wap_catalog Wap_fixer Wap_mining Weapon

@@ -1,0 +1,1 @@
+lib/weapon/generator.pp.mli: Wap_catalog Wap_mining Weapon

@@ -1,0 +1,1 @@
+lib/weapon/registry.pp.ml: Generator Hashtbl List String Wap_catalog Wap_mining Weapon

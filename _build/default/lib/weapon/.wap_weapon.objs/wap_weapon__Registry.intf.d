@@ -1,0 +1,1 @@
+lib/weapon/registry.pp.mli: Wap_catalog Wap_mining Weapon

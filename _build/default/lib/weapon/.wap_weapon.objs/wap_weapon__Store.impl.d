@@ -1,0 +1,1 @@
+lib/weapon/store.pp.ml: Buffer Char Filename List Printf String Sys Wap_catalog Wap_fixer Wap_mining Weapon

@@ -1,0 +1,1 @@
+lib/weapon/store.pp.mli: Weapon

@@ -1,0 +1,1 @@
+lib/weapon/weapon.pp.ml: List Printf Wap_catalog Wap_fixer Wap_mining

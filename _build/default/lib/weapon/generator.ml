@@ -1,0 +1,134 @@
+(** The weapon generator (Section III-D).
+
+    Takes the data a user supplies — sensitive sinks, sanitization
+    functions, optional extra entry points, a fix-template choice, and
+    optional dynamic symptoms — and assembles a ready-to-activate
+    {!Weapon.t}.  No programming involved: this is exactly the
+    configuration surface the paper describes. *)
+
+module Cat = Wap_catalog.Catalog
+
+(** What the user provides for the fix part, mirroring the three fix
+    templates of Section III-C. *)
+type fix_request =
+  | With_php_sanitizer of string
+      (** the PHP sanitization function to apply at the sink *)
+  | With_user_sanitization of { malicious : char list; neutralizer : string }
+  | With_user_validation of { malicious : char list }
+
+type request = {
+  req_name : string;  (** weapon name; flag becomes ["-<name>"] *)
+  req_vclass : Wap_catalog.Vuln_class.t option;
+      (** the class the weapon detects; [None] creates a fresh
+          [Custom req_name] class *)
+  req_sources : Cat.source list;  (** extra entry points ([] = superglobals only) *)
+  req_sinks : Cat.sink list;
+  req_sanitizers : Cat.sanitizer list;
+  req_fix : fix_request;
+  req_dynamic_symptoms : Wap_mining.Symptom.dynamic_map;
+}
+
+exception Invalid_request of string
+
+let validate (r : request) =
+  if r.req_name = "" then raise (Invalid_request "weapon name must not be empty");
+  if String.exists (fun c -> c = ' ' || c = '/') r.req_name then
+    raise (Invalid_request "weapon name must not contain spaces or slashes");
+  if r.req_sinks = [] then
+    raise (Invalid_request "a weapon needs at least one sensitive sink");
+  List.iter
+    (fun (fn, mapped) ->
+      if not (Wap_mining.Symptom.is_symptom mapped
+              || mapped = "user_white_list" || mapped = "user_black_list") then
+        raise
+          (Invalid_request
+             (Printf.sprintf
+                "dynamic symptom %s maps to unknown static symptom %s" fn mapped)))
+    r.req_dynamic_symptoms
+
+(** Generate a weapon from a request. *)
+let generate (r : request) : Weapon.t =
+  validate r;
+  let vclass =
+    match r.req_vclass with
+    | Some c -> c
+    | None -> Wap_catalog.Vuln_class.Custom r.req_name
+  in
+  let spec =
+    {
+      Cat.vclass;
+      submodule = Wap_catalog.Submodule.Generated r.req_name;
+      sources = Cat.default_sources @ r.req_sources;
+      sinks = r.req_sinks;
+      (* the weapon's own fix counts as a sanitizer so corrected code is
+         not re-flagged *)
+      sanitizers = Cat.San_fn ("san_" ^ r.req_name) :: r.req_sanitizers;
+    }
+  in
+  let template =
+    match r.req_fix with
+    | With_php_sanitizer sanitizer -> Wap_fixer.Fix.Php_sanitization { sanitizer }
+    | With_user_sanitization { malicious; neutralizer } ->
+        Wap_fixer.Fix.User_sanitization { malicious; neutralizer }
+    | With_user_validation { malicious } -> Wap_fixer.Fix.User_validation { malicious }
+  in
+  {
+    Weapon.name = r.req_name;
+    flag = "-" ^ r.req_name;
+    vclass;
+    spec;
+    fix = { Wap_fixer.Fix.fix_name = "san_" ^ r.req_name; vclass; template };
+    dynamic_symptoms = r.req_dynamic_symptoms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The three weapons built in Section IV-C, expressed as requests to    *)
+(* this generator.                                                      *)
+
+(** NoSQL injection for MongoDB (activated by [-nosqli]). *)
+let nosqli_request : request =
+  {
+    req_name = "nosqli";
+    req_vclass = Some Wap_catalog.Vuln_class.Nosqli;
+    req_sources = [];
+    req_sinks =
+      [ Cat.Sink_method ("collection", "find"); Cat.Sink_method ("collection", "findOne");
+        Cat.Sink_method ("collection", "findAndModify");
+        Cat.Sink_method ("collection", "insert"); Cat.Sink_method ("collection", "remove");
+        Cat.Sink_method ("collection", "save"); Cat.Sink_method ("db", "execute") ];
+    req_sanitizers = [ Cat.San_fn "mysql_real_escape_string" ];
+    req_fix = With_php_sanitizer "mysql_real_escape_string";
+    req_dynamic_symptoms = [];
+  }
+
+(** Header injection and email injection (activated by [-hei]). *)
+let hei_request : request =
+  {
+    req_name = "hei";
+    req_vclass = Some Wap_catalog.Vuln_class.Hi;
+    req_sources = [];
+    req_sinks = [ Cat.Sink_fn ("header", []); Cat.Sink_fn ("mail", []) ];
+    req_sanitizers = [];
+    req_fix = With_user_sanitization { malicious = [ '\r'; '\n' ]; neutralizer = " " };
+    req_dynamic_symptoms = [];
+  }
+
+(** SQLI through WordPress [$wpdb] (activated by [-wpsqli]). *)
+let wpsqli_request : request =
+  {
+    req_name = "wpsqli";
+    req_vclass = Some Wap_catalog.Vuln_class.Wp_sqli;
+    req_sources = Wap_catalog.Wordpress.extra_sources;
+    req_sinks =
+      [ Cat.Sink_method ("wpdb", "query"); Cat.Sink_method ("wpdb", "get_results");
+        Cat.Sink_method ("wpdb", "get_row"); Cat.Sink_method ("wpdb", "get_var");
+        Cat.Sink_method ("wpdb", "get_col") ];
+    req_sanitizers =
+      [ Cat.San_method ("wpdb", "prepare"); Cat.San_fn "esc_sql"; Cat.San_fn "like_escape" ];
+    req_fix = With_php_sanitizer "esc_sql";
+    req_dynamic_symptoms = Wap_catalog.Wordpress.dynamic_symptoms;
+  }
+
+let nosqli () = generate nosqli_request
+let hei () = generate hei_request
+let wpsqli () = generate wpsqli_request

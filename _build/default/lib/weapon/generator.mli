@@ -1,0 +1,46 @@
+(** The weapon generator (Section III-D).
+
+    Takes the data a user supplies — sensitive sinks, sanitization
+    functions, optional extra entry points, a fix-template choice, and
+    optional dynamic symptoms — and assembles a ready-to-activate
+    {!Weapon.t}.  No programming involved: this is exactly the
+    configuration surface the paper describes. *)
+
+(** What the user provides for the fix part, mirroring the three fix
+    templates of Section III-C. *)
+type fix_request =
+  | With_php_sanitizer of string
+      (** the PHP sanitization function to apply at the sink *)
+  | With_user_sanitization of { malicious : char list; neutralizer : string }
+  | With_user_validation of { malicious : char list }
+
+type request = {
+  req_name : string;  (** weapon name; flag becomes ["-<name>"] *)
+  req_vclass : Wap_catalog.Vuln_class.t option;
+      (** the class the weapon detects; [None] creates a fresh
+          [Custom req_name] class *)
+  req_sources : Wap_catalog.Catalog.source list;
+      (** extra entry points ([[]] = superglobals only) *)
+  req_sinks : Wap_catalog.Catalog.sink list;
+  req_sanitizers : Wap_catalog.Catalog.sanitizer list;
+  req_fix : fix_request;
+  req_dynamic_symptoms : Wap_mining.Symptom.dynamic_map;
+}
+
+exception Invalid_request of string
+
+(** Generate a weapon.
+
+    @raise Invalid_request for empty/ill-formed names, empty sink sets,
+    or dynamic symptoms mapping to unknown static symptoms. *)
+val generate : request -> Weapon.t
+
+(** The three weapons built in Section IV-C, as generator requests. *)
+
+val nosqli_request : request
+val hei_request : request
+val wpsqli_request : request
+
+val nosqli : unit -> Weapon.t
+val hei : unit -> Weapon.t
+val wpsqli : unit -> Weapon.t

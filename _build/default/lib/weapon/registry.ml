@@ -1,0 +1,39 @@
+(** The weapon registry: flags -> weapons.
+
+    WAP links generated weapons into the tool and activates each with a
+    command-line flag; this registry is that linking step. *)
+
+type t = (string, Weapon.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let register (t : t) (w : Weapon.t) =
+  Hashtbl.replace t w.Weapon.flag w
+
+let find_flag (t : t) flag = Hashtbl.find_opt t flag
+
+let all (t : t) : Weapon.t list =
+  Hashtbl.fold (fun _ w acc -> w :: acc) t []
+  |> List.sort (fun a b -> String.compare a.Weapon.name b.Weapon.name)
+
+(** A registry preloaded with the paper's three weapons. *)
+let builtin () : t =
+  let t = create () in
+  register t (Generator.nosqli ());
+  register t (Generator.hei ());
+  register t (Generator.wpsqli ());
+  t
+
+(** The detector specs of the active weapons. *)
+let active_specs (t : t) (flags : string list) : Wap_catalog.Catalog.spec list =
+  List.filter_map (find_flag t) flags
+  |> List.map (fun w -> w.Weapon.spec)
+
+(** The dynamic symptoms contributed by the active weapons. *)
+let active_symptoms (t : t) (flags : string list) : Wap_mining.Symptom.dynamic_map =
+  List.concat_map
+    (fun flag ->
+      match find_flag t flag with
+      | Some w -> w.Weapon.dynamic_symptoms
+      | None -> [])
+    flags

@@ -1,0 +1,24 @@
+(** The weapon registry: activation flags -> weapons.
+
+    WAP links generated weapons into the tool and activates each with a
+    command-line flag; this registry is that linking step. *)
+
+type t
+
+val create : unit -> t
+val register : t -> Weapon.t -> unit
+val find_flag : t -> string -> Weapon.t option
+
+(** All registered weapons, sorted by name. *)
+val all : t -> Weapon.t list
+
+(** A registry preloaded with the paper's three weapons
+    ([-nosqli], [-hei], [-wpsqli]). *)
+val builtin : unit -> t
+
+(** The detector specs of the weapons matching the given flags. *)
+val active_specs : t -> string list -> Wap_catalog.Catalog.spec list
+
+(** The dynamic symptoms contributed by the weapons matching the given
+    flags. *)
+val active_symptoms : t -> string list -> Wap_mining.Symptom.dynamic_map

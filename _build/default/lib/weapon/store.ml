@@ -1,0 +1,174 @@
+(** Weapon persistence.
+
+    A weapon is stored as a directory:
+    {v
+    <dir>/<name>/
+      detector.spec     ep/ss/san lines (Spec_file format)
+      fix.spec          fix template configuration
+      symptoms.spec     dynamic symptom mapping, "user_fn -> static_symptom"
+    v}
+
+    This mirrors the paper's design where the generated detector reads
+    its ep/ss/san sets from files, so users can edit a weapon without
+    touching the tool. *)
+
+module Cat = Wap_catalog.Catalog
+
+let ( / ) = Filename.concat
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- fix template serialization --- *)
+
+let chars_to_string chars =
+  String.concat ","
+    (List.map (fun c -> string_of_int (Char.code c)) chars)
+
+let chars_of_string s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun x -> Char.chr (int_of_string (String.trim x)))
+
+let fix_to_lines (fix : Wap_fixer.Fix.t) : string =
+  let open Wap_fixer.Fix in
+  let b = Buffer.create 128 in
+  Buffer.add_string b ("name: " ^ fix.fix_name ^ "\n");
+  (match fix.template with
+  | Php_sanitization { sanitizer } ->
+      Buffer.add_string b "template: php_sanitization\n";
+      Buffer.add_string b ("sanitizer: " ^ sanitizer ^ "\n")
+  | User_sanitization { malicious; neutralizer } ->
+      Buffer.add_string b "template: user_sanitization\n";
+      Buffer.add_string b ("malicious: " ^ chars_to_string malicious ^ "\n");
+      (* encoded as character codes: the neutralizer is often a space,
+         which line trimming would destroy *)
+      Buffer.add_string b
+        ("neutralizer_codes: "
+        ^ chars_to_string (List.of_seq (String.to_seq neutralizer))
+        ^ "\n")
+  | User_validation { malicious } ->
+      Buffer.add_string b "template: user_validation\n";
+      Buffer.add_string b ("malicious: " ^ chars_to_string malicious ^ "\n")
+  | Content_validation { patterns } ->
+      Buffer.add_string b "template: content_validation\n";
+      List.iter (fun p -> Buffer.add_string b ("pattern: " ^ p ^ "\n")) patterns
+  | Session_reset -> Buffer.add_string b "template: session_reset\n");
+  Buffer.contents b
+
+exception Corrupt of string
+
+let key_values contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line ':' with
+           | None -> raise (Corrupt ("bad line: " ^ line))
+           | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+
+let find_kv kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> raise (Corrupt ("missing field " ^ key))
+
+let fix_of_lines ~vclass contents : Wap_fixer.Fix.t =
+  let kvs = key_values contents in
+  let open Wap_fixer.Fix in
+  let template =
+    match find_kv kvs "template" with
+    | "php_sanitization" -> Php_sanitization { sanitizer = find_kv kvs "sanitizer" }
+    | "user_sanitization" ->
+        let neutralizer =
+          match List.assoc_opt "neutralizer_codes" kvs with
+          | Some codes -> String.init (List.length (chars_of_string codes))
+                            (List.nth (chars_of_string codes))
+          | None -> find_kv kvs "neutralizer"
+        in
+        User_sanitization
+          { malicious = chars_of_string (find_kv kvs "malicious"); neutralizer }
+    | "user_validation" ->
+        User_validation { malicious = chars_of_string (find_kv kvs "malicious") }
+    | "content_validation" ->
+        Content_validation
+          { patterns = List.filter_map (fun (k, v) -> if k = "pattern" then Some v else None) kvs }
+    | "session_reset" -> Session_reset
+    | other -> raise (Corrupt ("unknown template " ^ other))
+  in
+  { fix_name = find_kv kvs "name"; vclass; template }
+
+let symptoms_to_lines (map : Wap_mining.Symptom.dynamic_map) : string =
+  String.concat ""
+    (List.map (fun (fn, sym) -> Printf.sprintf "%s -> %s\n" fn sym) map)
+
+let symptoms_of_lines contents : Wap_mining.Symptom.dynamic_map =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '>' line with
+           | [ left; right ] ->
+               let left = String.trim left in
+               let left =
+                 (* strip the trailing '-' of '->' *)
+                 if String.length left > 0 && left.[String.length left - 1] = '-'
+                 then String.trim (String.sub left 0 (String.length left - 1))
+                 else left
+               in
+               Some (String.lowercase_ascii left, String.trim right)
+           | _ -> raise (Corrupt ("bad symptom line: " ^ line)))
+
+(** Save a weapon under [dir/<name>/]. *)
+let save ~dir (w : Weapon.t) : unit =
+  let wdir = dir / w.Weapon.name in
+  if not (Sys.file_exists wdir) then Sys.mkdir wdir 0o755;
+  write_file (wdir / "meta.spec")
+    (Printf.sprintf "class: %s\n" (Wap_catalog.Vuln_class.acronym w.Weapon.vclass));
+  write_file (wdir / "detector.spec") (Wap_catalog.Spec_file.to_string w.Weapon.spec);
+  write_file (wdir / "fix.spec") (fix_to_lines w.Weapon.fix);
+  write_file (wdir / "symptoms.spec") (symptoms_to_lines w.Weapon.dynamic_symptoms)
+
+(** Load a weapon from [dir/<name>/].  A weapon named after a builtin
+    class acronym (e.g. "nosqli") is restored with that class, so report
+    grouping and stock fixes keep working across the round-trip. *)
+let load ~dir ~name : Weapon.t =
+  let wdir = dir / name in
+  let vclass =
+    let from_meta =
+      let path = wdir / "meta.spec" in
+      if Sys.file_exists path then
+        match List.assoc_opt "class" (key_values (read_file path)) with
+        | Some acr -> Wap_catalog.Vuln_class.of_acronym acr
+        | None -> None
+      else None
+    in
+    match from_meta with
+    | Some c -> c
+    | None -> (
+        match Wap_catalog.Vuln_class.of_acronym name with
+        | Some c -> c
+        | None -> Wap_catalog.Vuln_class.Custom name)
+  in
+  let spec =
+    Wap_catalog.Spec_file.spec_of_string ~vclass (read_file (wdir / "detector.spec"))
+  in
+  let fix = fix_of_lines ~vclass (read_file (wdir / "fix.spec")) in
+  let dynamic_symptoms =
+    let path = wdir / "symptoms.spec" in
+    if Sys.file_exists path then symptoms_of_lines (read_file path) else []
+  in
+  { Weapon.name; flag = "-" ^ name; vclass; spec; fix; dynamic_symptoms }

@@ -1,0 +1,26 @@
+(** Weapon persistence.
+
+    A weapon is stored as a directory:
+    {v
+    <dir>/<name>/
+      meta.spec         class: <acronym>
+      detector.spec     ep/ss/san lines (Spec_file format)
+      fix.spec          fix template configuration
+      symptoms.spec     dynamic symptoms, "user_fn -> static_symptom"
+    v}
+
+    This mirrors the paper's design where the generated detector reads
+    its ep/ss/san sets from files, so users can edit a weapon without
+    touching the tool. *)
+
+(** Malformed weapon files. *)
+exception Corrupt of string
+
+(** Save a weapon under [dir/<name>/] (the directory is created). *)
+val save : dir:string -> Weapon.t -> unit
+
+(** Load a weapon from [dir/<name>/].
+
+    @raise Corrupt on malformed files;
+    @raise Sys_error when files are missing. *)
+val load : dir:string -> name:string -> Weapon.t

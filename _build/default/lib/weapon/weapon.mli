@@ -1,0 +1,24 @@
+(** Weapons: WAP extensions for new vulnerability classes
+    (Section III-D).
+
+    A weapon bundles the three artifacts the weapon generator produces
+    from user-supplied data: a detector (an ep/ss/san specification fed
+    to the generic detector sub-module), a fix (instantiated from one of
+    the fix templates), and an optional set of dynamic symptoms for the
+    false-positive predictor.  It is activated on the command line by
+    its flag, e.g. [-nosqli]. *)
+
+type t = {
+  name : string;  (** short name, e.g. ["nosqli"] *)
+  flag : string;  (** activation flag, e.g. ["-nosqli"] *)
+  vclass : Wap_catalog.Vuln_class.t;
+  spec : Wap_catalog.Catalog.spec;  (** the detector *)
+  fix : Wap_fixer.Fix.t;
+  dynamic_symptoms : Wap_mining.Symptom.dynamic_map;
+}
+
+val detector : t -> Wap_catalog.Catalog.spec
+val fix : t -> Wap_fixer.Fix.t
+
+(** One-line human-readable summary. *)
+val describe : t -> string

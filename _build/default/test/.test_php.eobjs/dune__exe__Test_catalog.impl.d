@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Gen List QCheck QCheck_alcotest String Wap_catalog Wap_mining

@@ -1,0 +1,1 @@
+test/test_confirm.ml: Alcotest List QCheck QCheck_alcotest String Wap_catalog Wap_confirm Wap_corpus Wap_php Wap_taint

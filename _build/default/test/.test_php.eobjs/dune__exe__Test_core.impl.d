@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List String Wap_catalog Wap_core Wap_corpus Wap_fixer Wap_mining Wap_weapon

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array List Option QCheck QCheck_alcotest String Wap_catalog Wap_corpus Wap_php

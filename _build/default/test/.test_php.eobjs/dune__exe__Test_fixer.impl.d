@@ -1,0 +1,1 @@
+test/test_fixer.ml: Alcotest List QCheck QCheck_alcotest String Wap_catalog Wap_corpus Wap_fixer Wap_php Wap_taint

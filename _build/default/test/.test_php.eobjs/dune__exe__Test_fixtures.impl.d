@@ -1,0 +1,1 @@
+test/test_fixtures.ml: Alcotest Fixtures Lazy List Wap_catalog Wap_confirm Wap_core Wap_corpus Wap_fixer Wap_php Wap_taint Wap_weapon

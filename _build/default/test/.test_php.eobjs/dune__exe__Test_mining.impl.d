@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Gen List QCheck QCheck_alcotest Wap_catalog Wap_core Wap_mining Wap_php Wap_taint

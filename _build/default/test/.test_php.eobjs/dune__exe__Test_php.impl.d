@@ -1,0 +1,1 @@
+test/test_php.ml: Alcotest Ast Gen Lexer List Loc Parser Printer Printf QCheck QCheck_alcotest String Token Visitor Wap_catalog Wap_corpus Wap_php

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Gen List QCheck QCheck_alcotest String Wap_core Wap_report

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest List QCheck QCheck_alcotest Wap_catalog Wap_corpus Wap_mining Wap_php Wap_taint

@@ -1,0 +1,1 @@
+test/test_weapon.ml: Alcotest Filename List Sys Wap_catalog Wap_fixer Wap_php Wap_taint Wap_weapon

@@ -1,0 +1,204 @@
+(** Handwritten fixture applications: small but realistic multi-file
+    PHP programs with known vulnerabilities, used as golden integration
+    tests.  Unlike the generated corpus these mix inline HTML,
+    alternative syntax, classes, includes and both safe and unsafe
+    idioms the way real code does. *)
+
+(* --------------------------------------------------------------- *)
+(* Fixture 1: "nightingale", a small blog.                          *)
+(* --------------------------------------------------------------- *)
+
+let blog_config_php =
+  {php|<?php
+// nightingale configuration
+$db_host = 'localhost';
+$db_name = 'nightingale';
+// the visitor-selected theme travels through the config into pages
+$site_theme = $_COOKIE['theme'];
+$posts_per_page = 10;
+function db_connect($host) {
+    return mysql_connect($host);
+}
+|php}
+
+let blog_lib_php =
+  {php|<?php
+// nightingale helpers
+function clean_html($value) {
+    return htmlspecialchars($value);
+}
+function q($sql) {
+    return mysql_query($sql);
+}
+function post_link($id, $title) {
+    return '<a href="post.php?id=' . $id . '">' . clean_html($title) . '</a>';
+}
+|php}
+
+let blog_index_php =
+  {php|<html><head><title>nightingale</title></head>
+<?php
+include 'config.php';
+include 'lib.php';
+// VULN (XSS): the theme flows from config.php into the page
+echo "<body class='$site_theme'>";
+$page = isset($_GET['page']) ? $_GET['page'] : 1;
+if (!is_numeric($page)) {
+    die('bad page number');
+}
+$page = intval($page);
+// FP (SQLI): $page is validated and coerced above
+$res = q('SELECT id, title FROM posts WHERE visible = 1 LIMIT ' . $page);
+while ($row = mysql_fetch_assoc($res)): ?>
+  <li><?= post_link($row['id'], $row['title']) ?></li>
+<?php endwhile; ?>
+<?php
+// VULN (XSS): search terms echoed raw
+if (isset($_GET['q'])) {
+    echo '<p>results for ' . $_GET['q'] . '</p>';
+}
+?>
+</body></html>
+|php}
+
+let blog_post_php =
+  {php|<?php
+include 'lib.php';
+// VULN (SQLI): id goes into the query unsanitized
+$id = $_GET['id'];
+$res = q("SELECT * FROM posts WHERE id = '$id'");
+$post = mysql_fetch_assoc($res);
+echo '<h1>' . clean_html($post['title']) . '</h1>';
+// VULN (HI): untrusted redirect target
+if (isset($_GET['back'])) {
+    header('Location: ' . $_GET['back']);
+}
+|php}
+
+let blog_comment_php =
+  {php|<?php
+include 'lib.php';
+$author = trim($_POST['author']);
+if (!preg_match('/^[a-zA-Z ]{1,40}$/', $author)) {
+    die('bad author name');
+}
+// FP (SQLI): author passed the whitelist
+q("INSERT INTO comments (author) VALUES ('$author')");
+// VULN (CS): raw comment body appended to the moderation queue
+file_put_contents('queue.txt', $_POST['body'], FILE_APPEND);
+|php}
+
+let blog =
+  [ ("config.php", blog_config_php); ("lib.php", blog_lib_php);
+    ("index.php", blog_index_php); ("post.php", blog_post_php);
+    ("comment.php", blog_comment_php) ]
+
+(* Expected real findings after FP triage: (report group, file of the
+   sensitive sink).  The SQLI sinks sit inside the q() helper of
+   lib.php, so that is where they are reported; the three XSS findings
+   on index.php are the theme (arriving through the config include),
+   the raw search-term echo, and the stored flavour — the id of a
+   fetched row reaching echo through post_link() unescaped. *)
+let blog_expected_vulns =
+  [ ("XSS", "index.php"); ("XSS", "index.php"); ("XSS", "index.php");
+    ("SQLI", "lib.php"); ("HI", "post.php"); ("CS", "comment.php") ]
+
+let blog_expected_fps = [ ("SQLI", "lib.php"); ("SQLI", "lib.php") ]
+
+(* --------------------------------------------------------------- *)
+(* Fixture 2: "tinystore", a small shop with classes.               *)
+(* --------------------------------------------------------------- *)
+
+let store_cart_php =
+  {php|<?php
+class Cart {
+    public $items = array();
+    public function add($sku, $qty) {
+        $this->items[$sku] = $qty;
+    }
+    public function receipt_row($sku) {
+        // VULN (XSS) when called with raw input: sku echoed by render()
+        return '<td>' . $sku . '</td>';
+    }
+}
+function render($html) {
+    echo $html;
+}
+|php}
+
+let store_checkout_php =
+  {php|<?php
+include 'cart.php';
+$cart = new Cart();
+render($cart->receipt_row($_GET['sku']));
+// VULN (EI): attacker-controlled recipient allows header smuggling
+mail($_POST['email'], 'Your order', 'Thank you!');
+// VULN (OSCI): filename reaches the shell
+$invoice = $_GET['invoice'];
+system("lp -d office printer_$invoice");
+|php}
+
+let store_admin_php =
+  {php|<?php
+$action = $_GET['action'];
+if (!in_array($action, array('rebuild', 'flush', 'report'))) {
+    exit('unknown action');
+}
+// FP (PHPCI): action comes from the closed whitelist above
+eval('admin_' . $action . '();');
+// VULN (Files): template name concatenated into a require
+require './templates/' . $_GET['template'];
+|php}
+
+let store_download_php =
+  {php|<?php
+// safe: basename() strips traversal — must not be reported at all
+$name = basename($_GET['file']);
+readfile('./exports/' . $name);
+// VULN (Files): this one forgot the basename
+readfile('./exports/' . $_GET['raw']);
+|php}
+
+let store =
+  [ ("cart.php", store_cart_php); ("checkout.php", store_checkout_php);
+    ("admin.php", store_admin_php); ("download.php", store_download_php) ]
+
+let store_expected_vulns =
+  [ ("XSS", "cart.php"); ("EI", "checkout.php"); ("OSCI", "checkout.php");
+    ("Files", "admin.php"); ("Files", "download.php") ]
+
+let store_expected_fps = [ ("PHPCI", "admin.php") ]
+
+(* --------------------------------------------------------------- *)
+(* Fixture 3: "metrics", a WordPress plugin.                        *)
+(* --------------------------------------------------------------- *)
+
+let wp_plugin_php =
+  {php|<?php
+/*
+ * Plugin Name: Tiny Metrics
+ */
+function tm_track() {
+    global $wpdb;
+    // VULN (SQLI via $wpdb): raw request value in the query
+    $ref = $_SERVER['HTTP_REFERER'];
+    $wpdb->query("INSERT INTO {$wpdb->prefix}hits (ref) VALUES ('$ref')");
+}
+function tm_top_pages() {
+    global $wpdb;
+    // safe: prepared statement
+    $n = $_GET['n'];
+    return $wpdb->get_results($wpdb->prepare('SELECT * FROM wp_hits LIMIT %d', $n));
+}
+function tm_widget() {
+    global $wpdb;
+    // FP (SQLI): absint() is a WordPress validator (dynamic symptom)
+    $days = absint($_GET['days']);
+    $wpdb->get_var("SELECT COUNT(*) FROM wp_hits WHERE age < $days");
+}
+|php}
+
+let wp_plugin = [ ("tiny-metrics.php", wp_plugin_php) ]
+
+let wp_expected_vulns = [ ("SQLI", "tiny-metrics.php") ]
+let wp_expected_fps = [ ("SQLI", "tiny-metrics.php") ]

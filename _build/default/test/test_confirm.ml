@@ -1,0 +1,380 @@
+(** Tests for the dynamic confirmation engine: values, the micro-regex
+    engine, the bounded evaluator, and end-to-end confirmation. *)
+
+module V = Wap_confirm.Value
+module R = Wap_confirm.Regex
+module E = Wap_confirm.Evaluator
+module C = Wap_confirm.Confirm
+module VC = Wap_catalog.Vuln_class
+
+(* ------------------------------------------------------------------ *)
+(* Values.                                                             *)
+
+let test_coercions () =
+  Alcotest.(check string) "int to string" "42" (V.to_string (V.Int 42));
+  Alcotest.(check string) "true" "1" (V.to_string (V.Bool true));
+  Alcotest.(check string) "false" "" (V.to_string (V.Bool false));
+  Alcotest.(check int) "numeric string" 12 (V.to_int (V.Str "12abc"));
+  Alcotest.(check bool) "'0' is falsy" false (V.to_bool (V.Str "0"));
+  Alcotest.(check bool) "'00' is truthy" true (V.to_bool (V.Str "00"));
+  Alcotest.(check bool) "empty array falsy" false (V.to_bool (V.Arr []))
+
+let test_loose_equality () =
+  Alcotest.(check bool) "1 == '1'" true (V.loose_eq (V.Int 1) (V.Str "1"));
+  Alcotest.(check bool) "'1.0' == '1'" true (V.loose_eq (V.Str "1.0") (V.Str "1"));
+  Alcotest.(check bool) "'abc' != 0 (PHP 8)" false (V.loose_eq (V.Str "abc") (V.Int 0));
+  Alcotest.(check bool) "null == false" true (V.loose_eq V.Null (V.Bool false));
+  Alcotest.(check bool) "strict 1 !== '1'" false (V.strict_eq (V.Int 1) (V.Str "1"))
+
+let test_array_ops () =
+  let a = V.arr_push (V.arr_push [] (V.Str "x")) (V.Str "y") in
+  Alcotest.(check bool) "push keys" true
+    (V.arr_get a (V.Int 0) = V.Str "x" && V.arr_get a (V.Int 1) = V.Str "y");
+  let a = V.arr_set a (V.Str "k") (V.Int 7) in
+  Alcotest.(check bool) "string key" true (V.arr_get a (V.Str "k") = V.Int 7);
+  Alcotest.(check bool) "has" true (V.arr_has a (V.Str "k"));
+  Alcotest.(check bool) "missing" false (V.arr_has a (V.Str "z"))
+
+(* ------------------------------------------------------------------ *)
+(* Regex engine.                                                       *)
+
+let re pattern =
+  match R.compile pattern with
+  | Some re -> re
+  | None -> Alcotest.failf "pattern %s did not compile" pattern
+
+let test_regex_basics () =
+  Alcotest.(check bool) "literal" true (R.matches (re "/abc/") "xxabcyy");
+  Alcotest.(check bool) "no match" false (R.matches (re "/abc/") "abd");
+  Alcotest.(check bool) "dot" true (R.matches (re "/a.c/") "azc");
+  Alcotest.(check bool) "anchors hit" true (R.matches (re "/^ab$/") "ab");
+  Alcotest.(check bool) "anchors miss" false (R.matches (re "/^ab$/") "xab");
+  Alcotest.(check bool) "case flag" true (R.matches (re "/abc/i") "xABCy");
+  Alcotest.(check bool) "alternation" true (R.matches (re "/cat|dog/") "hotdog!")
+
+let test_regex_classes_and_quantifiers () =
+  Alcotest.(check bool) "class" true (R.matches (re "/^[a-z0-9_-]+$/") "ab_9-z");
+  Alcotest.(check bool) "class rejects" false (R.matches (re "/^[a-z0-9_-]+$/") "ab'9");
+  Alcotest.(check bool) "negated class" true (R.matches (re "/[^0-9]/") "12a34");
+  Alcotest.(check bool) "negated class rejects" false (R.matches (re "/[^0-9]/") "1234");
+  Alcotest.(check bool) "plus needs one" false (R.matches (re "/^a+$/") "");
+  Alcotest.(check bool) "star allows zero" true (R.matches (re "/^a*$/") "");
+  Alcotest.(check bool) "optional" true (R.matches (re "/^https?:/") "http:");
+  Alcotest.(check bool) "optional with s" true (R.matches (re "/^https?:/") "https:");
+  Alcotest.(check bool) "bounded repeat hit" true (R.matches (re "/^[0-9]{1,6}$/") "12345");
+  Alcotest.(check bool) "bounded repeat miss" false (R.matches (re "/^[0-9]{1,6}$/") "1234567");
+  Alcotest.(check bool) "escape classes" true (R.matches (re "/^\\w+\\s\\d+$/") "ab_c 42");
+  Alcotest.(check bool) "group quantifier" true (R.matches (re "/^(ab)+$/") "ababab")
+
+let test_regex_paper_patterns () =
+  (* the patterns the corpus and the fixes actually use *)
+  Alcotest.(check bool) "url" true (R.matches (re "/https?:\\/\\//i") "see HTTP://x.com");
+  Alcotest.(check bool) "anchor tag" true (R.matches (re "/<a\\s/i") "<A href=");
+  Alcotest.(check bool) "session token" true
+    (R.matches (re "/^[a-f0-9]{32}$/") (String.make 32 'a'));
+  Alcotest.(check bool) "session token rejects" false
+    (R.matches (re "/^[a-f0-9]{32}$/") "PWNEDSESSION1234567890")
+
+let test_regex_replace_split () =
+  Alcotest.(check string) "replace" "a-b-c"
+    (R.replace (re "/\\s+/") ~template:"-" "a b  c");
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c" ]
+    (R.split (re "/,/") "a,b,c");
+  Alcotest.(check string) "strip quotes" "abc"
+    (R.replace (re "/['\"]/") ~template:"" "a'b\"c")
+
+let test_regex_unsupported () =
+  Alcotest.(check bool) "lookahead unsupported" true (R.compile "/(?=x)/" = None);
+  Alcotest.(check bool) "too short" true (R.compile "/" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator.                                                          *)
+
+let run_php ?(get = fun _ -> V.Str "7") src =
+  let program = Wap_php.Parser.parse_string ~file:"t.php" ("<?php\n" ^ src) in
+  let events = ref [] in
+  let cfg =
+    {
+      E.input = (fun ~superglobal:_ ~key -> get key);
+      input_array = (fun ~superglobal:_ -> [ (V.Str "k", get "k") ]);
+      on_event = (fun ev -> events := ev :: !events);
+      max_steps = 100_000;
+    }
+  in
+  let outcome = E.run cfg program in
+  (outcome, List.rev !events)
+
+let echoed events =
+  List.filter_map
+    (fun (ev : E.event) ->
+      if ev.E.ev_name = "echo" then Some (String.concat "" (List.map V.to_string ev.E.ev_args))
+      else None)
+    events
+
+let test_eval_arithmetic_and_strings () =
+  let _, evs = run_php "echo 1 + 2 * 3; echo 'a' . 'b'; echo strlen('hello');" in
+  Alcotest.(check (list string)) "outputs" [ "7"; "ab"; "5" ] (echoed evs)
+
+let test_eval_interpolation () =
+  let _, evs = run_php "$x = 'world';\necho \"hello $x!\";" in
+  Alcotest.(check (list string)) "interp" [ "hello world!" ] (echoed evs)
+
+let test_eval_control_flow () =
+  let _, evs =
+    run_php
+      "$n = 0;\nfor ($i = 0; $i < 5; $i++) { if ($i == 2) { continue; } $n += $i; }\necho $n;"
+  in
+  Alcotest.(check (list string)) "loop with continue" [ "8" ] (echoed evs)
+
+let test_eval_while_break () =
+  let _, evs =
+    run_php "$i = 0;\nwhile (true) { $i++; if ($i >= 3) { break; } }\necho $i;"
+  in
+  Alcotest.(check (list string)) "break" [ "3" ] (echoed evs)
+
+let test_eval_functions () =
+  let _, evs =
+    run_php
+      "function add($a, $b = 10) { return $a + $b; }\necho add(1, 2);\necho add(5);"
+  in
+  Alcotest.(check (list string)) "calls" [ "3"; "15" ] (echoed evs)
+
+let test_eval_recursion_bounded () =
+  let outcome, _ = run_php "function f($n) { return f($n + 1); }\nf(0);" in
+  Alcotest.(check bool) "terminates" true
+    (match outcome with E.Completed | E.Timed_out -> true | _ -> false)
+
+let test_eval_infinite_loop_bounded () =
+  let outcome, _ = run_php "$i = 0;\nwhile (true) { $i++; }\necho 'after';" in
+  Alcotest.(check bool) "bounded" true
+    (match outcome with E.Completed | E.Timed_out -> true | _ -> false)
+
+let test_eval_exit () =
+  let outcome, evs = run_php "echo 'a';\ndie('bye');\necho 'b';" in
+  Alcotest.(check bool) "exited" true (outcome = E.Exited);
+  Alcotest.(check (list string)) "only first echo" [ "a" ] (echoed evs)
+
+let test_eval_superglobals () =
+  let _, evs =
+    run_php ~get:(fun key -> V.Str ("v_" ^ key)) "echo $_GET['id'];\necho $_POST['x'];"
+  in
+  Alcotest.(check (list string)) "inputs" [ "v_id"; "v_x" ] (echoed evs)
+
+let test_eval_foreach_superglobal () =
+  let _, evs =
+    run_php ~get:(fun _ -> V.Str "val") "foreach ($_GET as $k => $v) { echo \"$k=$v\"; }"
+  in
+  Alcotest.(check (list string)) "foreach" [ "k=val" ] (echoed evs)
+
+let test_eval_arrays_and_switch () =
+  let _, evs =
+    run_php
+      "$a = array('x' => 1, 'y' => 2);\n$a['z'] = 3;\n$a[] = 4;\n\
+       echo count($a);\nswitch ($a['y']) { case 1: echo 'one'; break; case 2: echo 'two'; break; default: echo 'other'; }"
+  in
+  Alcotest.(check (list string)) "array + switch" [ "4"; "two" ] (echoed evs)
+
+let test_eval_sanitizers () =
+  let _, evs =
+    run_php
+      "echo mysql_real_escape_string(\"a'b\");\necho htmlspecialchars('<b>');\necho basename('../../etc/passwd');"
+  in
+  Alcotest.(check (list string)) "sanitizers"
+    [ "a\\'b"; "&lt;b&gt;"; "passwd" ] (echoed evs)
+
+let test_eval_builtin_validators () =
+  let _, evs =
+    run_php
+      "echo is_numeric('12.5') ? 'y' : 'n';\necho is_numeric('12a') ? 'y' : 'n';\n\
+       echo ctype_alnum('ab9') ? 'y' : 'n';\necho ctype_alnum(\"a b\") ? 'y' : 'n';\n\
+       echo preg_match('/^[a-z]+$/', 'abc');\necho preg_match('/^[a-z]+$/', 'a1c');"
+  in
+  Alcotest.(check (list string)) "validators" [ "y"; "n"; "y"; "n"; "1"; "0" ] (echoed evs)
+
+let test_eval_start_line () =
+  let program =
+    Wap_php.Parser.parse_string ~file:"t.php" "<?php\ndie('early');\necho 'reached';\n"
+  in
+  let events = ref [] in
+  let cfg =
+    { E.input = (fun ~superglobal:_ ~key:_ -> V.Str "7");
+      input_array = (fun ~superglobal:_ -> []);
+      on_event = (fun ev -> events := ev :: !events);
+      max_steps = 1000 }
+  in
+  let _ = E.run ~start_line:3 cfg program in
+  Alcotest.(check int) "skipped the early die" 1
+    (List.length (List.filter (fun (e : E.event) -> e.E.ev_name = "echo") !events))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end confirmation.                                            *)
+
+let candidate_of ?(vclass = VC.Sqli) src =
+  let program = Wap_php.Parser.parse_string ~file:"t.php" ("<?php\n" ^ src) in
+  match
+    Wap_taint.Analyzer.analyze_program
+      ~spec:(Wap_catalog.Catalog.default_spec vclass) ~file:"t.php" program
+  with
+  | c :: _ -> (program, c)
+  | [] -> Alcotest.fail "no candidate"
+
+let verdict ?vclass src =
+  let program, c = candidate_of ?vclass src in
+  C.confirm_candidate ~program c
+
+let vt = Alcotest.testable C.pp_verdict C.equal_verdict
+
+let test_confirm_real_sqli () =
+  Alcotest.check vt "raw sqli confirmed" C.Confirmed
+    (verdict "$u = $_GET['u'];\nmysql_query(\"SELECT * FROM t WHERE u = '$u'\");")
+
+let test_confirm_guarded_sqli () =
+  Alcotest.check vt "guarded flow refuted" C.Not_confirmed
+    (verdict
+       "$u = $_GET['u'];\nif (!is_numeric($u)) { die('no'); }\n\
+        mysql_query('SELECT * FROM t WHERE u = ' . $u);")
+
+let test_confirm_escaped_sqli () =
+  (* the analyzer still flags it if escape() is unknown — but the replay
+     shows the quotes never survive *)
+  Alcotest.check vt "hand-rolled escape refuted" C.Not_confirmed
+    (verdict
+       (Wap_corpus.Snippet.escape_helper
+       ^ "\n$u = escape($_GET['u']);\nmysql_query(\"SELECT * FROM t WHERE u = '$u'\");"))
+
+let test_confirm_md5 () =
+  Alcotest.check vt "md5 refuted" C.Not_confirmed
+    (verdict "$u = md5($_GET['u']);\nmysql_query(\"SELECT * FROM t WHERE u = '$u'\");")
+
+let test_confirm_xss () =
+  Alcotest.check vt "xss confirmed" C.Confirmed
+    (verdict ~vclass:VC.Xss_reflected "echo '<p>' . $_GET['m'] . '</p>';");
+  Alcotest.check vt "tag stripping refuted" C.Not_confirmed
+    (verdict ~vclass:VC.Xss_reflected
+       "$m = str_replace(array('<', '>'), '', $_GET['m']);\necho \"<p>$m</p>\";")
+
+let test_confirm_hi_and_files () =
+  Alcotest.check vt "header injection" C.Confirmed
+    (verdict ~vclass:VC.Hi "header('Location: ' . $_GET['next']);");
+  Alcotest.check vt "traversal confirmed" C.Confirmed
+    (verdict ~vclass:VC.Dt_pt "readfile('./docs/' . $_GET['f']);");
+  Alcotest.check vt "basename would block — not flagged, so craft one" C.Not_confirmed
+    (verdict ~vclass:VC.Hi
+       "$n = str_replace(array(\"\\r\", \"\\n\"), '', $_GET['next']);\nheader('L: ' . $n);")
+
+let test_confirm_osci_backtick () =
+  Alcotest.check vt "backtick command injection" C.Confirmed
+    (verdict ~vclass:VC.Osci "$d = $_GET['d'];\n$out = `ls $d`;");
+  Alcotest.check vt "metacharacter stripping refuted" C.Not_confirmed
+    (verdict ~vclass:VC.Osci
+       "$d = str_replace(array(';', '|', '&', '`'), '', $_GET['d']);\nsystem('ls ' . $d);")
+
+let test_confirm_stored_xss_unsupported () =
+  Alcotest.check vt "stored xss is not replayable" C.Unsupported
+    (verdict ~vclass:VC.Xss_stored
+       "$r = mysql_query('SELECT body FROM c');\n\
+        while ($row = mysql_fetch_assoc($r)) { echo $row['body']; }")
+
+let test_confirm_interprocedural () =
+  Alcotest.check vt "flow through helper confirmed" C.Confirmed
+    (verdict ~vclass:VC.Hi
+       "function redirect($to) { header('Location: ' . $to); }\nredirect($_COOKIE['r']);")
+
+let test_confirm_wpdb_prepare () =
+  Alcotest.check vt "raw wpdb confirmed" C.Confirmed
+    (verdict ~vclass:VC.Wp_sqli
+       "$id = $_GET['id'];\n$wpdb->query(\"DELETE FROM t WHERE name = '$id'\");")
+
+(* every corpus snippet label agrees with the dynamic verdict *)
+let qcheck_corpus_ground_truth =
+  QCheck.Test.make ~name:"corpus ground truth is dynamically consistent" ~count:120
+    QCheck.(int_bound 50_000)
+    (fun seed ->
+      let classes =
+        VC.[ Sqli; Xss_reflected; Hi; Ei; Osci; Phpci; Rfi; Lfi; Dt_pt; Scd;
+             Ldapi; Xpathi; Cs; Sf; Wp_sqli; Nosqli ]
+      in
+      let vclass = List.nth classes (seed mod List.length classes) in
+      let label =
+        List.nth Wap_corpus.Snippet.[ Real; Fp_easy; Fp_hard ] (seed mod 3)
+      in
+      let g = Wap_corpus.Snippet.make_gen ~seed in
+      let snip = Wap_corpus.Snippet.generate g vclass label in
+      let needs =
+        let rec c h n i =
+          i + String.length n <= String.length h
+          && (String.sub h i (String.length n) = n || c h n (i + 1))
+        in
+        c snip.Wap_corpus.Snippet.code "escape(" 0
+      in
+      let src =
+        "<?php\n"
+        ^ (if needs then Wap_corpus.Snippet.escape_helper ^ "\n" else "")
+        ^ snip.Wap_corpus.Snippet.code
+      in
+      let program = Wap_php.Parser.parse_string ~file:"q.php" src in
+      let cands =
+        Wap_taint.Analyzer.analyze_program
+          ~spec:(Wap_catalog.Catalog.default_spec vclass) ~file:"q.php" program
+      in
+      List.for_all
+        (fun c ->
+          match (label, C.confirm_candidate ~program c) with
+          | Wap_corpus.Snippet.Real, C.Confirmed -> true
+          | (Wap_corpus.Snippet.Fp_easy | Fp_hard), C.Not_confirmed -> true
+          | _, C.Unsupported -> true
+          | _ -> false)
+        cands)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wap_confirm"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "coercions" `Quick test_coercions;
+          Alcotest.test_case "loose equality" `Quick test_loose_equality;
+          Alcotest.test_case "arrays" `Quick test_array_ops;
+        ] );
+      ( "regex",
+        [
+          Alcotest.test_case "basics" `Quick test_regex_basics;
+          Alcotest.test_case "classes & quantifiers" `Quick
+            test_regex_classes_and_quantifiers;
+          Alcotest.test_case "paper patterns" `Quick test_regex_paper_patterns;
+          Alcotest.test_case "replace & split" `Quick test_regex_replace_split;
+          Alcotest.test_case "unsupported" `Quick test_regex_unsupported;
+        ] );
+      ( "evaluator",
+        [
+          Alcotest.test_case "arithmetic & strings" `Quick test_eval_arithmetic_and_strings;
+          Alcotest.test_case "interpolation" `Quick test_eval_interpolation;
+          Alcotest.test_case "control flow" `Quick test_eval_control_flow;
+          Alcotest.test_case "while & break" `Quick test_eval_while_break;
+          Alcotest.test_case "functions" `Quick test_eval_functions;
+          Alcotest.test_case "recursion bounded" `Quick test_eval_recursion_bounded;
+          Alcotest.test_case "infinite loop bounded" `Quick test_eval_infinite_loop_bounded;
+          Alcotest.test_case "exit" `Quick test_eval_exit;
+          Alcotest.test_case "superglobals" `Quick test_eval_superglobals;
+          Alcotest.test_case "foreach superglobal" `Quick test_eval_foreach_superglobal;
+          Alcotest.test_case "arrays & switch" `Quick test_eval_arrays_and_switch;
+          Alcotest.test_case "sanitizers" `Quick test_eval_sanitizers;
+          Alcotest.test_case "validators" `Quick test_eval_builtin_validators;
+          Alcotest.test_case "start line" `Quick test_eval_start_line;
+        ] );
+      ( "confirmation",
+        [
+          Alcotest.test_case "raw sqli" `Quick test_confirm_real_sqli;
+          Alcotest.test_case "guarded sqli" `Quick test_confirm_guarded_sqli;
+          Alcotest.test_case "hand-rolled escape" `Quick test_confirm_escaped_sqli;
+          Alcotest.test_case "md5" `Quick test_confirm_md5;
+          Alcotest.test_case "xss" `Quick test_confirm_xss;
+          Alcotest.test_case "hi & files" `Quick test_confirm_hi_and_files;
+          Alcotest.test_case "osci & backtick" `Quick test_confirm_osci_backtick;
+          Alcotest.test_case "stored xss unsupported" `Quick
+            test_confirm_stored_xss_unsupported;
+          Alcotest.test_case "interprocedural" `Quick test_confirm_interprocedural;
+          Alcotest.test_case "wpdb" `Quick test_confirm_wpdb_prepare;
+        ] );
+      ("properties", [ qt qcheck_corpus_ground_truth ]);
+    ]

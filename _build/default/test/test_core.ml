@@ -1,0 +1,232 @@
+(** Integration tests: tool versions, training, the full pipeline over
+    corpus packages, scoring, and the experiment drivers. *)
+
+module VC = Wap_catalog.Vuln_class
+module V = Wap_core.Version
+module T = Wap_core.Tool
+module A = Wap_core.Aggregate
+module DS = Wap_mining.Dataset
+
+let seed = 2016
+
+(* Shared fixtures: training and tool creation are the expensive parts,
+   so build them once. *)
+let wape = lazy (T.create ~seed V.Wape)
+let v21 = lazy (T.create ~seed V.Wap_v21)
+
+(* ------------------------------------------------------------------ *)
+(* Versions and training.                                              *)
+
+let test_version_configs () =
+  Alcotest.(check int) "v2.1 classes" 9 (List.length (V.classes V.Wap_v21));
+  Alcotest.(check int) "WAPe classes" 16 (List.length (V.classes V.Wape));
+  Alcotest.(check bool) "v2.1 uses original attributes" true
+    (V.attribute_mode V.Wap_v21 = Wap_mining.Attributes.Original);
+  Alcotest.(check int) "v2.1 instances" 76 (V.training_instances V.Wap_v21);
+  Alcotest.(check int) "WAPe instances" 256 (V.training_instances V.Wape)
+
+let test_wape_dataset () =
+  let d = Wap_core.Training.dataset_for ~seed V.Wape in
+  Alcotest.(check int) "256 instances" 256 (DS.size d);
+  Alcotest.(check int) "balanced" 128 (DS.positives d);
+  (* no ambiguous vectors survive: every vector has one label *)
+  let dd = DS.deduplicate d in
+  Alcotest.(check int) "already deduplicated" (DS.size d) (DS.size dd)
+
+let test_v21_dataset () =
+  let d = Wap_core.Training.dataset_for ~seed V.Wap_v21 in
+  (* the paper's split is 32 FP / 44 RV; the coarse 15-attribute space
+     saturates below 44 distinct real-vulnerability vectors *)
+  Alcotest.(check int) "32 false positives" 32 (DS.positives d);
+  Alcotest.(check bool) "a good number of reals" true (DS.negatives d >= 15);
+  match d.DS.instances with
+  | i :: _ -> Alcotest.(check int) "15 attributes" 15 (Array.length i.DS.features)
+  | [] -> Alcotest.fail "empty dataset"
+
+let test_training_deterministic () =
+  let a = Wap_core.Training.dataset_for ~seed V.Wape in
+  let b = Wap_core.Training.dataset_for ~seed V.Wape in
+  Alcotest.(check bool) "same dataset" true
+    (List.for_all2
+       (fun (x : DS.instance) (y : DS.instance) ->
+         x.DS.label = y.DS.label && x.DS.features = y.DS.features)
+       a.DS.instances b.DS.instances)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline on corpus packages.                                        *)
+
+let acp () =
+  Wap_corpus.Appgen.of_webapp_profile ~seed
+    (List.nth Wap_corpus.Profiles.vulnerable_webapps 0)
+
+let test_pipeline_acp () =
+  (* Admin Control Panel Lite 2: 9 SQLI + 72 XSS, 8 easy FPs *)
+  let tool = Lazy.force wape in
+  let result = T.analyze_package tool (acp ()) in
+  let score = A.score_package result in
+  Alcotest.(check int) "all reals found" 81
+    (score.A.real_reported + score.A.real_missed);
+  Alcotest.(check int) "none undetected" 0 score.A.real_undetected;
+  Alcotest.(check int) "every candidate matched to truth" 0 score.A.unmatched;
+  Alcotest.(check int) "9 vulnerable files" 9 score.A.vuln_files;
+  Alcotest.(check (option int)) "SQLI group" (Some 9)
+    (List.assoc_opt "SQLI" score.A.by_group);
+  Alcotest.(check (option int)) "XSS group" (Some 72)
+    (List.assoc_opt "XSS" score.A.by_group);
+  Alcotest.(check bool) "most FPs predicted" true (score.A.fpp >= 5)
+
+let test_pipeline_v21_misses_new_classes () =
+  (* a package with only new-class vulnerabilities is invisible to v2.1 *)
+  let pkg =
+    Wap_corpus.Appgen.generate ~seed ~kind:Wap_corpus.Appgen.Webapp ~name:"newonly"
+      ~version:"1" ~files:3 ~vuln_files:2
+      ~vulns:[ (VC.Hi, 2); (VC.Ldapi, 1); (VC.Sf, 1) ]
+      ~fp_easy:0 ~fp_hard:0 ~sanitized:0 ()
+  in
+  let r21 = T.analyze_package (Lazy.force v21) pkg in
+  Alcotest.(check int) "v2.1 sees nothing" 0 (List.length r21.T.candidates);
+  let re = T.analyze_package (Lazy.force wape) pkg in
+  Alcotest.(check int) "WAPe sees all four" 4 (List.length re.T.reported)
+
+let test_pipeline_wpsqli_weapon_needed () =
+  let pkg =
+    Wap_corpus.Appgen.of_plugin_profile ~seed
+      (List.find
+         (fun (p : Wap_corpus.Profiles.plugin_profile) ->
+           p.Wap_corpus.Profiles.pp_name = "Simple support ticket system")
+         Wap_corpus.Profiles.vulnerable_plugins)
+  in
+  (* without the weapon, $wpdb flows are invisible *)
+  let without = T.analyze_package (Lazy.force wape) pkg in
+  Alcotest.(check int) "no weapon, no findings" 0 (List.length without.T.reported);
+  let armed = T.create ~seed ~weapons:[ Wap_weapon.Generator.wpsqli () ] V.Wape in
+  let with_w = T.analyze_package armed pkg in
+  Alcotest.(check int) "18 with the weapon" 18 (List.length with_w.T.reported)
+
+let test_analysis_time_measured () =
+  let result = T.analyze_package (Lazy.force wape) (acp ()) in
+  Alcotest.(check bool) "time recorded" true (result.T.analysis_seconds >= 0.0);
+  Alcotest.(check bool) "loc counted" true (result.T.loc > 500)
+
+let test_escape_experiment () =
+  let before, after = Wap_core.Experiments.escape_experiment ~seed () in
+  Alcotest.(check bool) "feeding escape() removes reports" true (after < before)
+
+let test_analyze_source_and_correct () =
+  let tool = Lazy.force wape in
+  let src = "<?php\nmysql_query('SELECT * FROM t WHERE c = ' . $_GET['c']);\n" in
+  let fixed, report = T.correct_source tool ~file:"one.php" src in
+  Alcotest.(check int) "one fix" 1 (List.length report.Wap_fixer.Corrector.applied);
+  (* the corrected file no longer alarms *)
+  let result = T.analyze_source tool ~file:"one.php" fixed in
+  Alcotest.(check int) "fixed is clean" 0 (List.length result.T.reported)
+
+let test_dedup_across_specs () =
+  (* an include sink is flagged by both RFI and LFI detectors but must be
+     reported once *)
+  let tool = Lazy.force wape in
+  let result = T.analyze_source tool ~file:"i.php" "<?php\ninclude($_GET['p']);\n" in
+  Alcotest.(check int) "deduplicated" 1 (List.length result.T.candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (quick versions).                                       *)
+
+let test_table1_content () =
+  let t = Wap_core.Experiments.table1 () in
+  Alcotest.(check bool) "mentions is_int" true
+    (String.length t > 0 &&
+     (let rec contains i =
+        i + 6 <= String.length t && (String.sub t i 6 = "is_int" || contains (i + 1))
+      in
+      contains 0))
+
+let test_table2_and_3 () =
+  let d = Wap_core.Training.dataset_for ~seed V.Wape in
+  let evals = Wap_core.Experiments.evaluate_models ~seed ~dataset:d () in
+  Alcotest.(check int) "three classifiers" 3 (List.length evals);
+  List.iter
+    (fun (e : Wap_core.Experiments.model_eval) ->
+      let c = e.Wap_core.Experiments.me_confusion in
+      Alcotest.(check int)
+        (e.Wap_core.Experiments.me_name ^ " covers the data set")
+        (DS.size d) (Wap_mining.Metrics.total c);
+      (* the paper's shape: high accuracy, low fallout *)
+      Alcotest.(check bool)
+        (e.Wap_core.Experiments.me_name ^ " accuracy > 90%")
+        true
+        (Wap_mining.Metrics.acc c > 0.90);
+      Alcotest.(check bool)
+        (e.Wap_core.Experiments.me_name ^ " fallout < 10%")
+        true
+        (Wap_mining.Metrics.pfp c < 0.10))
+    evals
+
+let test_table4_lists_paper_sinks () =
+  let t = Wap_core.Experiments.table4 () in
+  List.iter
+    (fun needle ->
+      let rec contains i =
+        i + String.length needle <= String.length t
+        && (String.sub t i (String.length needle) = needle || contains (i + 1))
+      in
+      Alcotest.(check bool) needle true (contains 0))
+    [ "setcookie"; "ldap_search"; "xpath_eval"; "file_put_contents" ]
+
+let test_quick_plugin_run () =
+  let runs = Wap_core.Experiments.run_plugins ~seed ~only_vulnerable:true () in
+  Alcotest.(check int) "23 plugins" 23 (List.length runs);
+  let total =
+    List.fold_left
+      (fun acc (r : Wap_core.Experiments.plugin_run) ->
+        acc + r.Wap_core.Experiments.pr_score.A.real_reported)
+      0 runs
+  in
+  Alcotest.(check int) "169 vulnerabilities (Table VII)" 169 total
+
+let test_score_sum () =
+  let s1 =
+    { A.real_reported = 1; real_missed = 2; real_undetected = 0; fpp = 3; fp = 4;
+      unmatched = 0; by_group = [ ("XSS", 1) ]; vuln_files = 1 }
+  in
+  let s2 =
+    { A.real_reported = 10; real_missed = 0; real_undetected = 1; fpp = 1; fp = 0;
+      unmatched = 1; by_group = [ ("XSS", 5); ("SQLI", 5) ]; vuln_files = 2 }
+  in
+  let t = A.sum_scores [ s1; s2 ] in
+  Alcotest.(check int) "real" 11 t.A.real_reported;
+  Alcotest.(check int) "fpp" 4 t.A.fpp;
+  Alcotest.(check (option int)) "xss merged" (Some 6) (List.assoc_opt "XSS" t.A.by_group);
+  Alcotest.(check (option int)) "sqli" (Some 5) (List.assoc_opt "SQLI" t.A.by_group)
+
+let () =
+  Alcotest.run "wap_core"
+    [
+      ( "versions & training",
+        [
+          Alcotest.test_case "version configs" `Quick test_version_configs;
+          Alcotest.test_case "WAPe dataset" `Slow test_wape_dataset;
+          Alcotest.test_case "v2.1 dataset" `Slow test_v21_dataset;
+          Alcotest.test_case "training deterministic" `Slow test_training_deterministic;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "ACP package end-to-end" `Slow test_pipeline_acp;
+          Alcotest.test_case "v2.1 misses new classes" `Slow
+            test_pipeline_v21_misses_new_classes;
+          Alcotest.test_case "wpsqli weapon needed for $wpdb" `Slow
+            test_pipeline_wpsqli_weapon_needed;
+          Alcotest.test_case "timing measured" `Slow test_analysis_time_measured;
+          Alcotest.test_case "escape experiment (V-A)" `Slow test_escape_experiment;
+          Alcotest.test_case "analyze + correct source" `Slow
+            test_analyze_source_and_correct;
+          Alcotest.test_case "dedup across detectors" `Slow test_dedup_across_specs;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "Table I content" `Quick test_table1_content;
+          Alcotest.test_case "Tables II/III shape" `Slow test_table2_and_3;
+          Alcotest.test_case "Table IV sinks" `Quick test_table4_lists_paper_sinks;
+          Alcotest.test_case "Table VII quick run" `Slow test_quick_plugin_run;
+          Alcotest.test_case "score summation" `Quick test_score_sum;
+        ] );
+    ]

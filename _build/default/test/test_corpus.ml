@@ -1,0 +1,256 @@
+(** Tests for the synthetic corpus: profile consistency with the paper's
+    tables, package generation, determinism, and plugin metadata. *)
+
+module VC = Wap_catalog.Vuln_class
+module P = Wap_corpus.Profiles
+module App = Wap_corpus.Appgen
+module S = Wap_corpus.Snippet
+
+let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+(* ------------------------------------------------------------------ *)
+(* Profile consistency with the paper.                                 *)
+
+let test_webapp_counts () =
+  Alcotest.(check int) "54 packages" 54 (List.length P.all_webapps);
+  Alcotest.(check int) "17 vulnerable" 17 (List.length P.vulnerable_webapps);
+  Alcotest.(check int) "8374 files total" 8374
+    (sum (fun p -> p.P.ap_files) P.all_webapps);
+  Alcotest.(check int) "4714 files in vulnerable packages" 4714
+    (sum (fun p -> p.P.ap_files) P.vulnerable_webapps);
+  Alcotest.(check int) "413 vulnerabilities" 413
+    (sum P.total_vulns P.vulnerable_webapps)
+
+let test_webapp_class_totals () =
+  (* Table VI's class columns: 72 / 255 / 55 / 4 / 2 / 1 / 19 / 5 *)
+  let totals = P.webapp_class_totals () in
+  let get g = Option.value ~default:0 (List.assoc_opt g totals) in
+  Alcotest.(check int) "SQLI" 72 (get "SQLI");
+  Alcotest.(check int) "XSS" 255 (get "XSS");
+  Alcotest.(check int) "Files" 55 (get "Files");
+  Alcotest.(check int) "SCD" 4 (get "SCD");
+  Alcotest.(check int) "LDAPI" 2 (get "LDAPI");
+  Alcotest.(check int) "SF" 1 (get "SF");
+  Alcotest.(check int) "HI" 19 (get "HI");
+  Alcotest.(check int) "CS" 5 (get "CS")
+
+let test_webapp_fp_totals () =
+  (* 104 predictable + 18 hard false positives (Table VI's WAPe columns) *)
+  Alcotest.(check int) "easy FPs" 104 (sum (fun p -> p.P.ap_fp_easy) P.vulnerable_webapps);
+  Alcotest.(check int) "hard FPs" 18 (sum (fun p -> p.P.ap_fp_hard) P.vulnerable_webapps)
+
+let test_plugin_counts () =
+  Alcotest.(check int) "115 plugins" 115 (List.length P.all_plugins);
+  Alcotest.(check int) "23 vulnerable" 23 (List.length P.vulnerable_plugins);
+  Alcotest.(check int) "169 vulnerabilities" 169
+    (sum P.plugin_total_vulns P.vulnerable_plugins);
+  Alcotest.(check int) "5 with CVE entries" 5
+    (List.length (List.filter (fun p -> p.P.pp_cve) P.vulnerable_plugins))
+
+let test_plugin_class_totals () =
+  (* Table VII's columns: 55 / 71 / 31 / 5 / 2 / 5 *)
+  let totals = P.plugin_class_totals () in
+  let get g = Option.value ~default:0 (List.assoc_opt g totals) in
+  Alcotest.(check int) "SQLI" 55 (get "SQLI");
+  Alcotest.(check int) "XSS" 71 (get "XSS");
+  Alcotest.(check int) "Files" 31 (get "Files");
+  Alcotest.(check int) "SCD" 5 (get "SCD");
+  Alcotest.(check int) "CS" 2 (get "CS");
+  Alcotest.(check int) "HI" 5 (get "HI");
+  Alcotest.(check int) "plugin FPP" 3 (sum (fun p -> p.P.pp_fp_easy) P.vulnerable_plugins);
+  Alcotest.(check int) "plugin FP" 2 (sum (fun p -> p.P.pp_fp_hard) P.vulnerable_plugins)
+
+let bin_index bins v =
+  let rec go i = function
+    | [] -> -1
+    | (_, lo, hi) :: rest -> if v >= lo && v <= hi then i else go (i + 1) rest
+  in
+  go 0 bins
+
+let test_fig4_histograms () =
+  (* the analyzed histograms of Fig. 4 *)
+  let count bins pick plugins =
+    let arr = Array.make (List.length bins) 0 in
+    List.iter
+      (fun p ->
+        let i = bin_index bins (pick p) in
+        Alcotest.(check bool) "in some bin" true (i >= 0);
+        arr.(i) <- arr.(i) + 1)
+      plugins;
+    Array.to_list arr
+  in
+  Alcotest.(check (list int)) "downloads, analyzed"
+    [ 10; 12; 13; 33; 12; 24; 11 ]
+    (count P.download_bins (fun p -> p.P.pp_downloads) P.all_plugins);
+  Alcotest.(check (list int)) "active installs, analyzed"
+    [ 18; 23; 12; 12; 17; 12; 21 ]
+    (count P.active_bins (fun p -> p.P.pp_active_installs) P.all_plugins);
+  (* 16 of the 23 vulnerable plugins have >10K downloads (paper text) *)
+  let vulnerable_10k =
+    List.length
+      (List.filter (fun p -> p.P.pp_downloads >= 10_000) P.vulnerable_plugins)
+  in
+  Alcotest.(check int) "vulnerable with >10K downloads" 16 vulnerable_10k;
+  (* 12 plugins are used in more than 2000 web sites *)
+  let active_2k =
+    List.length
+      (List.filter (fun p -> p.P.pp_active_installs >= 2_000) P.vulnerable_plugins)
+  in
+  Alcotest.(check int) "vulnerable in >2000 sites" 12 active_2k;
+  (* the most used plugin is active in more than 200,000 sites *)
+  Alcotest.(check bool) "lightbox reach" true
+    (List.exists (fun p -> p.P.pp_active_installs >= 200_000) P.vulnerable_plugins)
+
+(* ------------------------------------------------------------------ *)
+(* Package generation.                                                 *)
+
+let test_package_matches_profile () =
+  List.iter
+    (fun profile ->
+      let pkg = App.of_webapp_profile ~seed:2016 profile in
+      Alcotest.(check int)
+        (profile.P.ap_name ^ " files")
+        profile.P.ap_files
+        (List.length pkg.App.pkg_files);
+      Alcotest.(check int)
+        (profile.P.ap_name ^ " seeded reals")
+        (P.total_vulns profile)
+        (App.count_label pkg S.Real);
+      Alcotest.(check int)
+        (profile.P.ap_name ^ " seeded easy FPs")
+        profile.P.ap_fp_easy
+        (App.count_label pkg S.Fp_easy);
+      Alcotest.(check int)
+        (profile.P.ap_name ^ " seeded hard FPs")
+        profile.P.ap_fp_hard
+        (App.count_label pkg S.Fp_hard))
+    P.vulnerable_webapps
+
+let test_package_line_ranges () =
+  let profile = List.nth P.vulnerable_webapps 0 in
+  let pkg = App.of_webapp_profile ~seed:2016 profile in
+  List.iter
+    (fun (s : App.seeded) ->
+      Alcotest.(check bool) "range ordered" true (s.App.sd_line_lo <= s.App.sd_line_hi);
+      let file =
+        List.find (fun f -> f.App.f_name = s.App.sd_file) pkg.App.pkg_files
+      in
+      let lines = List.length (String.split_on_char '\n' file.App.f_source) in
+      Alcotest.(check bool) "range within file" true (s.App.sd_line_hi <= lines))
+    pkg.App.pkg_seeded
+
+let test_packages_parse () =
+  (* every generated file in a couple of packages is valid PHP *)
+  List.iter
+    (fun profile ->
+      let pkg = App.of_webapp_profile ~seed:2016 profile in
+      List.iter
+        (fun (f : App.file) ->
+          ignore (Wap_php.Parser.parse_string ~file:f.App.f_name f.App.f_source))
+        pkg.App.pkg_files)
+    [ List.nth P.vulnerable_webapps 0; List.nth P.vulnerable_webapps 12 ]
+
+let test_generation_deterministic () =
+  let profile = List.nth P.vulnerable_webapps 5 in
+  let a = App.of_webapp_profile ~seed:7 profile in
+  let b = App.of_webapp_profile ~seed:7 profile in
+  Alcotest.(check bool) "same files" true
+    (List.for_all2
+       (fun (x : App.file) (y : App.file) ->
+         x.App.f_name = y.App.f_name && x.App.f_source = y.App.f_source)
+       a.App.pkg_files b.App.pkg_files);
+  let c = App.of_webapp_profile ~seed:8 profile in
+  Alcotest.(check bool) "different seed differs" false
+    (List.for_all2
+       (fun (x : App.file) (y : App.file) -> x.App.f_source = y.App.f_source)
+       a.App.pkg_files c.App.pkg_files)
+
+let test_plugin_packages () =
+  List.iter
+    (fun profile ->
+      let pkg = App.of_plugin_profile ~seed:2016 profile in
+      Alcotest.(check bool) (profile.P.pp_name ^ " is a plugin") true
+        (pkg.App.pkg_kind = App.Plugin);
+      Alcotest.(check int)
+        (profile.P.pp_name ^ " seeded")
+        (P.plugin_total_vulns profile)
+        (App.count_label pkg S.Real))
+    P.vulnerable_plugins
+
+let test_truth_summary () =
+  let profile = List.nth P.vulnerable_webapps 0 in
+  let pkg = App.of_webapp_profile ~seed:2016 profile in
+  let truth = Wap_corpus.Corpus.truth_of_package pkg in
+  Alcotest.(check int) "reals" 81 truth.Wap_corpus.Corpus.t_real;
+  Alcotest.(check int) "fps" 8 truth.Wap_corpus.Corpus.t_fp;
+  let by = truth.Wap_corpus.Corpus.t_real_by_group in
+  Alcotest.(check (option int)) "sqli" (Some 9) (List.assoc_opt "SQLI" by);
+  Alcotest.(check (option int)) "xss" (Some 72) (List.assoc_opt "XSS" by)
+
+let test_training_programs () =
+  let programs = Wap_corpus.Corpus.training_programs ~seed:11 ~per_label:40 () in
+  Alcotest.(check int) "count" 80 (List.length programs);
+  let fps = List.filter (fun p -> p.Wap_corpus.Corpus.tp_is_fp) programs in
+  Alcotest.(check int) "half are FPs" 40 (List.length fps);
+  List.iter
+    (fun (p : Wap_corpus.Corpus.training_program) ->
+      ignore (Wap_php.Parser.parse_string ~file:"t.php" p.Wap_corpus.Corpus.tp_source))
+    programs
+
+let test_escape_helper_emitted_once () =
+  let pkg =
+    App.generate ~seed:3 ~kind:App.Webapp ~name:"h" ~version:"1" ~files:1
+      ~vuln_files:1 ~vulns:[] ~fp_easy:0 ~fp_hard:6 ~sanitized:0 ()
+  in
+  let src = (List.hd pkg.App.pkg_files).App.f_source in
+  let prog = Wap_php.Parser.parse_string ~file:"h.php" src in
+  let escapes =
+    List.filter
+      (fun (f : Wap_php.Ast.func) -> f.Wap_php.Ast.f_name = "escape")
+      (Wap_php.Visitor.collect_functions prog)
+  in
+  Alcotest.(check bool) "at most one escape()" true (List.length escapes <= 1)
+
+let qcheck_snippet_labels_honest =
+  (* Real snippets must never contain the class sanitizer *)
+  QCheck.Test.make ~name:"real snippets are not sanitized" ~count:100
+    QCheck.(int_bound 20_000)
+    (fun seed ->
+      let g = S.make_gen ~seed in
+      let snip = S.generate g VC.Sqli S.Real in
+      not
+        (let code = snip.S.code in
+         let needle = "mysql_real_escape_string" in
+         let rec contains i =
+           i + String.length needle <= String.length code
+           && (String.sub code i (String.length needle) = needle || contains (i + 1))
+         in
+         contains 0))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wap_corpus"
+    [
+      ( "profiles (paper tables)",
+        [
+          Alcotest.test_case "web application counts (Table V)" `Quick test_webapp_counts;
+          Alcotest.test_case "class totals (Table VI)" `Quick test_webapp_class_totals;
+          Alcotest.test_case "false-positive totals" `Quick test_webapp_fp_totals;
+          Alcotest.test_case "plugin counts (Table VII)" `Quick test_plugin_counts;
+          Alcotest.test_case "plugin class totals" `Quick test_plugin_class_totals;
+          Alcotest.test_case "Fig. 4 histograms" `Quick test_fig4_histograms;
+        ] );
+      ( "generation",
+        [
+          Alcotest.test_case "packages match profiles" `Slow test_package_matches_profile;
+          Alcotest.test_case "line ranges valid" `Quick test_package_line_ranges;
+          Alcotest.test_case "generated files parse" `Quick test_packages_parse;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "plugin packages" `Quick test_plugin_packages;
+          Alcotest.test_case "truth summary" `Quick test_truth_summary;
+          Alcotest.test_case "training programs" `Quick test_training_programs;
+          Alcotest.test_case "escape helper emitted once" `Quick
+            test_escape_helper_emitted_once;
+        ] );
+      ("properties", [ qt qcheck_snippet_labels_honest ]);
+    ]

@@ -1,0 +1,455 @@
+(** Tests for the data-mining stack: symptoms, evidence, attributes,
+    datasets, metrics and the classifiers. *)
+
+module Sym = Wap_mining.Symptom
+module Ev = Wap_mining.Evidence
+module At = Wap_mining.Attributes
+module DS = Wap_mining.Dataset
+module M = Wap_mining.Metrics
+module VC = Wap_catalog.Vuln_class
+
+(* ------------------------------------------------------------------ *)
+(* Symptoms (Table I).                                                 *)
+
+let test_symptom_counts () =
+  Alcotest.(check int) "60 symptoms" 60 Sym.count;
+  Alcotest.(check int) "61 attributes with class" 61 (At.paper_count At.Extended);
+  Alcotest.(check int) "16 attributes originally" 16 (At.paper_count At.Original);
+  Alcotest.(check int) "15 original groups" 15 (List.length Sym.original_groups)
+
+let test_symptom_groups_consistent () =
+  List.iter
+    (fun (s : Sym.t) ->
+      Alcotest.(check bool)
+        (s.Sym.name ^ " group known")
+        true
+        (List.mem s.Sym.group Sym.original_groups))
+    Sym.all
+
+let test_original_symptom_set () =
+  (* a few spot checks against Table I's left columns *)
+  let orig s = match Sym.find s with Some x -> x.Sym.original | None -> false in
+  List.iter (fun s -> Alcotest.(check bool) (s ^ " original") true (orig s))
+    [ "is_int"; "isset"; "preg_match"; "substr"; "concat_op"; "trim";
+      "complex_sql"; "is_num"; "from"; "avg"; "str_replace" ];
+  List.iter (fun s -> Alcotest.(check bool) (s ^ " new") false (orig s))
+    [ "is_integer"; "empty"; "strcmp"; "explode"; "implode"; "str_pad";
+      "ltrim"; "count"; "min"; "preg_split" ]
+
+let test_of_function_name () =
+  Alcotest.(check (option string)) "direct" (Some "trim") (Sym.of_function_name "TRIM");
+  Alcotest.(check (option string)) "(int) cast" (Some "intval") (Sym.of_function_name "(int)");
+  Alcotest.(check (option string)) "die" (Some "exit") (Sym.of_function_name "die");
+  Alcotest.(check (option string)) "error fns" (Some "error")
+    (Sym.of_function_name "trigger_error");
+  Alcotest.(check (option string)) "in_array is a whitelist" (Some "user_white_list")
+    (Sym.of_function_name "in_array");
+  Alcotest.(check (option string)) "unknown" None (Sym.of_function_name "md5")
+
+let test_dynamic_symptoms () =
+  let map = [ ("val_int", "is_int"); ("my_clean", "user_white_list") ] in
+  Alcotest.(check (option string)) "mapped" (Some "is_int")
+    (Sym.resolve_dynamic map "VAL_INT");
+  Alcotest.(check (option string)) "unmapped" None (Sym.resolve_dynamic map "other")
+
+(* ------------------------------------------------------------------ *)
+(* Evidence collection.                                                *)
+
+let candidate_of ?(vclass = VC.Sqli) src =
+  let program = Wap_php.Parser.parse_string ~file:"t.php" ("<?php\n" ^ src) in
+  match
+    Wap_taint.Analyzer.analyze_program
+      ~spec:(Wap_catalog.Catalog.default_spec vclass) ~file:"t.php" program
+  with
+  | c :: _ -> c
+  | [] -> Alcotest.fail "no candidate"
+
+let test_evidence_validation_and_sql () =
+  let c =
+    candidate_of
+      "$id = $_GET['id'];\nif (!is_numeric($id)) { die('x'); }\n\
+       mysql_query('SELECT COUNT(*) FROM t JOIN u ON 1 WHERE id = ' . $id . ' LIMIT 1');"
+  in
+  let ev = Ev.collect c in
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Ev.mem s ev))
+    [ "is_numeric"; "exit"; "concat_op"; "from"; "count"; "complex_sql"; "is_num" ]
+
+let test_evidence_dynamic_map () =
+  let c =
+    candidate_of
+      "$v = val_int($_GET['v']);\nmysql_query('SELECT * FROM t WHERE v = ' . $v);"
+  in
+  let without = Ev.collect c in
+  Alcotest.(check bool) "unmapped user fn invisible" false (Ev.mem "is_int" without);
+  let with_map = Ev.collect ~dynamic:[ ("val_int", "is_int") ] c in
+  Alcotest.(check bool) "mapped user fn visible" true (Ev.mem "is_int" with_map)
+
+let test_evidence_sql_only_for_query_classes () =
+  let c = candidate_of ~vclass:VC.Xss_reflected "echo 'SELECT x FROM t' . $_GET['m'];" in
+  Alcotest.(check bool) "no FROM symptom for XSS" false (Ev.mem "from" (Ev.collect c))
+
+let test_sql_symptom_details () =
+  let parse_expr s = Wap_php.Parser.parse_expression s in
+  let syms args = Ev.sql_symptoms (List.map parse_expr args) in
+  Alcotest.(check bool) "avg" true (List.mem "avg" (syms [ "\"SELECT AVG(x) FROM t\"" ]));
+  Alcotest.(check bool) "numeric position" true
+    (List.mem "is_num" (syms [ "'UPDATE t SET a = 1 WHERE id = ' . $x" ]));
+  Alcotest.(check bool) "quoted is not numeric" false
+    (List.mem "is_num" (syms [ "\"SELECT * FROM t WHERE id = 'abc'\"" ]));
+  Alcotest.(check bool) "nested select is complex" true
+    (List.mem "complex_sql"
+       (syms [ "'SELECT * FROM t WHERE id IN (SELECT id FROM u)' . $x" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Attributes.                                                         *)
+
+let test_attribute_vectors () =
+  let ev = Ev.of_names [ "is_int"; "preg_match"; "trim" ] in
+  let ext = At.vector_of_evidence At.Extended ev in
+  Alcotest.(check int) "extended length" 60 (Array.length ext);
+  Alcotest.(check int) "three bits set" 3
+    (Array.fold_left (fun n f -> if f > 0.5 then n + 1 else n) 0 ext);
+  let orig = At.vector_of_evidence At.Original ev in
+  Alcotest.(check int) "original length" 15 (Array.length orig);
+  (* is_int -> type_checking, preg_match -> pattern_control, trim -> remove_whitespace *)
+  Alcotest.(check int) "three groups set" 3
+    (Array.fold_left (fun n f -> if f > 0.5 then n + 1 else n) 0 orig)
+
+let test_original_mode_ignores_new_symptoms () =
+  (* strcmp is a new symptom: the original encoding must not see it *)
+  let ev = Ev.of_names [ "strcmp" ] in
+  let orig = At.vector_of_evidence At.Original ev in
+  Alcotest.(check int) "invisible to original" 0
+    (Array.fold_left (fun n f -> if f > 0.5 then n + 1 else n) 0 orig);
+  let ext = At.vector_of_evidence At.Extended ev in
+  Alcotest.(check int) "visible to extended" 1
+    (Array.fold_left (fun n f -> if f > 0.5 then n + 1 else n) 0 ext)
+
+(* ------------------------------------------------------------------ *)
+(* Datasets.                                                           *)
+
+let mk_instance bits label =
+  { DS.features = Array.of_list (List.map float_of_int bits); label }
+
+let test_dataset_dedup () =
+  let d =
+    DS.make ~mode:At.Extended
+      [ mk_instance [ 1; 0 ] true; mk_instance [ 1; 0 ] true;
+        mk_instance [ 0; 1 ] false;
+        (* ambiguous pair: must be dropped entirely *)
+        mk_instance [ 1; 1 ] true; mk_instance [ 1; 1 ] false ]
+  in
+  let dd = DS.deduplicate d in
+  Alcotest.(check int) "kept" 2 (DS.size dd);
+  Alcotest.(check int) "one FP" 1 (DS.positives dd)
+
+let test_dataset_balance_and_split () =
+  let d =
+    DS.make ~mode:At.Extended
+      (List.init 10 (fun i -> mk_instance [ i; 0 ] true)
+      @ List.init 4 (fun i -> mk_instance [ i; 1 ] false))
+  in
+  let b = DS.balance d in
+  Alcotest.(check int) "balanced size" 8 (DS.size b);
+  Alcotest.(check int) "balanced positives" 4 (DS.positives b);
+  let s = DS.take_split ~fp:3 ~rv:2 d in
+  Alcotest.(check int) "split fp" 3 (DS.positives s);
+  Alcotest.(check int) "split rv" 2 (DS.negatives s)
+
+let test_stratified_folds () =
+  let d =
+    DS.make ~mode:At.Extended
+      (List.init 20 (fun i -> mk_instance [ i ] (i mod 2 = 0)))
+  in
+  let folds = DS.stratified_folds ~k:5 d in
+  Alcotest.(check int) "5 folds" 5 (List.length folds);
+  List.iter
+    (fun (train, test) ->
+      Alcotest.(check int) "test size" 4 (DS.size test);
+      Alcotest.(check int) "train size" 16 (DS.size train);
+      Alcotest.(check int) "test balanced" 2 (DS.positives test))
+    folds;
+  (* each instance appears in exactly one test fold *)
+  let total_test = List.fold_left (fun n (_, t) -> n + DS.size t) 0 folds in
+  Alcotest.(check int) "partition" 20 total_test
+
+let test_csv_round_trip () =
+  let d =
+    DS.make ~mode:At.Extended
+      [ mk_instance [ 1; 0; 1 ] true; mk_instance [ 0; 1; 0 ] false ]
+  in
+  let back = DS.of_csv ~mode:At.Extended (DS.to_csv d) in
+  Alcotest.(check int) "size" 2 (DS.size back);
+  Alcotest.(check int) "positives" 1 (DS.positives back)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: reproduce Table II's numbers from Table III's matrices.    *)
+
+let paper_svm = { M.tp = 121; fp = 6; fn = 7; tn = 122 }
+let paper_lr = { M.tp = 119; fp = 6; fn = 9; tn = 122 }
+let paper_rf = { M.tp = 116; fp = 3; fn = 12; tn = 125 }
+
+let near name expected actual =
+  Alcotest.(check (float 0.11)) name expected (M.pct actual)
+
+let test_metrics_svm () =
+  near "tpp" 94.5 (M.tpp paper_svm);
+  near "pfp" 4.7 (M.pfp paper_svm);
+  near "prfp" 95.3 (M.prfp paper_svm);
+  near "pd" 95.3 (M.pd paper_svm);
+  near "ppd" 94.6 (M.ppd paper_svm);
+  near "acc" 94.9 (M.acc paper_svm);
+  near "pr" 94.9 (M.pr paper_svm)
+
+let test_metrics_lr () =
+  near "tpp" 93.0 (M.tpp paper_lr);
+  near "acc" 94.1 (M.acc paper_lr);
+  near "pfp" 4.7 (M.pfp paper_lr)
+
+let test_metrics_rf () =
+  near "tpp" 90.6 (M.tpp paper_rf);
+  near "pfp" 2.3 (M.pfp paper_rf);
+  near "prfp" 97.5 (M.prfp paper_rf);
+  near "pd" 97.7 (M.pd paper_rf);
+  near "acc" 94.1 (M.acc paper_rf)
+
+let test_metric_identities () =
+  List.iter
+    (fun c ->
+      Alcotest.(check (float 1e-9)) "inform = tpp - pfp" (M.tpp c -. M.pfp c) (M.inform c);
+      Alcotest.(check bool) "acc in [0,1]" true (M.acc c >= 0.0 && M.acc c <= 1.0);
+      Alcotest.(check bool) "jacc <= tpp" true (M.jacc c <= M.tpp c +. 1e-9))
+    [ paper_svm; paper_lr; paper_rf ]
+
+let test_confusion_observe () =
+  let c = M.empty in
+  let c = M.observe c ~predicted:true ~actual:true in
+  let c = M.observe c ~predicted:true ~actual:false in
+  let c = M.observe c ~predicted:false ~actual:true in
+  let c = M.observe c ~predicted:false ~actual:false in
+  Alcotest.(check bool) "all cells" true (c = { M.tp = 1; fp = 1; fn = 1; tn = 1 });
+  Alcotest.(check int) "total" 4 (M.total c)
+
+(* ------------------------------------------------------------------ *)
+(* Classifiers.                                                        *)
+
+(* A linearly separable toy problem: label = attribute 0. *)
+let separable n =
+  DS.make ~mode:At.Extended
+    (List.init n (fun i ->
+         let bit = i mod 2 in
+         mk_instance [ bit; 1 - bit; (i / 2) mod 2 ] (bit = 1)))
+
+(* XOR of attributes 0 and 1: not linearly separable. *)
+let xor_data n =
+  DS.make ~mode:At.Extended
+    (List.init n (fun i ->
+         let a = i mod 2 and b = (i / 2) mod 2 in
+         mk_instance [ a; b ] (a <> b)))
+
+let accuracy_of predict (d : DS.t) =
+  let ok =
+    List.length
+      (List.filter (fun (i : DS.instance) -> predict i.DS.features = i.DS.label)
+         d.DS.instances)
+  in
+  float_of_int ok /. float_of_int (DS.size d)
+
+let test_all_classifiers_learn_separable () =
+  let d = separable 64 in
+  List.iter
+    (fun (algo : Wap_mining.Classifier.algorithm) ->
+      let m = algo.Wap_mining.Classifier.train ~seed:7 d in
+      Alcotest.(check (float 0.01))
+        (algo.Wap_mining.Classifier.algo_name ^ " separable accuracy")
+        1.0
+        (accuracy_of (Wap_mining.Classifier.predict m) d))
+    Wap_mining.Evaluation.default_pool
+
+let test_trees_learn_xor () =
+  let d = xor_data 64 in
+  List.iter
+    (fun (algo : Wap_mining.Classifier.algorithm) ->
+      let m = algo.Wap_mining.Classifier.train ~seed:7 d in
+      Alcotest.(check (float 0.01))
+        (algo.Wap_mining.Classifier.algo_name ^ " xor accuracy")
+        1.0
+        (accuracy_of (Wap_mining.Classifier.predict m) d))
+    [ Wap_mining.Decision_tree.algorithm; Wap_mining.Random_forest.algorithm;
+      Wap_mining.Knn.algorithm ]
+
+let test_scores_in_range () =
+  let d = separable 32 in
+  List.iter
+    (fun (algo : Wap_mining.Classifier.algorithm) ->
+      let m = algo.Wap_mining.Classifier.train ~seed:7 d in
+      List.iter
+        (fun (i : DS.instance) ->
+          let s = Wap_mining.Classifier.score m i.DS.features in
+          Alcotest.(check bool)
+            (algo.Wap_mining.Classifier.algo_name ^ " score in [0,1]")
+            true
+            (s >= 0.0 && s <= 1.0))
+        d.DS.instances)
+    Wap_mining.Evaluation.default_pool
+
+let test_training_deterministic () =
+  let d = separable 64 in
+  List.iter
+    (fun (algo : Wap_mining.Classifier.algorithm) ->
+      let m1 = algo.Wap_mining.Classifier.train ~seed:13 d in
+      let m2 = algo.Wap_mining.Classifier.train ~seed:13 d in
+      List.iter
+        (fun (i : DS.instance) ->
+          Alcotest.(check bool)
+            (algo.Wap_mining.Classifier.algo_name ^ " deterministic")
+            (Wap_mining.Classifier.predict m1 i.DS.features)
+            (Wap_mining.Classifier.predict m2 i.DS.features))
+        d.DS.instances)
+    Wap_mining.Evaluation.default_pool
+
+let test_tree_structure () =
+  let d = separable 32 in
+  let t = Wap_mining.Decision_tree.train ~seed:3 d in
+  Alcotest.(check bool) "depth >= 1" true (Wap_mining.Decision_tree.depth_of t.root >= 1);
+  Alcotest.(check bool) "has nodes" true (Wap_mining.Decision_tree.nodes_of t.root >= 3)
+
+let test_cross_validation_covers_all () =
+  let d = separable 50 in
+  let conf =
+    Wap_mining.Evaluation.cross_validate ~k:10 ~seed:3 Wap_mining.Logistic.algorithm d
+  in
+  Alcotest.(check int) "every instance tested once" 50 (M.total conf)
+
+let test_top3_selection () =
+  let d = separable 60 in
+  let top = Wap_mining.Evaluation.top3 ~seed:3 d in
+  Alcotest.(check int) "three selected" 3 (List.length top)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor.                                                          *)
+
+let test_predictor_triage () =
+  let fp_cand =
+    candidate_of
+      "$v = $_GET['v'];\nif (!is_numeric($v)) { die('x'); }\n$v = intval($v);\nmysql_query('SELECT * FROM t WHERE v = ' . $v);"
+  in
+  let real_cand =
+    candidate_of "$v = $_GET['v'];\nmysql_query(\"SELECT * FROM t WHERE v = '$v'\");"
+  in
+  let d = Wap_core.Training.dataset_for ~seed:2016 Wap_core.Version.Wape in
+  let p = Wap_mining.Predictor.train ~seed:2016 Wap_mining.Predictor.extended_config d in
+  Alcotest.(check bool) "guarded flow predicted FP" true
+    (Wap_mining.Predictor.is_false_positive p fp_cand);
+  Alcotest.(check bool) "raw flow predicted real" false
+    (Wap_mining.Predictor.is_false_positive p real_cand);
+  let fps, reals = Wap_mining.Predictor.triage p [ fp_cand; real_cand ] in
+  Alcotest.(check int) "one of each" 1 (List.length fps);
+  Alcotest.(check int) "one real" 1 (List.length reals);
+  Alcotest.(check bool) "justification mentions the guard" true
+    (List.mem "is_numeric" (Wap_mining.Predictor.justification p fp_cand))
+
+let test_predictor_mode_mismatch () =
+  let d = DS.make ~mode:At.Original [ mk_instance [ 1 ] true ] in
+  Alcotest.check_raises "mode mismatch"
+    (Invalid_argument "Predictor.train: dataset attribute mode mismatch")
+    (fun () ->
+      ignore (Wap_mining.Predictor.train Wap_mining.Predictor.extended_config d))
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                         *)
+
+let qcheck_dedup_idempotent =
+  QCheck.Test.make ~name:"dedup is idempotent" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair (list_of_size (Gen.return 4) bool) bool))
+    (fun raw ->
+      let d =
+        DS.make ~mode:At.Extended
+          (List.map
+             (fun (bits, label) ->
+               mk_instance (List.map (fun b -> if b then 1 else 0) bits) label)
+             raw)
+      in
+      let once = DS.deduplicate d in
+      let twice = DS.deduplicate once in
+      DS.size once = DS.size twice)
+
+let qcheck_folds_partition =
+  QCheck.Test.make ~name:"folds partition the data" ~count:50
+    QCheck.(int_range 4 60)
+    (fun n ->
+      let d = separable n in
+      let folds = DS.stratified_folds ~k:4 d in
+      List.fold_left (fun acc (_, t) -> acc + DS.size t) 0 folds = DS.size d)
+
+let qcheck_metrics_bounded =
+  QCheck.Test.make ~name:"all metrics bounded" ~count:200
+    QCheck.(quad (int_bound 50) (int_bound 50) (int_bound 50) (int_bound 50))
+    (fun (tp, fp, fn, tn) ->
+      let c = { M.tp; fp; fn; tn } in
+      List.for_all
+        (fun { M.metric = _; value } -> value >= -1.0 && value <= 1.0)
+        (M.all_metrics c))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wap_mining"
+    [
+      ( "symptoms",
+        [
+          Alcotest.test_case "counts" `Quick test_symptom_counts;
+          Alcotest.test_case "groups consistent" `Quick test_symptom_groups_consistent;
+          Alcotest.test_case "original flags" `Quick test_original_symptom_set;
+          Alcotest.test_case "function name mapping" `Quick test_of_function_name;
+          Alcotest.test_case "dynamic symptoms" `Quick test_dynamic_symptoms;
+        ] );
+      ( "evidence",
+        [
+          Alcotest.test_case "validation + SQL" `Quick test_evidence_validation_and_sql;
+          Alcotest.test_case "dynamic map" `Quick test_evidence_dynamic_map;
+          Alcotest.test_case "SQL symptoms only for query classes" `Quick
+            test_evidence_sql_only_for_query_classes;
+          Alcotest.test_case "sql details" `Quick test_sql_symptom_details;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "vectors" `Quick test_attribute_vectors;
+          Alcotest.test_case "original ignores new symptoms" `Quick
+            test_original_mode_ignores_new_symptoms;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "dedup + ambiguity" `Quick test_dataset_dedup;
+          Alcotest.test_case "balance and split" `Quick test_dataset_balance_and_split;
+          Alcotest.test_case "stratified folds" `Quick test_stratified_folds;
+          Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
+        ] );
+      ( "metrics (paper formulas)",
+        [
+          Alcotest.test_case "SVM column of Table II" `Quick test_metrics_svm;
+          Alcotest.test_case "LR column of Table II" `Quick test_metrics_lr;
+          Alcotest.test_case "RF column of Table II" `Quick test_metrics_rf;
+          Alcotest.test_case "identities" `Quick test_metric_identities;
+          Alcotest.test_case "confusion observe" `Quick test_confusion_observe;
+        ] );
+      ( "classifiers",
+        [
+          Alcotest.test_case "all learn separable data" `Quick
+            test_all_classifiers_learn_separable;
+          Alcotest.test_case "trees learn XOR" `Quick test_trees_learn_xor;
+          Alcotest.test_case "scores in range" `Quick test_scores_in_range;
+          Alcotest.test_case "deterministic training" `Quick test_training_deterministic;
+          Alcotest.test_case "tree structure" `Quick test_tree_structure;
+          Alcotest.test_case "cross-validation coverage" `Quick
+            test_cross_validation_covers_all;
+          Alcotest.test_case "top-3 selection" `Quick test_top3_selection;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "triage" `Slow test_predictor_triage;
+          Alcotest.test_case "mode mismatch" `Quick test_predictor_mode_mismatch;
+        ] );
+      ( "properties",
+        [ qt qcheck_dedup_idempotent; qt qcheck_folds_partition; qt qcheck_metrics_bounded ] );
+    ]

@@ -1,0 +1,167 @@
+(** Tests for the weapon generator, registry and persistence. *)
+
+module VC = Wap_catalog.Vuln_class
+module Cat = Wap_catalog.Catalog
+module G = Wap_weapon.Generator
+module W = Wap_weapon.Weapon
+
+let test_builtin_weapons () =
+  let nosqli = G.nosqli () and hei = G.hei () and wpsqli = G.wpsqli () in
+  Alcotest.(check string) "nosqli flag" "-nosqli" nosqli.W.flag;
+  Alcotest.(check string) "hei flag" "-hei" hei.W.flag;
+  Alcotest.(check string) "wpsqli flag" "-wpsqli" wpsqli.W.flag;
+  Alcotest.(check bool) "nosqli class" true (VC.equal nosqli.W.vclass VC.Nosqli);
+  Alcotest.(check bool) "hei class" true (VC.equal hei.W.vclass VC.Hi);
+  Alcotest.(check bool) "wpsqli class" true (VC.equal wpsqli.W.vclass VC.Wp_sqli);
+  (* fix templates per Section IV-C *)
+  (match nosqli.W.fix.Wap_fixer.Fix.template with
+  | Wap_fixer.Fix.Php_sanitization { sanitizer = "mysql_real_escape_string" } -> ()
+  | _ -> Alcotest.fail "nosqli fix should be PHP sanitization");
+  (match hei.W.fix.Wap_fixer.Fix.template with
+  | Wap_fixer.Fix.User_sanitization { malicious = [ '\r'; '\n' ]; neutralizer = " " } -> ()
+  | _ -> Alcotest.fail "hei fix should replace CR/LF by a space");
+  Alcotest.(check int) "wpsqli carries WP dynamic symptoms"
+    (List.length Wap_catalog.Wordpress.dynamic_symptoms)
+    (List.length wpsqli.W.dynamic_symptoms)
+
+let base_request =
+  {
+    G.req_name = "xmli";
+    req_vclass = None;
+    req_sources = [];
+    req_sinks = [ Cat.Sink_fn ("xml_run_query", []) ];
+    req_sanitizers = [ Cat.San_fn "xml_escape" ];
+    req_fix = G.With_user_validation { malicious = [ '<'; '>' ] };
+    req_dynamic_symptoms = [];
+  }
+
+let test_generate_custom () =
+  let w = G.generate base_request in
+  Alcotest.(check string) "flag" "-xmli" w.W.flag;
+  Alcotest.(check bool) "class" true (VC.equal w.W.vclass (VC.Custom "xmli"));
+  Alcotest.(check string) "fix name" "san_xmli" w.W.fix.Wap_fixer.Fix.fix_name;
+  Alcotest.(check bool) "superglobals included" true
+    (List.mem (Cat.Src_superglobal "_GET") w.W.spec.Cat.sources)
+
+let test_validation_errors () =
+  let expect_invalid req =
+    try
+      ignore (G.generate req);
+      false
+    with G.Invalid_request _ -> true
+  in
+  Alcotest.(check bool) "empty name" true (expect_invalid { base_request with G.req_name = "" });
+  Alcotest.(check bool) "bad name" true
+    (expect_invalid { base_request with G.req_name = "a b" });
+  Alcotest.(check bool) "no sinks" true
+    (expect_invalid { base_request with G.req_sinks = [] });
+  Alcotest.(check bool) "bad dynamic symptom" true
+    (expect_invalid
+       { base_request with G.req_dynamic_symptoms = [ ("f", "not_a_symptom") ] })
+
+let test_generated_weapon_detects () =
+  let w = G.generate base_request in
+  let src = "<?php\nxml_run_query('//user[name=\"' . $_GET['n'] . '\"]');\n" in
+  let program = Wap_php.Parser.parse_string ~file:"x.php" src in
+  let cands =
+    Wap_taint.Analyzer.analyze_program ~spec:w.W.spec ~file:"x.php" program
+  in
+  Alcotest.(check int) "weapon detects" 1 (List.length cands);
+  (* and its sanitizer protects *)
+  let src2 = "<?php\nxml_run_query(xml_escape($_GET['n']));\n" in
+  let program2 = Wap_php.Parser.parse_string ~file:"x.php" src2 in
+  Alcotest.(check int) "weapon sanitizer" 0
+    (List.length (Wap_taint.Analyzer.analyze_program ~spec:w.W.spec ~file:"x.php" program2))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence.                                                        *)
+
+let temp_dir () =
+  let d = Filename.temp_file "wap_test" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let test_store_round_trip () =
+  let dir = temp_dir () in
+  List.iter
+    (fun w ->
+      Wap_weapon.Store.save ~dir w;
+      let back = Wap_weapon.Store.load ~dir ~name:w.W.name in
+      Alcotest.(check string) (w.W.name ^ " name") w.W.name back.W.name;
+      Alcotest.(check bool) (w.W.name ^ " class") true (VC.equal w.W.vclass back.W.vclass);
+      Alcotest.(check bool)
+        (w.W.name ^ " sinks")
+        true
+        (back.W.spec.Cat.sinks = w.W.spec.Cat.sinks);
+      Alcotest.(check bool)
+        (w.W.name ^ " sanitizers")
+        true
+        (back.W.spec.Cat.sanitizers = w.W.spec.Cat.sanitizers);
+      Alcotest.(check bool) (w.W.name ^ " fix") true (back.W.fix = w.W.fix);
+      Alcotest.(check bool)
+        (w.W.name ^ " symptoms")
+        true
+        (back.W.dynamic_symptoms = w.W.dynamic_symptoms))
+    [ G.nosqli (); G.hei (); G.wpsqli (); G.generate base_request ]
+
+let test_store_all_fix_templates () =
+  let dir = temp_dir () in
+  let mk name template =
+    {
+      W.name; flag = "-" ^ name; vclass = VC.Custom name;
+      spec =
+        { Cat.vclass = VC.Custom name;
+          submodule = Wap_catalog.Submodule.Generated name;
+          sources = Cat.default_sources;
+          sinks = [ Cat.Sink_fn ("f", []) ]; sanitizers = [] };
+      fix = { Wap_fixer.Fix.fix_name = "san_" ^ name; vclass = VC.Custom name; template };
+      dynamic_symptoms = [];
+    }
+  in
+  List.iter
+    (fun (name, template) ->
+      let w = mk name template in
+      Wap_weapon.Store.save ~dir w;
+      let back = Wap_weapon.Store.load ~dir ~name in
+      Alcotest.(check bool) (name ^ " template") true
+        (back.W.fix.Wap_fixer.Fix.template = template))
+    [ ("t1", Wap_fixer.Fix.Php_sanitization { sanitizer = "esc" });
+      ("t2", Wap_fixer.Fix.User_sanitization { malicious = [ 'a'; '\n' ]; neutralizer = "_" });
+      ("t3", Wap_fixer.Fix.User_validation { malicious = [ '\''; '"' ] });
+      ("t4", Wap_fixer.Fix.Content_validation { patterns = [ "/x/"; "/y/i" ] });
+      ("t5", Wap_fixer.Fix.Session_reset) ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+let test_registry () =
+  let reg = Wap_weapon.Registry.builtin () in
+  Alcotest.(check int) "three builtin weapons" 3 (List.length (Wap_weapon.Registry.all reg));
+  (match Wap_weapon.Registry.find_flag reg "-nosqli" with
+  | Some w -> Alcotest.(check string) "found by flag" "nosqli" w.W.name
+  | None -> Alcotest.fail "missing -nosqli");
+  Alcotest.(check bool) "unknown flag" true
+    (Wap_weapon.Registry.find_flag reg "-nope" = None);
+  let specs = Wap_weapon.Registry.active_specs reg [ "-nosqli"; "-hei" ] in
+  Alcotest.(check int) "active specs" 2 (List.length specs);
+  let syms = Wap_weapon.Registry.active_symptoms reg [ "-wpsqli" ] in
+  Alcotest.(check bool) "wp symptoms active" true (syms <> [])
+
+let () =
+  Alcotest.run "wap_weapon"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "builtin weapons (Section IV-C)" `Quick test_builtin_weapons;
+          Alcotest.test_case "custom weapon" `Quick test_generate_custom;
+          Alcotest.test_case "validation errors" `Quick test_validation_errors;
+          Alcotest.test_case "generated weapon detects" `Quick test_generated_weapon_detects;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round trip" `Quick test_store_round_trip;
+          Alcotest.test_case "all fix templates" `Quick test_store_all_fix_templates;
+        ] );
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+    ]
