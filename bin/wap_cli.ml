@@ -3,6 +3,7 @@
     Sub-commands:
     - [analyze]     run the detectors + false-positive predictor on PHP
                     files, optionally emitting corrected source;
+    - [lint]        run the control-flow lint rules (Wap_lint) alone;
     - [weapon-gen]  generate a weapon from ep/ss/san data and a fix
                     template, and store it on disk;
     - [corpus-gen]  materialize the synthetic evaluation corpus;
@@ -27,6 +28,19 @@ let write_file path contents =
 let seed_arg =
   let doc = "Deterministic seed for training and corpus generation." in
   Arg.(value & opt int 2016 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* expand directories to their .php files, recursively; explicitly named
+   files pass through regardless of extension *)
+let expand_php_paths files =
+  let rec expand path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun entry -> expand (Filename.concat path entry))
+    else if Filename.check_suffix path ".php" || List.mem path files then
+      [ path ]
+    else []
+  in
+  List.concat_map expand files
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -109,15 +123,7 @@ let analyze_cmd =
         training_set
     in
     let tool = Wap_core.Tool.create ~seed ~weapons ~extra_sanitizers ?dataset version in
-    (* expand directories to their .php files, recursively *)
-    let rec expand path =
-      if Sys.is_directory path then
-        Sys.readdir path |> Array.to_list |> List.sort String.compare
-        |> List.concat_map (fun entry -> expand (Filename.concat path entry))
-      else if Filename.check_suffix path ".php" || List.mem path files then [ path ]
-      else []
-    in
-    let paths = List.concat_map expand files in
+    let paths = expand_php_paths files in
     let sources = List.map (fun p -> (p, read_file p)) paths in
     let result, parse_errors = Wap_core.Tool.analyze_sources tool sources in
     (match html_out with
@@ -207,6 +213,93 @@ let analyze_cmd =
     Term.(ret (const run $ files $ fix $ version $ weapons $ weapon_dir
                $ sanitizers $ seed_arg $ verbose $ confirm $ json $ training_set
                $ html_out))
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let lint_cmd =
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"PHP files or directories to lint.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+  in
+  let only_rules =
+    Arg.(value & opt_all string []
+         & info [ "rule" ] ~docv:"ID"
+             ~doc:"Run only this rule (repeatable); default: all rules.")
+  in
+  let list_rules =
+    Arg.(value & flag & info [ "list-rules" ] ~doc:"List the available rules and exit.")
+  in
+  let run files json only_rules list_rules =
+    if list_rules then begin
+      List.iter
+        (fun (r : Wap_lint.Rule.t) ->
+          Printf.printf "%-20s %s\n" r.Wap_lint.Rule.id r.Wap_lint.Rule.doc)
+        (Wap_lint.Lint.all_rules ());
+      `Ok ()
+    end
+    else if files = [] then `Error (true, "required argument FILE is missing")
+    else begin
+      let all = Wap_lint.Lint.all_rules () in
+      let unknown =
+        List.filter
+          (fun id ->
+            not (List.exists (fun (r : Wap_lint.Rule.t) -> r.Wap_lint.Rule.id = id) all))
+          only_rules
+      in
+      if unknown <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "unknown rule %s (see --list-rules)"
+              (String.concat ", " unknown) )
+      else begin
+      let rules =
+        match only_rules with
+        | [] -> None
+        | ids ->
+            Some
+              (List.filter
+                 (fun (r : Wap_lint.Rule.t) -> List.mem r.Wap_lint.Rule.id ids)
+                 all)
+      in
+      let diags =
+        List.concat_map
+          (fun path ->
+            let program, _errs =
+              Wap_php.Parser.parse_string_tolerant ~file:path (read_file path)
+            in
+            Wap_lint.Lint.run ?rules ~file:path program)
+          (expand_php_paths files)
+      in
+      let items =
+        List.map
+          (fun (d : Wap_lint.Rule.diag) ->
+            {
+              Wap_report.Diag.file = d.Wap_lint.Rule.loc.Wap_php.Loc.file;
+              line = d.Wap_lint.Rule.loc.Wap_php.Loc.line;
+              col = d.Wap_lint.Rule.loc.Wap_php.Loc.col;
+              severity = Wap_lint.Rule.severity_name d.Wap_lint.Rule.severity;
+              rule = d.Wap_lint.Rule.rule;
+              message = d.Wap_lint.Rule.message;
+            })
+          diags
+      in
+      if json then
+        print_endline (Wap_report.Json.to_string (Wap_report.Diag.to_json items))
+      else begin
+        if items <> [] then print_endline (Wap_report.Diag.render_all items);
+        Printf.printf "%s\n" (Wap_report.Diag.summary items)
+      end;
+      `Ok ()
+      end
+    end
+  in
+  let doc = "Run the control-flow lint rules over PHP files." in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ files $ json $ only_rules $ list_rules))
 
 (* ------------------------------------------------------------------ *)
 (* weapon-gen                                                          *)
@@ -408,6 +501,7 @@ let main =
   let doc = "modular, extensible static analysis for PHP web applications" in
   let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
   Cmd.group info
-    [ analyze_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd; train_cmd; symptoms_cmd ]
+    [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd;
+      train_cmd; symptoms_cmd ]
 
 let () = exit (Cmd.eval main)

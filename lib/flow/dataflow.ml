@@ -1,0 +1,72 @@
+(** Generic forward/backward dataflow over a {!Cfg}.
+
+    A client supplies a join-semilattice and a monotone per-block
+    transfer function; the worklist iteration computes the least
+    fixpoint.  Reaching definitions ({!Reaching}), liveness ({!Live})
+    and reachability ({!Reach}) are the canonical instances; new
+    analyses plug in the same way without touching the engine. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type result = {
+    in_facts : L.t array;
+        (** fact at each block's input {e in analysis direction}: block
+            entry for a forward analysis, block exit for a backward one *)
+    out_facts : L.t array;  (** result of the block's transfer function *)
+  }
+
+  let solve ~dir (cfg : Cfg.t) ~(init : L.t)
+      ~(transfer : Cfg.block -> L.t -> L.t) : result =
+    let n = Cfg.num_blocks cfg in
+    let in_facts = Array.make n L.bottom in
+    let out_facts = Array.make n L.bottom in
+    let sources, targets, start =
+      match dir with
+      | `Forward -> (Cfg.preds cfg, Cfg.succs cfg, cfg.Cfg.entry)
+      | `Backward -> (Cfg.succs cfg, Cfg.preds cfg, cfg.Cfg.exit_)
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let enqueue i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    for i = 0 to n - 1 do
+      enqueue i
+    done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let input =
+        List.fold_left
+          (fun acc p -> L.join acc out_facts.(p))
+          (if i = start then init else L.bottom)
+          (sources i)
+      in
+      in_facts.(i) <- input;
+      let output = transfer (Cfg.block cfg i) input in
+      if not (L.equal output out_facts.(i)) then begin
+        out_facts.(i) <- output;
+        List.iter enqueue (targets i)
+      end
+    done;
+    { in_facts; out_facts }
+
+  (** [forward cfg ~init ~transfer] : [init] seeds the entry block;
+      [in_facts.(b)] is the fact at [b]'s entry. *)
+  let forward cfg ~init ~transfer = solve ~dir:`Forward cfg ~init ~transfer
+
+  (** [backward cfg ~init ~transfer] : [init] seeds the exit block;
+      [in_facts.(b)] is the fact at [b]'s exit, [out_facts.(b)] the fact
+      at its entry. *)
+  let backward cfg ~init ~transfer = solve ~dir:`Backward cfg ~init ~transfer
+end

@@ -1,0 +1,67 @@
+(** Live variables — the backward instance of {!Dataflow}.
+
+    A variable is live at a point when some path from that point reads
+    it before overwriting it.  Weak (container-update) definitions keep
+    the container alive; only strong definitions and [unset] kill. *)
+
+module VarSet = Set.Make (String)
+
+module L = struct
+  type t = VarSet.t
+
+  let bottom = VarSet.empty
+  let equal = VarSet.equal
+  let join = VarSet.union
+end
+
+module Solver = Dataflow.Make (L)
+
+(* live-before = (live-after - strong defs) ∪ uses ∪ weak-def bases *)
+let transfer_elem elem live_after =
+  let live =
+    List.fold_left
+      (fun live (d : Use_def.def) ->
+        match d.Use_def.d_kind with
+        | Use_def.Strong | Use_def.Kill -> VarSet.remove d.Use_def.d_var live
+        | Use_def.Weak -> live)
+      live_after (Use_def.defs_of_elem elem)
+  in
+  let live =
+    List.fold_left
+      (fun live (d : Use_def.def) ->
+        match d.Use_def.d_kind with
+        | Use_def.Weak -> VarSet.add d.Use_def.d_var live
+        | _ -> live)
+      live (Use_def.defs_of_elem elem)
+  in
+  List.fold_left (fun live v -> VarSet.add v live) live (Use_def.uses_of_elem elem)
+
+let transfer (blk : Cfg.block) live_out =
+  List.fold_left
+    (fun live elem -> transfer_elem elem live)
+    live_out
+    (List.rev blk.Cfg.elems)
+
+type t = { cfg : Cfg.t; result : Solver.result }
+
+let analyze (cfg : Cfg.t) : t =
+  { cfg; result = Solver.backward cfg ~init:VarSet.empty ~transfer }
+
+(** Variables live at the end of block [i]. *)
+let live_out t i = t.result.Solver.in_facts.(i)
+
+(** Variables live at the entry of block [i]. *)
+let live_in t i = t.result.Solver.out_facts.(i)
+
+(** Walk block [i]'s elements in {e reverse} order; [f] receives the
+    live set {e after} each element. *)
+let fold_block_rev t i ~init ~f =
+  let _, acc =
+    List.fold_left
+      (fun (live_after, acc) elem ->
+        let acc = f acc live_after elem in
+        (transfer_elem elem live_after, acc))
+      (live_out t i, init)
+      (List.rev (Cfg.block t.cfg i).Cfg.elems)
+  in
+  acc

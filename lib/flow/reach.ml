@@ -1,0 +1,84 @@
+(** Reachability — the simplest {!Dataflow} instance, and the dead-code
+    oracle the taint analyzer and linter share.
+
+    A block is reachable when some control path from the scope's entry
+    arrives at it.  Statements after an unconditional
+    [exit]/[die]/[return]/[throw], after a [break]/[continue], in a
+    [case] below a terminated one with no fallthrough, or behind an
+    [if]/[else] whose branches all terminate, are not. *)
+
+open Wap_php
+
+module L = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+end
+
+module Solver = Dataflow.Make (L)
+
+(** Per-block reachability as a dataflow fixpoint (equivalent to
+    {!Cfg.reachable}, expressed through the framework). *)
+let solve (cfg : Cfg.t) : bool array =
+  (Solver.forward cfg ~init:true ~transfer:(fun _ fact -> fact)).Solver.in_facts
+
+(* ------------------------------------------------------------------ *)
+(* Dead-location sets.                                                 *)
+
+(** A set of source locations proven unreachable, spanning every scope
+    of one or more programs. *)
+type dead = (string * int * int, unit) Hashtbl.t
+
+let create () : dead = Hashtbl.create 64
+
+let key (l : Loc.t) = (l.Loc.file, l.Loc.line, l.Loc.col)
+
+let add_loc tbl (l : Loc.t) =
+  if l.Loc.line > 0 then Hashtbl.replace tbl (key l) ()
+
+let add_expr tbl (e : Ast.expr) =
+  Visitor.fold_expr (fun () e1 -> add_loc tbl e1.Ast.eloc) () e
+
+(* Mark a statement and everything inside it dead — except nested
+   function/class definitions: PHP hoists unconditional declarations, so
+   a function defined after [exit] is still callable and its body keeps
+   its own reachability (computed in its own scope). *)
+let rec add_stmt tbl (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Func_def _ | Ast.Class_def _ -> ()
+  | _ ->
+      add_loc tbl s.Ast.sloc;
+      List.iter (add_expr tbl) (Visitor.stmt_exprs s);
+      List.iter (add_stmt tbl) (Visitor.sub_stmts s)
+
+let add_elem tbl = function
+  | Cfg.Elem_stmt s -> add_stmt tbl s
+  | Cfg.Elem_cond e -> add_expr tbl e
+  | Cfg.Elem_foreach (subject, binding) ->
+      add_expr tbl subject;
+      add_expr tbl binding.Ast.fe_value;
+      Option.iter (add_expr tbl) binding.Ast.fe_key
+  | Cfg.Elem_catch _ -> ()
+
+(** Fold [prog]'s unreachable locations (every scope) into [tbl]. *)
+let add_program (tbl : dead) (prog : Ast.program) : unit =
+  List.iter
+    (fun (scope : Scope.t) ->
+      let cfg = Cfg.of_stmts scope.Scope.body in
+      let reach = solve cfg in
+      Array.iter
+        (fun (blk : Cfg.block) ->
+          if not reach.(blk.Cfg.bid) then
+            List.iter (add_elem tbl) blk.Cfg.elems)
+        cfg.Cfg.blocks)
+    (Scope.of_program prog)
+
+let of_program (prog : Ast.program) : dead =
+  let tbl = create () in
+  add_program tbl prog;
+  tbl
+
+(** Is this location inside code proven unreachable? *)
+let is_dead (tbl : dead) (l : Loc.t) = Hashtbl.mem tbl (key l)

@@ -1,0 +1,71 @@
+(** Reaching definitions — the forward instance of {!Dataflow}.
+
+    A fact is the set of [(variable, definition site)] pairs that may
+    reach a program point.  Strong definitions kill earlier definitions
+    of the same variable; weak (container-update) definitions
+    accumulate; [unset] kills without generating. *)
+
+open Wap_php
+
+module Def = struct
+  type t = Ast.ident * Loc.t
+
+  let compare (a, la) (b, lb) =
+    match String.compare a b with 0 -> Loc.compare la lb | c -> c
+end
+
+module Set = Stdlib.Set.Make (Def)
+
+module L = struct
+  type t = Set.t
+
+  let bottom = Set.empty
+  let equal = Set.equal
+  let join = Set.union
+end
+
+module Solver = Dataflow.Make (L)
+
+let apply_def set (d : Use_def.def) =
+  match d.Use_def.d_kind with
+  | Use_def.Strong ->
+      Set.add
+        (d.Use_def.d_var, d.Use_def.d_loc)
+        (Set.filter (fun (v, _) -> v <> d.Use_def.d_var) set)
+  | Use_def.Weak -> Set.add (d.Use_def.d_var, d.Use_def.d_loc) set
+  | Use_def.Kill -> Set.filter (fun (v, _) -> v <> d.Use_def.d_var) set
+
+let transfer_elem set elem =
+  List.fold_left apply_def set (Use_def.defs_of_elem elem)
+
+let transfer (blk : Cfg.block) set =
+  List.fold_left transfer_elem set blk.Cfg.elems
+
+type t = { cfg : Cfg.t; result : Solver.result }
+
+(** Solve over a CFG; [params] (and any other ambient names, e.g. a
+    method's implicit bindings) are definitions live at the entry. *)
+let analyze ?(params = []) (cfg : Cfg.t) : t =
+  let init =
+    List.fold_left (fun s v -> Set.add (v, Loc.dummy) s) Set.empty params
+  in
+  { cfg; result = Solver.forward cfg ~init ~transfer }
+
+(** Definitions reaching the entry of block [i]. *)
+let reaching_in t i = t.result.Solver.in_facts.(i)
+
+(** Is any definition of [v] in the set? *)
+let defines set v = Set.exists (fun (v', _) -> v' = v) set
+
+(** Walk block [i]'s elements in order; [f] receives the definition set
+    {e before} each element. *)
+let fold_block t i ~init ~f =
+  let _, acc =
+    List.fold_left
+      (fun (set, acc) elem ->
+        let acc = f acc set elem in
+        (transfer_elem set elem, acc))
+      (reaching_in t i, init)
+      (Cfg.block t.cfg i).Cfg.elems
+  in
+  acc

@@ -1,0 +1,28 @@
+(** Splitting a program into its analysis scopes.
+
+    PHP flow is per scope: the top level of a file and each function or
+    method body have independent control flow and variable tables.  All
+    flow analyses iterate the scopes this module extracts. *)
+
+open Wap_php
+
+type t = {
+  name : string option;  (** [None] for the file's top level *)
+  params : string list;
+  body : Ast.stmt list;
+  loc : Loc.t;
+}
+
+let of_func (f : Ast.func) : t =
+  {
+    name = Some f.Ast.f_name;
+    params = List.map (fun (p : Ast.param) -> p.Ast.p_name) f.Ast.f_params;
+    body = f.Ast.f_body;
+    loc = f.Ast.f_loc;
+  }
+
+(** The top-level scope followed by every function and method body
+    (including nested definitions). *)
+let of_program (prog : Ast.program) : t list =
+  { name = None; params = []; body = prog; loc = Loc.dummy }
+  :: List.map of_func (Visitor.collect_functions prog)

@@ -1,0 +1,150 @@
+(** Per-element variable uses and definitions, the vocabulary shared by
+    the dataflow instances.
+
+    The extraction is scope-local: closure bodies are never entered
+    (they are separate scopes), but the variables captured by a
+    closure's [use (...)] clause count as uses in the enclosing scope.
+    [isset]/[empty] existence checks are not uses — probing an undefined
+    variable is exactly what they are for. *)
+
+open Wap_php
+
+(** How a definition affects earlier definitions of the same variable. *)
+type def_kind =
+  | Strong  (** the whole variable is overwritten: [$x = e] *)
+  | Weak
+      (** part of a container is updated ([$a[i] = e], [$o->p = e]):
+          earlier definitions survive *)
+  | Kill  (** [unset($x)]: the variable stops existing *)
+
+type def = { d_var : Ast.ident; d_loc : Loc.t; d_kind : def_kind }
+
+let is_pseudo_var v = Ast.is_superglobal v || v = "this"
+
+(* ------------------------------------------------------------------ *)
+(* Uses.                                                               *)
+
+let rec uses_acc acc (e : Ast.expr) : Ast.ident list =
+  Visitor.fold_expr_prune
+    (fun acc (e : Ast.expr) ->
+      match e.Ast.e with
+      | Ast.Var v -> ((if is_pseudo_var v then acc else v :: acc), false)
+      | Ast.Closure c ->
+          (* capture list reads the enclosing scope; the body does not *)
+          (List.fold_left (fun acc (_, v) -> v :: acc) acc c.Ast.cl_uses, false)
+      | Ast.Isset _ | Ast.Empty _ -> (acc, false)
+      | Ast.Assign (Ast.A_eq, lhs, rhs) ->
+          let acc = uses_acc acc rhs in
+          (lhs_uses acc lhs, false)
+      | Ast.Assign_ref (lhs, rhs) ->
+          let acc = uses_acc acc rhs in
+          (lhs_uses acc lhs, false)
+      | _ -> (acc, true))
+    acc e
+
+(* In a plain write the target variable itself is not read, but index
+   expressions are, and PHP auto-vivifies array bases, so `$a[$i] = e`
+   uses $i and not $a. *)
+and lhs_uses acc (l : Ast.expr) : Ast.ident list =
+  match l.Ast.e with
+  | Ast.Var _ -> acc
+  | Ast.Index (base, idx) ->
+      let acc = match idx with Some i -> uses_acc acc i | None -> acc in
+      (match base.Ast.e with
+      | Ast.Var _ -> acc  (* vivified, not read *)
+      | _ -> lhs_uses acc base)
+  | Ast.List es ->
+      List.fold_left
+        (fun acc -> function Some e -> lhs_uses acc e | None -> acc)
+        acc es
+  | Ast.Prop (base, m) ->
+      (* writing a property does read the object *)
+      let acc = uses_acc acc base in
+      (match m with Ast.Mem_expr me -> uses_acc acc me | Ast.Mem_ident _ -> acc)
+  | _ -> uses_acc acc l
+
+let uses_of_expr e = List.sort_uniq String.compare (uses_acc [] e)
+
+(* ------------------------------------------------------------------ *)
+(* Definitions.                                                        *)
+
+let rec lvalue_defs acc ~loc ~kind (l : Ast.expr) =
+  match l.Ast.e with
+  | Ast.Var v ->
+      if is_pseudo_var v then acc
+      else { d_var = v; d_loc = loc; d_kind = kind } :: acc
+  | Ast.Index (base, _) | Ast.Prop (base, _) -> (
+      match Ast.base_variable base with
+      | Some v when not (is_pseudo_var v) ->
+          { d_var = v; d_loc = loc; d_kind = Weak } :: acc
+      | _ -> acc)
+  | Ast.List es ->
+      List.fold_left
+        (fun acc -> function
+          | Some e -> lvalue_defs acc ~loc ~kind e
+          | None -> acc)
+        acc es
+  | _ -> acc
+
+let defs_of_expr (e : Ast.expr) : def list =
+  List.rev
+    (Visitor.fold_expr_prune
+       (fun acc (e : Ast.expr) ->
+         match e.Ast.e with
+         | Ast.Closure _ -> (acc, false)
+         | Ast.Assign (_, lhs, _) ->
+             (* compound assignments read then overwrite: still strong *)
+             (lvalue_defs acc ~loc:e.Ast.eloc ~kind:Strong lhs, true)
+         | Ast.Assign_ref (lhs, _) ->
+             (lvalue_defs acc ~loc:e.Ast.eloc ~kind:Strong lhs, true)
+         | Ast.Incdec (_, { e = Ast.Var v; _ }) when not (is_pseudo_var v) ->
+             ({ d_var = v; d_loc = e.Ast.eloc; d_kind = Strong } :: acc, true)
+         | _ -> (acc, true))
+       [] e)
+
+(* ------------------------------------------------------------------ *)
+(* Per-element view.                                                   *)
+
+let uses_of_elem (elem : Cfg.elem) : Ast.ident list =
+  match elem with
+  | Cfg.Elem_stmt s ->
+      List.sort_uniq String.compare
+        (List.fold_left uses_acc [] (Visitor.stmt_exprs s))
+  | Cfg.Elem_cond e -> uses_of_expr e
+  | Cfg.Elem_foreach (subject, _) -> uses_of_expr subject
+  | Cfg.Elem_catch _ -> []
+
+let defs_of_elem (elem : Cfg.elem) : def list =
+  match elem with
+  | Cfg.Elem_stmt s -> (
+      match s.Ast.s with
+      | Ast.Global vs ->
+          List.map
+            (fun v -> { d_var = v; d_loc = s.Ast.sloc; d_kind = Strong })
+            vs
+      | Ast.Static_vars vs ->
+          List.concat_map
+            (fun (v, init) ->
+              { d_var = v; d_loc = s.Ast.sloc; d_kind = Strong }
+              :: (match init with Some e -> defs_of_expr e | None -> []))
+            vs
+      | Ast.Unset es ->
+          List.filter_map
+            (fun (e : Ast.expr) ->
+              match e.Ast.e with
+              | Ast.Var v when not (is_pseudo_var v) ->
+                  Some { d_var = v; d_loc = s.Ast.sloc; d_kind = Kill }
+              | _ -> None)
+            es
+      | _ -> List.concat_map defs_of_expr (Visitor.stmt_exprs s))
+  | Cfg.Elem_cond e -> defs_of_expr e
+  | Cfg.Elem_foreach (subject, binding) ->
+      let loc = subject.Ast.eloc in
+      let acc = lvalue_defs [] ~loc ~kind:Strong binding.Ast.fe_value in
+      let acc =
+        match binding.Ast.fe_key with
+        | Some k -> lvalue_defs acc ~loc ~kind:Strong k
+        | None -> acc
+      in
+      defs_of_expr subject @ List.rev acc
+  | Cfg.Elem_catch v -> [ { d_var = v; d_loc = Loc.dummy; d_kind = Strong } ]

@@ -1,0 +1,30 @@
+(** Per-element variable uses and definitions, the vocabulary shared by
+    the dataflow instances.
+
+    The extraction is scope-local: closure bodies are never entered
+    (they are separate scopes), but the variables captured by a
+    closure's [use (...)] clause count as uses in the enclosing scope.
+    [isset]/[empty] existence checks are not uses. *)
+
+open Wap_php
+
+(** How a definition affects earlier definitions of the same variable. *)
+type def_kind =
+  | Strong  (** the whole variable is overwritten: [$x = e] *)
+  | Weak
+      (** part of a container is updated ([$a[i] = e], [$o->p = e]):
+          earlier definitions survive *)
+  | Kill  (** [unset($x)]: the variable stops existing *)
+
+type def = { d_var : Ast.ident; d_loc : Loc.t; d_kind : def_kind }
+
+(** Variables read by an expression, sorted and de-duplicated.
+    Superglobals and [$this] are excluded. *)
+val uses_of_expr : Ast.expr -> Ast.ident list
+
+(** Definitions made by an expression (assignments, [++]/[--],
+    reference bindings), in evaluation order. *)
+val defs_of_expr : Ast.expr -> def list
+
+val uses_of_elem : Cfg.elem -> Ast.ident list
+val defs_of_elem : Cfg.elem -> def list

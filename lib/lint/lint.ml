@@ -1,0 +1,18 @@
+(** The lint driver: build the flow substrate once, run every rule. *)
+
+let compare_diag (a : Rule.diag) (b : Rule.diag) =
+  let c = Wap_php.Loc.compare a.Rule.loc b.Rule.loc in
+  if c <> 0 then c else compare a.Rule.rule b.Rule.rule
+
+(** Run [rules] (default: built-ins plus everything {!Rule.register}ed)
+    over one parsed file.  Diagnostics come back in source order. *)
+let run ?rules ~file (program : Wap_php.Ast.program) : Rule.diag list =
+  let rules =
+    match rules with Some rs -> rs | None -> Rules.builtin @ Rule.registered ()
+  in
+  let ctx = Rule.make_ctx ~file program in
+  List.concat_map (fun (r : Rule.t) -> r.Rule.check ctx) rules
+  |> List.stable_sort compare_diag
+
+(** All rules available to {!run} by default. *)
+let all_rules () = Rules.builtin @ Rule.registered ()

@@ -1,0 +1,66 @@
+(** The pluggable lint-rule interface.
+
+    A rule inspects one file's program — with the control-flow and
+    reachability facts already computed per scope — and returns
+    diagnostics.  Rules are values: the shipped ones live in {!Rules},
+    and clients add their own with {!register}, the same way weapons add
+    detectors without touching the engine. *)
+
+open Wap_php
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type diag = {
+  rule : string;  (** the rule's [id] *)
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+}
+
+(** One scope with its flow substrate, shared by every rule so the CFG
+    is built once per scope, not once per rule. *)
+type scope_info = {
+  scope : Wap_flow.Scope.t;
+  cfg : Wap_flow.Cfg.t;
+  reachable : bool array;
+}
+
+type ctx = {
+  file : string;
+  program : Ast.program;
+  scopes : scope_info list;
+}
+
+type t = {
+  id : string;  (** kebab-case, e.g. ["no-undef-var"] *)
+  doc : string;  (** one-line description *)
+  check : ctx -> diag list;
+}
+
+let make_ctx ~file (program : Ast.program) : ctx =
+  let scopes =
+    List.map
+      (fun (scope : Wap_flow.Scope.t) ->
+        let cfg = Wap_flow.Cfg.of_stmts scope.Wap_flow.Scope.body in
+        { scope; cfg; reachable = Wap_flow.Reach.solve cfg })
+      (Wap_flow.Scope.of_program program)
+  in
+  { file; program; scopes }
+
+(* ------------------------------------------------------------------ *)
+(* Registry of user-added rules.                                       *)
+
+let registered_rules : t list ref = ref []
+
+(** Add a rule; it runs after the built-in ones on every subsequent
+    {!Lint.run}.  Registering an id twice replaces the earlier rule. *)
+let register (r : t) : unit =
+  registered_rules :=
+    r :: List.filter (fun r' -> r'.id <> r.id) !registered_rules
+
+let registered () = List.rev !registered_rules

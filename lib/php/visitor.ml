@@ -127,6 +127,119 @@ and fold_stmt_with_expr f acc (s : stmt) =
 (** [iter_exprs f prog] applies [f] to every expression in the program. *)
 let iter_exprs f prog = fold_stmts_with_expr (fun () e -> f e) () prog
 
+(** [fold_expr_prune f acc e] is {!fold_expr} with pruning: [f] returns
+    the new accumulator and whether to descend into the node's children.
+    Clients walking a single scope use it to stop at closure boundaries
+    or to treat lvalues specially. *)
+let rec fold_expr_prune (f : 'a -> expr -> 'a * bool) (acc : 'a) (e : expr) : 'a =
+  let acc, descend = f acc e in
+  if not descend then acc
+  else
+    match e.e with
+    | Int _ | Float _ | String _ | Var _ | Constant _ | Static_prop _ | Class_const _ ->
+        acc
+    | Interp parts | Backtick parts ->
+        List.fold_left
+          (fun acc -> function
+            | Ip_str _ -> acc
+            | Ip_expr e -> fold_expr_prune f acc e)
+          acc parts
+    | Var_var e1 | Clone e1 | Unop (_, e1) | Incdec (_, e1) | Cast (_, e1)
+    | Empty e1 | Print e1 | Include (_, e1) ->
+        fold_expr_prune f acc e1
+    | Array_lit items ->
+        List.fold_left
+          (fun acc it ->
+            let acc =
+              match it.ai_key with Some k -> fold_expr_prune f acc k | None -> acc
+            in
+            fold_expr_prune f acc it.ai_value)
+          acc items
+    | Index (e1, idx) -> (
+        let acc = fold_expr_prune f acc e1 in
+        match idx with Some i -> fold_expr_prune f acc i | None -> acc)
+    | Prop (e1, m) -> (
+        let acc = fold_expr_prune f acc e1 in
+        match m with Mem_expr e2 -> fold_expr_prune f acc e2 | Mem_ident _ -> acc)
+    | Call (callee, args) ->
+        let acc =
+          match callee with
+          | F_ident _ | F_static _ -> acc
+          | F_var e1 -> fold_expr_prune f acc e1
+          | F_method (e1, m) -> (
+              let acc = fold_expr_prune f acc e1 in
+              match m with
+              | Mem_expr e2 -> fold_expr_prune f acc e2
+              | Mem_ident _ -> acc)
+        in
+        List.fold_left (fun acc a -> fold_expr_prune f acc a.a_expr) acc args
+    | New (_, args) ->
+        List.fold_left (fun acc a -> fold_expr_prune f acc a.a_expr) acc args
+    | Binop (_, l, r) | Assign (_, l, r) | Assign_ref (l, r) ->
+        fold_expr_prune f (fold_expr_prune f acc l) r
+    | Ternary (c, t, e2) -> (
+        let acc = fold_expr_prune f acc c in
+        let acc = match t with Some t -> fold_expr_prune f acc t | None -> acc in
+        fold_expr_prune f acc e2)
+    | Isset es -> List.fold_left (fold_expr_prune f) acc es
+    | Exit e1 -> (
+        match e1 with Some e1 -> fold_expr_prune f acc e1 | None -> acc)
+    | List es ->
+        List.fold_left
+          (fun acc -> function Some e1 -> fold_expr_prune f acc e1 | None -> acc)
+          acc es
+    | Closure c ->
+        List.fold_left
+          (fun acc s -> fold_stmt_exprs_prune f acc s)
+          acc c.cl_body
+
+and fold_stmt_exprs_prune f acc (s : stmt) =
+  let acc = List.fold_left (fold_expr_prune f) acc (stmt_exprs s) in
+  List.fold_left (fold_stmt_exprs_prune f) acc (sub_stmts s)
+
+(** [stmt_exprs s] is the expressions evaluated directly by [s] — its
+    own expressions and the conditions of compound statements — without
+    descending into nested statement bodies.  Function and class
+    definitions evaluate nothing. *)
+and stmt_exprs (s : stmt) : expr list =
+  match s.s with
+  | Expr_stmt e | Throw e | Return (Some e) -> [ e ]
+  | Echo es | Unset es -> es
+  | If (branches, _) -> List.map fst branches
+  | While (c, _) | Do_while (_, c) -> [ c ]
+  | For (init, conds, steps, _) -> init @ conds @ steps
+  | Foreach (subject, binding, _) ->
+      (subject :: Option.to_list binding.fe_key) @ [ binding.fe_value ]
+  | Switch (subject, cases) ->
+      subject
+      :: List.filter_map
+           (function Case (e, _) -> Some e | Default _ -> None)
+           cases
+  | Static_vars vs -> List.filter_map snd vs
+  | Const_def cs -> List.map snd cs
+  | Return None | Break _ | Continue _ | Global _ | Inline_html _ | Nop
+  | Try _ | Func_def _ | Class_def _ | Block _ ->
+      []
+
+(** [sub_stmts s] is the immediate nested statements of [s]: branch and
+    loop bodies, switch cases, try/catch/finally blocks.  Function and
+    class bodies are {e not} included — they are separate scopes. *)
+and sub_stmts (s : stmt) : stmt list =
+  match s.s with
+  | If (branches, els) ->
+      List.concat_map snd branches
+      @ (match els with Some b -> b | None -> [])
+  | While (_, b) | Do_while (b, _) | For (_, _, _, b) | Foreach (_, _, b)
+  | Block b ->
+      b
+  | Switch (_, cases) ->
+      List.concat_map (function Case (_, b) | Default b -> b) cases
+  | Try (b, catches, fin) ->
+      b
+      @ List.concat_map (fun c -> c.c_body) catches
+      @ (match fin with Some b -> b | None -> [])
+  | _ -> []
+
 (** All calls to named functions in a program, with their locations.
     Method names appear lowercased, as ["name"]; static calls as
     ["class::name"]. *)

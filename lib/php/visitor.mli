@@ -17,6 +17,22 @@ val fold_stmt_with_expr : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt -> 'a
 (** [iter_exprs f prog] applies [f] to every expression in the program. *)
 val iter_exprs : (Ast.expr -> unit) -> Ast.program -> unit
 
+(** [fold_expr_prune f acc e] is {!fold_expr} with pruning: [f] returns
+    the new accumulator and whether to descend into the node's children.
+    Clients walking a single scope use it to stop at closure boundaries
+    or to treat lvalues specially. *)
+val fold_expr_prune : ('a -> Ast.expr -> 'a * bool) -> 'a -> Ast.expr -> 'a
+
+(** [stmt_exprs s] is the expressions evaluated directly by [s] — its
+    own expressions and the conditions of compound statements — without
+    descending into nested statement bodies. *)
+val stmt_exprs : Ast.stmt -> Ast.expr list
+
+(** [sub_stmts s] is the immediate nested statements of [s]: branch and
+    loop bodies, switch cases, try/catch/finally blocks.  Function and
+    class bodies are {e not} included — they are separate scopes. *)
+val sub_stmts : Ast.stmt -> Ast.stmt list
+
 (** All calls to named functions in a program, with their arguments and
     locations.  Method names appear lowercased as ["name"]; static calls
     as ["class::name"]. *)

@@ -1,0 +1,44 @@
+type item = {
+  file : string;
+  line : int;
+  col : int;
+  severity : string;
+  rule : string;
+  message : string;
+}
+
+let render (d : item) =
+  Printf.sprintf "%s:%d:%d: %s: %s [%s]" d.file d.line d.col d.severity
+    d.message d.rule
+
+let render_all items = String.concat "\n" (List.map render items)
+
+let summary items =
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) items) in
+  let errors = count "error"
+  and warnings = count "warning"
+  and infos = count "info" in
+  let plural n word =
+    Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s")
+  in
+  let parts =
+    List.filter_map
+      (fun (n, word) -> if n > 0 then Some (plural n word) else None)
+      [ (errors, "error"); (warnings, "warning"); (infos, "info") ]
+  in
+  match parts with [] -> "no issues" | _ -> String.concat ", " parts
+
+let to_json items =
+  Json.List
+    (List.map
+       (fun d ->
+         Json.Obj
+           [
+             ("file", Json.Str d.file);
+             ("line", Json.Int d.line);
+             ("col", Json.Int d.col);
+             ("severity", Json.Str d.severity);
+             ("rule", Json.Str d.rule);
+             ("message", Json.Str d.message);
+           ])
+       items)

@@ -1,0 +1,29 @@
+(** Rendering of analysis diagnostics (lint findings, engine warnings).
+
+    Kept independent of the PHP front end on purpose: items carry plain
+    positions, so any producer — the linter today, future weapons
+    tomorrow — can render through the same section. *)
+
+type item = {
+  file : string;
+  line : int;
+  col : int;
+  severity : string;  (** ["error"] / ["warning"] / ["info"] *)
+  rule : string;  (** producing rule's identifier *)
+  message : string;
+}
+
+(** One diagnostic, compiler-style:
+    [file:line:col: severity: message [rule]]. *)
+val render : item -> string
+
+(** All diagnostics, one per line, in the given order. *)
+val render_all : item list -> string
+
+(** A one-line tally, e.g. ["2 errors, 3 warnings"]; ["no issues"] when
+    empty. *)
+val summary : item list -> string
+
+(** JSON export: a list of objects with [file]/[line]/[col]/[severity]/
+    [rule]/[message] fields. *)
+val to_json : item list -> Json.t

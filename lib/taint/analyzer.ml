@@ -14,6 +14,13 @@ module Cat = Wap_catalog.Catalog
 module Lookup = Wap_catalog.Catalog.Lookup
 
 (* ------------------------------------------------------------------ *)
+(* Call-name normalization.                                            *)
+
+(* PHP function and method names are case-insensitive; every name that
+   enters a catalog lookup or a summary table goes through here. *)
+let normalize_fn = String.lowercase_ascii
+
+(* ------------------------------------------------------------------ *)
 (* Validation guards (Table I, validation category).                   *)
 
 let set_check_fns = [ "isset"; "empty"; "is_null" ]
@@ -39,7 +46,7 @@ let guard_fns =
       "strnatcmp"; "strcmp"; "strncmp"; "strncasecmp"; "strcasecmp";
       "in_array"; "array_key_exists"; "checkdate"; "filter_var" ]
 
-let is_guard_fn name = List.mem (String.lowercase_ascii name) guard_fns
+let is_guard_fn name = List.mem (normalize_fn name) guard_fns
 
 (* ------------------------------------------------------------------ *)
 (* Analysis context.                                                   *)
@@ -176,7 +183,7 @@ let rec guard_calls_in (e : Ast.expr) : (string * string list) list =
     (fun acc (e : Ast.expr) ->
       match e.e with
       | Ast.Call (Ast.F_ident f, args) when is_guard_fn f ->
-          (String.lowercase_ascii f, guarded_keys_of_args args) :: acc
+          (normalize_fn f, guarded_keys_of_args args) :: acc
       | Ast.Isset es ->
           ("isset", guarded_keys_of_args (List.map (fun e -> { Ast.a_expr = e; a_spread = false }) es))
           :: acc
@@ -194,7 +201,7 @@ and refine_true env (cond : Ast.expr) =
       refine_true (refine_true env a) b
   | Ast.Unop (Ast.Not, a) -> refine_false env a
   | Ast.Call (Ast.F_ident f, args) when is_guard_fn f ->
-      add_guard_to env (guarded_keys_of_args args) (String.lowercase_ascii f)
+      add_guard_to env (guarded_keys_of_args args) (normalize_fn f)
   | Ast.Isset es ->
       add_guard_to env
         (guarded_keys_of_args (List.map (fun e -> { Ast.a_expr = e; a_spread = false }) es))
@@ -210,9 +217,9 @@ and refine_false env (cond : Ast.expr) =
   | Ast.Unop (Ast.Not, a) -> refine_true env a
   | Ast.Binop (Ast.Bool_or, a, b) -> refine_false (refine_false env a) b
   | Ast.Call (Ast.F_ident f, args)
-    when List.mem (String.lowercase_ascii f) set_check_fns ->
+    when List.mem (normalize_fn f) set_check_fns ->
       (* `if (empty($x)) ... else <here $x is set>` *)
-      add_guard_to env (guarded_keys_of_args args) (String.lowercase_ascii f)
+      add_guard_to env (guarded_keys_of_args args) (normalize_fn f)
   | Ast.Empty e1 ->
       add_guard_to env
         (guarded_keys_of_args [ { Ast.a_expr = e1; a_spread = false } ])
@@ -394,7 +401,7 @@ let rec eval ctx env (e : Ast.expr) : Env.taint * Env.t =
       in
       let t =
         match t with
-        | Env.Tainted o -> Env.Tainted (Trace.add_through o ("new " ^ String.lowercase_ascii cname))
+        | Env.Tainted o -> Env.Tainted (Trace.add_through o ("new " ^ normalize_fn cname))
         | Env.Clean -> Env.Clean
       in
       (t, env)
@@ -501,7 +508,7 @@ and check_fn_sink ctx ~name ~loc ~args ~taints =
         | [] -> taints
         | positions -> List.filter (fun (i, _) -> List.mem i positions) taints
       in
-      emit_tainted ctx ~sink_name:(String.lowercase_ascii name) ~loc ~args
+      emit_tainted ctx ~sink_name:(normalize_fn name) ~loc ~args
         ~taints:relevant)
     sinks
 
@@ -533,22 +540,22 @@ and eval_call ctx env loc (callee : Ast.callee) (args : Ast.arg list) :
   | Ast.F_method ({ e = Ast.Var obj; _ }, Ast.Mem_ident m)
     when Lookup.sink_class_of_method ctx.lookup obj m <> []
          || Lookup.sink_class_of_method ctx.lookup "*" m <> [] ->
-      let name = String.lowercase_ascii obj ^ "->" ^ String.lowercase_ascii m in
+      let name = normalize_fn obj ^ "->" ^ normalize_fn m in
       emit_tainted ctx ~sink_name:name ~loc ~args:arg_exprs ~taints;
       (Env.Clean, env)
   | Ast.F_method (_, Ast.Mem_ident m) -> (
       (* maybe a known user method *)
       match Summary.find ctx.summaries m with
       | Some s -> apply_summary ctx env loc s taints arg_exprs
-      | None -> (join_all ~through:(String.lowercase_ascii m), env))
+      | None -> (join_all ~through:(normalize_fn m), env))
   | Ast.F_method (_, Ast.Mem_expr _) | Ast.F_var _ -> (join_all ~through:"<dynamic>", env)
   | Ast.F_static (c, m) -> (
       match Summary.find ctx.summaries m with
       | Some s -> apply_summary ctx env loc s taints arg_exprs
       | None ->
-          (join_all ~through:(String.lowercase_ascii c ^ "::" ^ String.lowercase_ascii m), env))
+          (join_all ~through:(normalize_fn c ^ "::" ^ normalize_fn m), env))
   | Ast.F_ident f ->
-      let lf = String.lowercase_ascii f in
+      let lf = normalize_fn f in
       if Lookup.is_sanitizer_fn ctx.lookup lf then (Env.Clean, env)
       else if Lookup.is_source_fn ctx.lookup lf then
         (Env.Tainted (Trace.origin ~source:lf ~source_loc:loc), env)
@@ -908,7 +915,7 @@ let analyze_function ctx (f : Ast.func) : Summary.t =
   in
   let s =
     {
-      Summary.fn_name = String.lowercase_ascii f.f_name;
+      Summary.fn_name = normalize_fn f.f_name;
       arity = List.length f.f_params;
       returns_params;
       param_sinks = List.rev ctx.param_sinks;
@@ -1005,7 +1012,13 @@ let analyze_project ?(interprocedural = true) ~(spec : Cat.spec)
       let _ = exec_stmts ctx2 Env.empty program in
       ())
     units;
+  (* a sink that control flow provably never reaches (after an
+     unconditional exit/die/return/throw) is not a vulnerability *)
+  let dead = Wap_flow.Reach.create () in
+  List.iter (fun u -> Wap_flow.Reach.add_program dead u.program) units;
   List.rev ctx2.candidates
+  |> List.filter (fun (c : Trace.candidate) ->
+         not (Wap_flow.Reach.is_dead dead c.Trace.sink_loc))
 
 (** Analyze a single parsed file. *)
 let analyze_program ~spec ~file (program : Ast.program) : Trace.candidate list

@@ -1,0 +1,207 @@
+(** Tests for the lint pass: every built-in rule fires on a positive
+    fixture and stays silent on the matching negative one. *)
+
+module Rule = Wap_lint.Rule
+module Lint = Wap_lint.Lint
+
+let lint src : Rule.diag list =
+  let program = Wap_php.Parser.parse_string ~file:"t.php" ("<?php\n" ^ src) in
+  Lint.run ~file:"t.php" program
+
+let fired rule src =
+  List.length (List.filter (fun (d : Rule.diag) -> d.Rule.rule = rule) (lint src))
+
+let check_fires rule src = Alcotest.(check bool) "fires" true (fired rule src > 0)
+let check_silent rule src = Alcotest.(check int) "silent" 0 (fired rule src)
+
+(* ------------------------------------------------------------------ *)
+(* no-undef-var                                                        *)
+
+let test_undef_var_fires () = check_fires "no-undef-var" "echo $never_set;"
+
+let test_undef_var_silent_when_defined () =
+  check_silent "no-undef-var" "$x = 1;\necho $x;"
+
+let test_undef_var_silent_for_params () =
+  check_silent "no-undef-var" "function f($p) { return $p; }"
+
+let test_undef_var_silent_for_superglobals () =
+  check_silent "no-undef-var" "echo $_GET['q'];"
+
+let test_undef_var_silent_after_isset_probe () =
+  check_silent "no-undef-var" "if (isset($maybe)) { echo $maybe; }"
+
+let test_undef_var_fires_in_function () =
+  check_fires "no-undef-var" "function f() { return $oops; }"
+
+let test_undef_var_silent_on_one_path_def () =
+  (* may-undefined on the else path: the rule reports it (no def on some
+     path means no def in the may-analysis only when NO path defines) —
+     defined on every path through the join stays silent *)
+  check_silent "no-undef-var"
+    "if ($_GET['c']) { $a = 1; } else { $a = 2; }\necho $a;"
+
+(* ------------------------------------------------------------------ *)
+(* no-unreachable                                                      *)
+
+let test_unreachable_fires () = check_fires "no-unreachable" "exit;\necho \"x\";"
+
+let test_unreachable_after_return () =
+  check_fires "no-unreachable" "function f() { return 1;\necho \"x\"; }"
+
+let test_unreachable_silent () =
+  check_silent "no-unreachable" "if ($c) { exit; }\necho \"x\";"
+
+let test_unreachable_silent_hoisted_fn () =
+  check_silent "no-unreachable" "exit;\nfunction g() { echo \"ok\"; }"
+
+(* ------------------------------------------------------------------ *)
+(* no-dead-sanitizer                                                   *)
+
+let test_dead_sanitizer_fires () =
+  check_fires "no-dead-sanitizer"
+    "$s = mysql_real_escape_string($_GET['q']);\n$s = \"other\";\nmysql_query($s);"
+
+let test_dead_sanitizer_silent_when_used () =
+  check_silent "no-dead-sanitizer"
+    "$s = mysql_real_escape_string($_GET['q']);\nmysql_query($s);"
+
+let test_dead_sanitizer_fires_when_dropped () =
+  (* result never read at all *)
+  check_fires "no-dead-sanitizer" "$s = htmlentities($_GET['q']);"
+
+(* ------------------------------------------------------------------ *)
+(* no-assign-in-cond                                                   *)
+
+let test_assign_in_cond_fires () =
+  check_fires "no-assign-in-cond" "if ($x = 1) { echo \"y\"; }"
+
+let test_assign_in_cond_fires_in_bool_chain () =
+  check_fires "no-assign-in-cond" "$y = 2;\nif ($y && ($x = 1)) { echo \"y\"; }"
+
+let test_assign_in_cond_silent_on_comparison () =
+  check_silent "no-assign-in-cond" "$x = 0;\nif ($x == 1) { echo \"y\"; }"
+
+let test_assign_in_cond_silent_on_while_fetch () =
+  (* the while($row = fetch()) idiom is deliberate *)
+  check_silent "no-assign-in-cond"
+    "$r = mysql_query(\"SELECT 1\");\nwhile ($row = mysql_fetch_assoc($r)) { echo \"y\"; }"
+
+(* ------------------------------------------------------------------ *)
+(* no-dead-sink                                                        *)
+
+let test_dead_sink_fires () =
+  check_fires "no-dead-sink" "exit;\nmysql_query($_GET['q']);"
+
+let test_dead_sink_fires_on_echo () =
+  check_fires "no-dead-sink" "return;\necho $x;"
+
+let test_dead_sink_silent_when_live () =
+  check_silent "no-dead-sink" "mysql_query($_GET['q']);"
+
+(* ------------------------------------------------------------------ *)
+(* Registry and driver.                                                *)
+
+let test_custom_rule_registers () =
+  let custom =
+    {
+      Rule.id = "test-always";
+      doc = "fires once per file";
+      check =
+        (fun ctx ->
+          [
+            {
+              Rule.rule = "test-always";
+              severity = Rule.Info;
+              loc = { Wap_php.Loc.file = ctx.Rule.file; line = 1; col = 0 };
+              message = "hello";
+            };
+          ]);
+    }
+  in
+  Rule.register custom;
+  let n = fired "test-always" "echo \"x\";" in
+  (* deregister by replacing with a silent rule to keep other tests clean *)
+  Rule.register { custom with Rule.check = (fun _ -> []) };
+  Alcotest.(check int) "custom rule ran" 1 n
+
+let test_diags_sorted () =
+  let locs =
+    List.map
+      (fun (d : Rule.diag) -> (d.Rule.loc.Wap_php.Loc.line, d.Rule.loc.Wap_php.Loc.col))
+      (lint "echo $a;\necho $b;\nexit;\necho \"x\";")
+  in
+  Alcotest.(check bool) "sorted by location" true
+    (locs = List.sort compare locs)
+
+let test_rule_filter () =
+  let program =
+    Wap_php.Parser.parse_string ~file:"t.php" "<?php\nexit;\necho $q;"
+  in
+  let only_unreachable =
+    Lint.run
+      ~rules:
+        (List.filter
+           (fun (r : Rule.t) -> r.Rule.id = "no-unreachable")
+           (Lint.all_rules ()))
+      ~file:"t.php" program
+  in
+  Alcotest.(check bool) "only the selected rule reports" true
+    (List.for_all
+       (fun (d : Rule.diag) -> d.Rule.rule = "no-unreachable")
+       only_unreachable
+    && only_unreachable <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wap_lint"
+    [
+      ( "no-undef-var",
+        [
+          Alcotest.test_case "fires" `Quick test_undef_var_fires;
+          Alcotest.test_case "defined" `Quick test_undef_var_silent_when_defined;
+          Alcotest.test_case "params" `Quick test_undef_var_silent_for_params;
+          Alcotest.test_case "superglobals" `Quick
+            test_undef_var_silent_for_superglobals;
+          Alcotest.test_case "isset probe" `Quick
+            test_undef_var_silent_after_isset_probe;
+          Alcotest.test_case "in function" `Quick test_undef_var_fires_in_function;
+          Alcotest.test_case "both-path def" `Quick
+            test_undef_var_silent_on_one_path_def;
+        ] );
+      ( "no-unreachable",
+        [
+          Alcotest.test_case "fires" `Quick test_unreachable_fires;
+          Alcotest.test_case "after return" `Quick test_unreachable_after_return;
+          Alcotest.test_case "guarded" `Quick test_unreachable_silent;
+          Alcotest.test_case "hoisted fn" `Quick test_unreachable_silent_hoisted_fn;
+        ] );
+      ( "no-dead-sanitizer",
+        [
+          Alcotest.test_case "overwritten" `Quick test_dead_sanitizer_fires;
+          Alcotest.test_case "used" `Quick test_dead_sanitizer_silent_when_used;
+          Alcotest.test_case "dropped" `Quick test_dead_sanitizer_fires_when_dropped;
+        ] );
+      ( "no-assign-in-cond",
+        [
+          Alcotest.test_case "fires" `Quick test_assign_in_cond_fires;
+          Alcotest.test_case "bool chain" `Quick test_assign_in_cond_fires_in_bool_chain;
+          Alcotest.test_case "comparison" `Quick
+            test_assign_in_cond_silent_on_comparison;
+          Alcotest.test_case "while fetch" `Quick
+            test_assign_in_cond_silent_on_while_fetch;
+        ] );
+      ( "no-dead-sink",
+        [
+          Alcotest.test_case "fires" `Quick test_dead_sink_fires;
+          Alcotest.test_case "echo" `Quick test_dead_sink_fires_on_echo;
+          Alcotest.test_case "live" `Quick test_dead_sink_silent_when_live;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "custom rule" `Quick test_custom_rule_registers;
+          Alcotest.test_case "sorted" `Quick test_diags_sorted;
+          Alcotest.test_case "rule filter" `Quick test_rule_filter;
+        ] );
+    ]

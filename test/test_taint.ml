@@ -403,6 +403,28 @@ let test_fix_function_recognized () =
         header(san_hei('Location: ' . $_GET['n']));")
 
 (* ------------------------------------------------------------------ *)
+(* Dead code: a sink control flow never reaches is not a candidate.    *)
+
+let test_sink_after_exit_pruned () =
+  Alcotest.(check int) "sink after unconditional exit" 0
+    (count "exit;\nmysql_query($_GET['q']);")
+
+let test_sink_after_return_in_function_pruned () =
+  Alcotest.(check int) "sink after return inside function" 0
+    (count "function f() {\n  return 1;\n  mysql_query($_GET['q']);\n}\nf();")
+
+let test_sink_after_conditional_die_kept () =
+  (* the guarded-die pattern leaves the sink reachable *)
+  Alcotest.(check int) "sink after guarded die" 1
+    (count "if (!$_GET['q']) { die(1); }\nmysql_query($_GET['q']);")
+
+let test_sink_in_hoisted_function_kept () =
+  (* declarations are hoisted: defining the function after exit does not
+     make its body dead *)
+  Alcotest.(check int) "sink in function declared after exit" 1
+    (count "f($_GET['q']);\nexit;\nfunction f($x) {\n  mysql_query($x);\n}")
+
+(* ------------------------------------------------------------------ *)
 (* De-duplication and determinism.                                     *)
 
 let test_candidate_dedup_same_sink () =
@@ -480,6 +502,16 @@ let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "wap_taint"
     [
+      ( "dead code",
+        [
+          Alcotest.test_case "after exit" `Quick test_sink_after_exit_pruned;
+          Alcotest.test_case "after return in function" `Quick
+            test_sink_after_return_in_function_pruned;
+          Alcotest.test_case "guarded die kept" `Quick
+            test_sink_after_conditional_die_kept;
+          Alcotest.test_case "hoisted function kept" `Quick
+            test_sink_in_hoisted_function_kept;
+        ] );
       ( "detection",
         [
           Alcotest.test_case "direct flow" `Quick test_direct_flow;
