@@ -29,6 +29,29 @@ let seed_arg =
   let doc = "Deterministic seed for training and corpus generation." in
   Arg.(value & opt int 2016 & info [ "seed" ] ~docv:"N" ~doc)
 
+(* scan-engine flags, shared by analyze / lint / experiments *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parsing and analysis (default: the machine's \
+     recommended domain count; the WAP_JOBS environment variable overrides \
+     the default)."
+  in
+  Arg.(value & opt int (Wap_engine.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ] ~doc:"Disable the incremental scan result cache.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist cached scan results under $(docv) between runs.")
+
+let make_cache ~no_cache ~cache_dir =
+  if no_cache then None else Some (Wap_engine.Cache.create ?dir:cache_dir ())
+
 (* expand directories to their .php files, recursively; explicitly named
    files pass through regardless of extension *)
 let expand_php_paths files =
@@ -99,7 +122,7 @@ let analyze_cmd =
     Arg.(value & opt (some string) None
          & info [ "html" ] ~docv:"FILE" ~doc:"Also write a standalone HTML report.")
   in
-  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out =
+  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out jobs no_cache cache_dir =
     let weapons =
       List.map
         (fun name ->
@@ -125,7 +148,20 @@ let analyze_cmd =
     let tool = Wap_core.Tool.create ~seed ~weapons ~extra_sanitizers ?dataset version in
     let paths = expand_php_paths files in
     let sources = List.map (fun p -> (p, read_file p)) paths in
-    let result, parse_errors = Wap_core.Tool.analyze_sources tool sources in
+    let cache = make_cache ~no_cache ~cache_dir in
+    let outcome =
+      Wap_core.Scan.run tool (Wap_core.Scan.request ~jobs ?cache sources)
+    in
+    let result = outcome.Wap_core.Scan.result in
+    let parse_errors = outcome.Wap_core.Scan.parse_errors in
+    if verbose then
+      Printf.eprintf "scan: %d worker(s), cache %s (%d hit(s), %d miss(es))\n"
+        outcome.Wap_core.Scan.jobs_used
+        (match (cache, cache_dir) with
+        | None, _ -> "off"
+        | Some _, Some dir -> "on (" ^ dir ^ ")"
+        | Some _, None -> "on (memory)")
+        outcome.Wap_core.Scan.cache_hits outcome.Wap_core.Scan.cache_misses;
     (match html_out with
     | Some path ->
         write_file path (Wap_core.Export.result_to_html ~confirm result);
@@ -212,7 +248,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(ret (const run $ files $ fix $ version $ weapons $ weapon_dir
                $ sanitizers $ seed_arg $ verbose $ confirm $ json $ training_set
-               $ html_out))
+               $ html_out $ jobs_arg $ no_cache_arg $ cache_dir_arg))
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -233,7 +269,7 @@ let lint_cmd =
   let list_rules =
     Arg.(value & flag & info [ "list-rules" ] ~doc:"List the available rules and exit.")
   in
-  let run files json only_rules list_rules =
+  let run files json only_rules list_rules jobs no_cache cache_dir =
     if list_rules then begin
       List.iter
         (fun (r : Wap_lint.Rule.t) ->
@@ -265,14 +301,35 @@ let lint_cmd =
                  (fun (r : Wap_lint.Rule.t) -> List.mem r.Wap_lint.Rule.id ids)
                  all)
       in
-      let diags =
-        List.concat_map
-          (fun path ->
-            let program, _errs =
-              Wap_php.Parser.parse_string_tolerant ~file:path (read_file path)
+      let cache = make_cache ~no_cache ~cache_dir in
+      (* lint is per-file, so its diagnostics cache honestly keys on the
+         file digest plus the active rule set alone *)
+      let rule_ids =
+        List.sort String.compare
+          (List.map
+             (fun (r : Wap_lint.Rule.t) -> r.Wap_lint.Rule.id)
+             (match rules with Some rs -> rs | None -> all))
+      in
+      let lint_one path : Wap_lint.Rule.diag list =
+        let src = read_file path in
+        let compute () =
+          let program, _errs =
+            Wap_php.Parser.parse_string_tolerant ~file:path src
+          in
+          Wap_lint.Lint.run ?rules ~file:path program
+        in
+        match cache with
+        | None -> compute ()
+        | Some c ->
+            let key =
+              Wap_engine.Cache.key
+                ("lint" :: path :: Digest.to_hex (Digest.string src) :: rule_ids)
             in
-            Wap_lint.Lint.run ?rules ~file:path program)
-          (expand_php_paths files)
+            fst (Wap_engine.Cache.memoize c ~key compute)
+      in
+      let diags =
+        List.concat
+          (Wap_engine.Pool.map_list ~jobs lint_one (expand_php_paths files))
       in
       let items =
         List.map
@@ -299,7 +356,8 @@ let lint_cmd =
   in
   let doc = "Run the control-flow lint rules over PHP files." in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(ret (const run $ files $ json $ only_rules $ list_rules))
+    Term.(ret (const run $ files $ json $ only_rules $ list_rules $ jobs_arg
+               $ no_cache_arg $ cache_dir_arg))
 
 (* ------------------------------------------------------------------ *)
 (* weapon-gen                                                          *)
@@ -424,8 +482,9 @@ let experiments_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Only the vulnerable packages.")
   in
-  let run quick seed =
+  let run quick seed jobs no_cache cache_dir =
     let module E = Wap_core.Experiments in
+    let cache = make_cache ~no_cache ~cache_dir in
     print_string (E.table1 ());
     print_newline ();
     let dataset = Wap_core.Training.dataset_for ~seed Wap_core.Version.Wape in
@@ -435,12 +494,12 @@ let experiments_cmd =
     print_newline ();
     print_string (E.table4 ());
     print_newline ();
-    let webapps = E.run_webapps ~seed ~only_vulnerable:quick () in
+    let webapps = E.run_webapps ~seed ~only_vulnerable:quick ~jobs ?cache () in
     print_string (E.table5 webapps);
     print_newline ();
     print_string (E.table6 webapps);
     print_newline ();
-    let plugins = E.run_plugins ~seed ~only_vulnerable:quick () in
+    let plugins = E.run_plugins ~seed ~only_vulnerable:quick ~jobs ?cache () in
     print_string (E.table7 plugins);
     print_newline ();
     print_string (E.fig4 plugins);
@@ -451,7 +510,9 @@ let experiments_cmd =
     `Ok ()
   in
   let doc = "Regenerate the paper's evaluation tables and figures." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(ret (const run $ quick $ seed_arg))
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(ret (const run $ quick $ seed_arg $ jobs_arg $ no_cache_arg
+               $ cache_dir_arg))
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)

@@ -269,21 +269,26 @@ type webapp_runs = {
   wr_v21 : app_run list;  (** the same packages under WAP v2.1 *)
 }
 
-let run_packages tool packages =
+let run_packages ?jobs ?cache tool packages =
   List.map
     (fun (profile, pkg) ->
-      let result = Tool.analyze_package tool pkg in
+      let result =
+        (Tool.Scan.run tool (Tool.Scan.request_of_package ?jobs ?cache pkg))
+          .Tool.Scan.result
+      in
       { ar_profile = profile; ar_result = result; ar_score = Aggregate.score_package result })
     packages
 
-let run_webapps ?(seed = default_seed) ?(only_vulnerable = false) () : webapp_runs =
+let run_webapps ?(seed = default_seed) ?(only_vulnerable = false) ?jobs ?cache
+    () : webapp_runs =
   let packages =
     if only_vulnerable then Wap_corpus.Corpus.vulnerable_webapps ~seed ()
     else Wap_corpus.Corpus.webapps ~seed ()
   in
   let wape = Tool.create ~seed Version.Wape in
   let v21 = Tool.create ~seed Version.Wap_v21 in
-  { wr_wape = run_packages wape packages; wr_v21 = run_packages v21 packages }
+  { wr_wape = run_packages ?jobs ?cache wape packages;
+    wr_v21 = run_packages ?jobs ?cache v21 packages }
 
 let table5 (runs : webapp_runs) : string =
   let vulnerable =
@@ -372,7 +377,8 @@ type plugin_run = {
   pr_score : Aggregate.score;
 }
 
-let run_plugins ?(seed = default_seed) ?(only_vulnerable = false) () : plugin_run list =
+let run_plugins ?(seed = default_seed) ?(only_vulnerable = false) ?jobs ?cache
+    () : plugin_run list =
   let packages =
     if only_vulnerable then Wap_corpus.Corpus.vulnerable_plugins ~seed ()
     else Wap_corpus.Corpus.plugins ~seed ()
@@ -383,7 +389,10 @@ let run_plugins ?(seed = default_seed) ?(only_vulnerable = false) () : plugin_ru
   let tool = Tool.create ~seed ~weapons Version.Wape in
   List.map
     (fun (profile, pkg) ->
-      let result = Tool.analyze_package tool pkg in
+      let result =
+        (Tool.Scan.run tool (Tool.Scan.request_of_package ?jobs ?cache pkg))
+          .Tool.Scan.result
+      in
       { pr_profile = profile; pr_result = result; pr_score = Aggregate.score_package result })
     packages
 

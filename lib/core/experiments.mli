@@ -56,8 +56,15 @@ type webapp_runs = {
 }
 
 (** Run the web-application corpus under both tool versions.
-    [only_vulnerable] restricts to the 17 Table V rows. *)
-val run_webapps : ?seed:int -> ?only_vulnerable:bool -> unit -> webapp_runs
+    [only_vulnerable] restricts to the 17 Table V rows.  [jobs] and
+    [cache] are forwarded to the scan engine for every package. *)
+val run_webapps :
+  ?seed:int ->
+  ?only_vulnerable:bool ->
+  ?jobs:int ->
+  ?cache:Wap_engine.Cache.t ->
+  unit ->
+  webapp_runs
 
 (** Table V: files / LoC / time / vulnerable files / vulns per package. *)
 val table5 : webapp_runs -> string
@@ -71,8 +78,15 @@ type plugin_run = {
   pr_score : Aggregate.score;
 }
 
-(** Run the plugin corpus under WAPe armed with the [-wpsqli] weapon. *)
-val run_plugins : ?seed:int -> ?only_vulnerable:bool -> unit -> plugin_run list
+(** Run the plugin corpus under WAPe armed with the [-wpsqli] weapon.
+    [jobs] and [cache] are forwarded to the scan engine. *)
+val run_plugins :
+  ?seed:int ->
+  ?only_vulnerable:bool ->
+  ?jobs:int ->
+  ?cache:Wap_engine.Cache.t ->
+  unit ->
+  plugin_run list
 
 (** Table VII: per-class detections and FPP/FP over the plugins. *)
 val table7 : plugin_run list -> string

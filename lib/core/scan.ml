@@ -1,0 +1,3 @@
+(** Alias of {!Tool.Scan} so callers can say [Wap_core.Scan]. *)
+
+include Tool.Scan

@@ -1,0 +1,5 @@
+(** Alias of {!Tool.Scan} so callers can say [Wap_core.Scan]. *)
+
+include module type of struct
+  include Tool.Scan
+end

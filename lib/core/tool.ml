@@ -64,7 +64,8 @@ type package_result = {
   package : Wap_corpus.Appgen.package;
   files_analyzed : int;
   loc : int;
-  analysis_seconds : float;
+  analysis_seconds : float;  (** wall clock *)
+  analysis_cpu_seconds : float;  (** process CPU, all worker domains *)
   candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
   findings : finding list;
   reported : Wap_taint.Trace.candidate list;  (** predicted real -> reported *)
@@ -109,82 +110,141 @@ let parse_package (pkg : Wap_corpus.Appgen.package) :
                                 Printf.sprintf "%s at %s" msg (Wap_php.Loc.to_string loc))))
     pkg.Wap_corpus.Appgen.pkg_files
 
-(* the pipeline proper, once files are parsed *)
-let analyze_units (t : t) (pkg : Wap_corpus.Appgen.package)
-    (units : Wap_taint.Analyzer.file_unit list) ~(t0 : float) : package_result =
-  let raw = Wap_taint.Analyzer.analyze_with_specs ~specs:t.specs units in
-  let candidates = dedup_candidates raw in
-  let findings =
-    List.map
-      (fun c ->
-        {
-          candidate = c;
-          predicted_fp = Wap_mining.Predictor.is_false_positive t.predictor c;
-          symptoms = Wap_mining.Predictor.justification t.predictor c;
-        })
-      candidates
-  in
-  let predicted_fps, reported =
-    List.partition (fun f -> f.predicted_fp) findings
-  in
-  {
-    package = pkg;
-    files_analyzed = List.length pkg.Wap_corpus.Appgen.pkg_files;
-    loc = Wap_corpus.Appgen.loc_of_package pkg;
-    analysis_seconds = Sys.time () -. t0;
-    candidates;
-    findings;
-    reported = List.map (fun f -> f.candidate) reported;
-    predicted_fps = List.map (fun f -> f.candidate) predicted_fps;
+(* ------------------------------------------------------------------ *)
+(* The unified Scan API: every entry point (CLI, experiments, bench,    *)
+(* the legacy wrappers below) routes through one request/outcome pair   *)
+(* executed on the parallel engine.                                     *)
+
+module Scan = struct
+  type request = {
+    files : (string * string) list;  (** [(path, source)], one app *)
+    jobs : int;  (** worker domains *)
+    cache : Wap_engine.Cache.t option;
+    on_progress : (Wap_engine.Scan.progress -> unit) option;
+    package : Wap_corpus.Appgen.package option;
+        (** corpus package the files came from (ground truth, LoC);
+            synthesized from [files] when absent *)
   }
 
-(** Run the full pipeline over one package. *)
+  let request ?(jobs = Wap_engine.Pool.default_jobs ()) ?cache ?on_progress
+      ?package files =
+    { files; jobs; cache; on_progress; package }
+
+  let request_of_package ?jobs ?cache ?on_progress
+      (pkg : Wap_corpus.Appgen.package) =
+    request ?jobs ?cache ?on_progress ~package:pkg
+      (List.map
+         (fun (f : Wap_corpus.Appgen.file) ->
+           (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
+         pkg.Wap_corpus.Appgen.pkg_files)
+
+  type outcome = {
+    result : package_result;
+    parse_errors : (string * Wap_php.Parser.recovered_error list) list;
+        (** recovered errors of the files that needed recovery *)
+    file_timings : Wap_engine.Scan.file_report list;  (** input order *)
+    spec_timings : Wap_engine.Scan.spec_report list;  (** spec order *)
+    jobs_used : int;
+    cache_hits : int;
+    cache_misses : int;
+  }
+
+  (** Cache-key material identifying this tool configuration: the
+      version name and the full active spec set (sources, sinks,
+      sanitizers — so added weapons or extra sanitizers invalidate). *)
+  let fingerprint (t : t) : string =
+    Wap_engine.Cache.key
+      (Version.name t.version :: List.map Cat.show_spec t.specs)
+
+  let run (t : t) (req : request) : outcome =
+    let t0_wall = Unix.gettimeofday () and t0_cpu = Sys.time () in
+    let pkg =
+      match req.package with
+      | Some pkg -> pkg
+      | None ->
+          {
+            Wap_corpus.Appgen.pkg_name =
+              (match req.files with (n, _) :: _ -> n | [] -> "<empty>");
+            pkg_version = "";
+            pkg_kind = Wap_corpus.Appgen.Webapp;
+            pkg_files =
+              List.map
+                (fun (f_name, f_source) -> { Wap_corpus.Appgen.f_name; f_source })
+                req.files;
+            pkg_seeded = [];
+          }
+    in
+    let engine =
+      Wap_engine.Scan.run
+        (Wap_engine.Scan.request ~jobs:req.jobs ?cache:req.cache
+           ~fingerprint:(fingerprint t) ?on_progress:req.on_progress
+           ~specs:t.specs req.files)
+    in
+    let candidates = dedup_candidates engine.Wap_engine.Scan.candidates in
+    let findings =
+      List.map
+        (fun c ->
+          {
+            candidate = c;
+            predicted_fp = Wap_mining.Predictor.is_false_positive t.predictor c;
+            symptoms = Wap_mining.Predictor.justification t.predictor c;
+          })
+        candidates
+    in
+    let predicted_fps, reported =
+      List.partition (fun f -> f.predicted_fp) findings
+    in
+    let result =
+      {
+        package = pkg;
+        files_analyzed = List.length pkg.Wap_corpus.Appgen.pkg_files;
+        loc = Wap_corpus.Appgen.loc_of_package pkg;
+        analysis_seconds = Unix.gettimeofday () -. t0_wall;
+        analysis_cpu_seconds = Sys.time () -. t0_cpu;
+        candidates;
+        findings;
+        reported = List.map (fun f -> f.candidate) reported;
+        predicted_fps = List.map (fun f -> f.candidate) predicted_fps;
+      }
+    in
+    {
+      result;
+      parse_errors =
+        List.filter_map
+          (fun (r : Wap_engine.Scan.file_report) ->
+            match r.Wap_engine.Scan.fr_errors with
+            | [] -> None
+            | errs -> Some (r.Wap_engine.Scan.fr_path, errs))
+          engine.Wap_engine.Scan.file_reports;
+      file_timings = engine.Wap_engine.Scan.file_reports;
+      spec_timings = engine.Wap_engine.Scan.spec_reports;
+      jobs_used = engine.Wap_engine.Scan.jobs_used;
+      cache_hits = engine.Wap_engine.Scan.cache_hits;
+      cache_misses = engine.Wap_engine.Scan.cache_misses;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Legacy entry points, kept as thin wrappers over {!Scan}.            *)
+
+(** Run the full pipeline over one package.
+    Deprecated: use {!Scan.run} with {!Scan.request_of_package}. *)
 let analyze_package (t : t) (pkg : Wap_corpus.Appgen.package) : package_result =
-  let t0 = Sys.time () in
-  let units = parse_package pkg in
-  analyze_units t pkg units ~t0
+  (Scan.run t (Scan.request_of_package pkg)).Scan.result
 
 (** Analyze a set of in-memory files as one application, parsing
     tolerantly: malformed files contribute what parses plus recovered
-    errors instead of aborting the scan. *)
+    errors instead of aborting the scan.
+    Deprecated: use {!Scan.run}, whose outcome also carries timings. *)
 let analyze_sources (t : t) (files : (string * string) list) :
     package_result * (string * Wap_php.Parser.recovered_error list) list =
-  let t0 = Sys.time () in
-  let pkg =
-    {
-      Wap_corpus.Appgen.pkg_name =
-        (match files with (n, _) :: _ -> n | [] -> "<empty>");
-      pkg_version = "";
-      pkg_kind = Wap_corpus.Appgen.Webapp;
-      pkg_files =
-        List.map
-          (fun (f_name, f_source) -> { Wap_corpus.Appgen.f_name; f_source })
-          files;
-      pkg_seeded = [];
-    }
-  in
-  let units, errors =
-    List.fold_left
-      (fun (units, errors) (path, src) ->
-        let program, errs = Wap_php.Parser.parse_string_tolerant ~file:path src in
-        ( { Wap_taint.Analyzer.path; program } :: units,
-          if errs = [] then errors else (path, errs) :: errors ))
-      ([], []) files
-  in
-  (analyze_units t pkg (List.rev units) ~t0, List.rev errors)
+  let o = Scan.run t (Scan.request files) in
+  (o.Scan.result, o.Scan.parse_errors)
 
-(** Analyze raw PHP source (used by the CLI and the examples). *)
+(** Analyze raw PHP source (used by the CLI and the examples).
+    Deprecated: use {!Scan.run} on a one-file request. *)
 let analyze_source (t : t) ~file (src : string) : package_result =
-  let pkg =
-    {
-      Wap_corpus.Appgen.pkg_name = file;
-      pkg_version = "";
-      pkg_kind = Wap_corpus.Appgen.Webapp;
-      pkg_files = [ { Wap_corpus.Appgen.f_name = file; f_source = src } ];
-      pkg_seeded = [];
-    }
-  in
-  analyze_package t pkg
+  (Scan.run t (Scan.request [ (file, src) ])).Scan.result
 
 (** Correct the reported vulnerabilities of a single source file,
     returning the fixed PHP. *)

@@ -37,7 +37,8 @@ type package_result = {
   package : Wap_corpus.Appgen.package;
   files_analyzed : int;
   loc : int;
-  analysis_seconds : float;
+  analysis_seconds : float;  (** wall clock *)
+  analysis_cpu_seconds : float;  (** process CPU, all worker domains *)
   candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
   findings : finding list;
   reported : Wap_taint.Trace.candidate list;
@@ -59,18 +60,76 @@ exception Parse_failure of string * string
 val parse_package :
   Wap_corpus.Appgen.package -> Wap_taint.Analyzer.file_unit list
 
-(** Run the full pipeline over one package. *)
+(** The unified scan API.  Every entry point — CLI, experiments, bench,
+    and the deprecated wrappers below — routes through one
+    request/outcome pair executed on the parallel engine
+    ({!Wap_engine.Scan}): tolerant parsing and per-spec analysis fan out
+    over [jobs] worker domains, candidates merge deterministically, and
+    an optional digest-keyed cache skips unchanged work. *)
+module Scan : sig
+  type request = {
+    files : (string * string) list;  (** [(path, source)], one app *)
+    jobs : int;  (** worker domains *)
+    cache : Wap_engine.Cache.t option;
+    on_progress : (Wap_engine.Scan.progress -> unit) option;
+    package : Wap_corpus.Appgen.package option;
+        (** corpus package the files came from (ground truth, LoC);
+            synthesized from [files] when absent *)
+  }
+
+  (** Build a request.  [jobs] defaults to
+      {!Wap_engine.Pool.default_jobs}; omitting [cache] disables
+      caching. *)
+  val request :
+    ?jobs:int ->
+    ?cache:Wap_engine.Cache.t ->
+    ?on_progress:(Wap_engine.Scan.progress -> unit) ->
+    ?package:Wap_corpus.Appgen.package ->
+    (string * string) list ->
+    request
+
+  (** A request over a corpus package's files. *)
+  val request_of_package :
+    ?jobs:int ->
+    ?cache:Wap_engine.Cache.t ->
+    ?on_progress:(Wap_engine.Scan.progress -> unit) ->
+    Wap_corpus.Appgen.package ->
+    request
+
+  type outcome = {
+    result : package_result;
+    parse_errors : (string * Wap_php.Parser.recovered_error list) list;
+        (** recovered errors of the files that needed recovery *)
+    file_timings : Wap_engine.Scan.file_report list;  (** input order *)
+    spec_timings : Wap_engine.Scan.spec_report list;  (** spec order *)
+    jobs_used : int;
+    cache_hits : int;
+    cache_misses : int;
+  }
+
+  (** Cache-key material identifying this tool configuration: version
+      name plus the full active spec set, so equipping weapons or extra
+      sanitizers invalidates cached analysis results. *)
+  val fingerprint : t -> string
+
+  val run : t -> request -> outcome
+end
+
+(** Run the full pipeline over one package.
+    Deprecated: use {!Scan.run} with {!Scan.request_of_package}. *)
 val analyze_package : t -> Wap_corpus.Appgen.package -> package_result
 
 (** Analyze a set of in-memory [(path, source)] files as one
     application, parsing tolerantly: malformed files contribute what
-    parses, plus their recovered errors, instead of aborting the scan. *)
+    parses, plus their recovered errors, instead of aborting the scan.
+    Deprecated: use {!Scan.run}, whose outcome also carries timings. *)
 val analyze_sources :
   t ->
   (string * string) list ->
   package_result * (string * Wap_php.Parser.recovered_error list) list
 
-(** Analyze raw PHP source (used by the CLI and the examples). *)
+(** Analyze raw PHP source (used by the CLI and the examples).
+    Deprecated: use {!Scan.run} on a one-file request. *)
 val analyze_source : t -> file:string -> string -> package_result
 
 (** Correct the reported vulnerabilities of a single source file,

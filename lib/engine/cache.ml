@@ -1,0 +1,94 @@
+(** Digest-keyed incremental result cache: in-memory table, optionally
+    mirrored to a directory of marshalled entries. *)
+
+type t = {
+  cache_dir : string option;
+  mem : (string, string) Hashtbl.t;
+  lock : Mutex.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let create ?dir () =
+  let dir =
+    match dir with
+    | None -> None
+    | Some d -> (
+        try
+          if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+          if Sys.is_directory d then Some d else None
+        with Sys_error _ -> None)
+  in
+  {
+    cache_dir = dir;
+    mem = Hashtbl.create 64;
+    lock = Mutex.create ();
+    n_hits = 0;
+    n_misses = 0;
+  }
+
+let dir t = t.cache_dir
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let disk_path t k =
+  Option.map (fun d -> Filename.concat d (k ^ ".wapc")) t.cache_dir
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let write_file path contents =
+  (* write-then-rename so concurrent readers never see a torn entry *)
+  try
+    let tmp =
+      Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+        (Hashtbl.hash (Domain.self ()))
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let find_raw t k : string option =
+  match locked t (fun () -> Hashtbl.find_opt t.mem k) with
+  | Some _ as hit -> hit
+  | None -> (
+      match Option.bind (disk_path t k) read_file with
+      | Some s as hit ->
+          locked t (fun () -> Hashtbl.replace t.mem k s);
+          hit
+      | None -> None)
+
+let store_raw t k v =
+  locked t (fun () -> Hashtbl.replace t.mem k v);
+  match disk_path t k with Some path -> write_file path v | None -> ()
+
+let memoize t ~key:k (compute : unit -> 'a) : 'a * bool =
+  match find_raw t k with
+  | Some s ->
+      locked t (fun () -> t.n_hits <- t.n_hits + 1);
+      ((Marshal.from_string s 0 : 'a), true)
+  | None ->
+      locked t (fun () -> t.n_misses <- t.n_misses + 1);
+      let v = compute () in
+      store_raw t k (Marshal.to_string v []);
+      (v, false)
+
+let hits t = locked t (fun () -> t.n_hits)
+let misses t = locked t (fun () -> t.n_misses)
+
+let reset_stats t =
+  locked t (fun () ->
+      t.n_hits <- 0;
+      t.n_misses <- 0)

@@ -1,0 +1,41 @@
+(** Digest-keyed incremental result cache.
+
+    Entries are keyed by a hex digest built from every input that
+    determines the value (source digests, tool version, active detector
+    specs, cache-format version) and hold a marshalled value.  Lookups
+    hit the in-memory table first; a cache created with [~dir] also
+    persists every entry as a file under that directory and re-reads it
+    in later runs, which is what lets [wap analyze]/[wap experiments]
+    skip unchanged work between processes.
+
+    All operations are safe to call from several domains at once.
+
+    The marshalling is untyped, so a key must always be requested at the
+    type it was stored at — callers guarantee this by embedding a kind
+    tag (e.g. ["parse"], ["analyze"]) and a format-version string in the
+    key material. *)
+
+type t
+
+(** [create ?dir ()] makes an empty cache.  With [dir] the directory is
+    created if missing and entries are persisted there; on any disk
+    error the cache silently degrades to in-memory only. *)
+val create : ?dir:string -> unit -> t
+
+(** The persistence directory, if any. *)
+val dir : t -> string option
+
+(** [key parts] combines the given key material into one hex digest. *)
+val key : string list -> string
+
+(** [memoize t ~key compute] returns [(v, hit)]: the cached value and
+    [true] on a hit, otherwise [(compute (), false)] after storing the
+    computed value under [key]. *)
+val memoize : t -> key:string -> (unit -> 'a) -> 'a * bool
+
+(** Lookups that found an entry / had to compute since creation (or the
+    last {!reset_stats}). *)
+val hits : t -> int
+
+val misses : t -> int
+val reset_stats : t -> unit

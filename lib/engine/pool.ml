@@ -1,0 +1,86 @@
+(** Domain-based worker pool over a mutex-protected deque. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "WAP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Mutex-protected deque of work-item indices.                         *)
+
+type deque = {
+  mutable front : int list;
+  mutable back : int list;  (** reversed *)
+  lock : Mutex.t;
+}
+
+let deque_of_indices n =
+  { front = List.init n Fun.id; back = []; lock = Mutex.create () }
+
+let pop_front (d : deque) : int option =
+  Mutex.lock d.lock;
+  let item =
+    match d.front with
+    | x :: rest ->
+        d.front <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.back with
+        | x :: rest ->
+            d.front <- rest;
+            d.back <- [];
+            Some x
+        | [] -> None)
+  in
+  Mutex.unlock d.lock;
+  item
+
+(* ------------------------------------------------------------------ *)
+(* Parallel map.                                                       *)
+
+let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f xs
+  else begin
+    let results : 'b option array = Array.make n None in
+    (* first failure by input index, so the escaping exception is
+       independent of scheduling *)
+    let failure : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let record_failure i exn bt =
+      let rec retry () =
+        let cur = Atomic.get failure in
+        let better = match cur with None -> true | Some (j, _, _) -> i < j in
+        if better && not (Atomic.compare_and_set failure cur (Some (i, exn, bt)))
+        then retry ()
+      in
+      retry ()
+    in
+    let tasks = deque_of_indices n in
+    (* every task runs even after a failure, so the failure with the
+       lowest input index is found deterministically *)
+    let rec worker () =
+      match pop_front tasks with
+      | None -> ()
+      | Some i ->
+          (match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception exn ->
+              record_failure i exn (Printexc.get_raw_backtrace ()));
+          worker ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

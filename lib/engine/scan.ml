@@ -1,0 +1,180 @@
+(** The parallel scan engine: parse fan-out per file, analysis fan-out
+    per detector spec, deterministic merge, digest-keyed caching. *)
+
+open Wap_php
+module Cat = Wap_catalog.Catalog
+module Trace = Wap_taint.Trace
+
+let cache_format_version = "wap-engine-1"
+
+type progress =
+  | File_parsed of { path : string; cached : bool }
+  | Spec_analyzed of { spec : string; cached : bool }
+
+type request = {
+  files : (string * string) list;
+  specs : Cat.spec list;
+  jobs : int;
+  cache : Cache.t option;
+  fingerprint : string;
+  interprocedural : bool;
+  on_progress : (progress -> unit) option;
+}
+
+let request ?(jobs = Pool.default_jobs ()) ?cache ?(fingerprint = "")
+    ?(interprocedural = true) ?on_progress ~specs files =
+  { files; specs; jobs; cache; fingerprint; interprocedural; on_progress }
+
+type file_report = {
+  fr_path : string;
+  fr_seconds : float;
+  fr_cached : bool;
+  fr_errors : Parser.recovered_error list;
+}
+
+type spec_report = {
+  sr_spec : string;
+  sr_seconds : float;
+  sr_cached : bool;
+  sr_candidates : int;
+}
+
+type outcome = {
+  units : Wap_taint.Analyzer.file_unit list;
+  candidates : Trace.candidate list;
+  file_reports : file_report list;
+  spec_reports : spec_report list;
+  wall_seconds : float;
+  cpu_seconds : float;
+  jobs_used : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let spec_label (s : Cat.spec) =
+  Wap_catalog.Submodule.name s.Cat.submodule
+  ^ "/"
+  ^ Wap_catalog.Vuln_class.acronym s.Cat.vclass
+
+(* Total order of the deterministic merge: sink file, then sink
+   location, then the spec's position in the active set, then discovery
+   order inside that spec.  The location-major order is what users see;
+   the two trailing components pin down ties (e.g. RFI and LFI both
+   firing on one include) so the later de-duplication keeps the same
+   representative as a sequential spec-by-spec run. *)
+let merge_compare (si, qi, (a : Trace.candidate)) (sj, qj, (b : Trace.candidate))
+    =
+  let c = String.compare a.Trace.file b.Trace.file in
+  if c <> 0 then c
+  else
+    let c =
+      compare a.Trace.sink_loc.Loc.line b.Trace.sink_loc.Loc.line
+    in
+    if c <> 0 then c
+    else
+      let c = compare a.Trace.sink_loc.Loc.col b.Trace.sink_loc.Loc.col in
+      if c <> 0 then c
+      else
+        let c = compare (si : int) sj in
+        if c <> 0 then c else compare (qi : int) qj
+
+let run (req : request) : outcome =
+  let t0_wall = Unix.gettimeofday () and t0_cpu = Sys.time () in
+  let jobs = max 1 req.jobs in
+  let hits0 = match req.cache with Some c -> Cache.hits c | None -> 0 in
+  let misses0 = match req.cache with Some c -> Cache.misses c | None -> 0 in
+  let progress ev =
+    match req.on_progress with Some f -> f ev | None -> ()
+  in
+  (* ---- stage 1: tolerant parse, one work item per file ------------- *)
+  let parse_one (path, src) =
+    let t0 = Unix.gettimeofday () in
+    let compute () = Parser.parse_string_tolerant ~file:path src in
+    let (program, errs), cached =
+      match req.cache with
+      | Some c ->
+          (* parsing depends only on the file itself, not on the active
+             spec set, so the key deliberately omits the fingerprint *)
+          let k =
+            Cache.key
+              [ cache_format_version; "parse"; path;
+                Digest.to_hex (Digest.string src) ]
+          in
+          Cache.memoize c ~key:k compute
+      | None -> (compute (), false)
+    in
+    ( { Wap_taint.Analyzer.path; program },
+      { fr_path = path; fr_seconds = Unix.gettimeofday () -. t0;
+        fr_cached = cached; fr_errors = errs } )
+  in
+  let parsed = Pool.map ~jobs parse_one (Array.of_list req.files) in
+  Array.iter
+    (fun (_, r) ->
+      progress (File_parsed { path = r.fr_path; cached = r.fr_cached }))
+    parsed;
+  let units = Array.to_list (Array.map fst parsed) in
+  let file_reports = Array.to_list (Array.map snd parsed) in
+  (* The analysis of one file depends on every other file (shared
+     function summaries, include splicing), so analysis entries are
+     keyed by a digest of the whole source set: any edit invalidates
+     them all, which keeps caching sound. *)
+  let project_digest =
+    Cache.key
+      (cache_format_version :: req.fingerprint
+      :: (List.map (fun (p, src) -> p ^ "\x01" ^ Digest.to_hex (Digest.string src))
+            req.files
+         |> List.sort String.compare))
+  in
+  (* ---- stage 2: taint analysis, one work item per detector spec ---- *)
+  let analyze_one (idx, spec) =
+    let t0 = Unix.gettimeofday () in
+    let compute () =
+      Wap_taint.Analyzer.analyze_project
+        ~interprocedural:req.interprocedural ~spec units
+    in
+    let cands, cached =
+      match req.cache with
+      | Some c ->
+          let k =
+            Cache.key
+              [ cache_format_version; "analyze"; project_digest;
+                Cat.show_spec spec;
+                string_of_bool req.interprocedural ]
+          in
+          Cache.memoize c ~key:k compute
+      | None -> (compute (), false)
+    in
+    ( idx, cands,
+      { sr_spec = spec_label spec; sr_seconds = Unix.gettimeofday () -. t0;
+        sr_cached = cached; sr_candidates = List.length cands } )
+  in
+  let analyzed =
+    Pool.map ~jobs analyze_one
+      (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
+  in
+  Array.iter
+    (fun (_, _, r) ->
+      progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
+    analyzed;
+  let spec_reports = Array.to_list (Array.map (fun (_, _, r) -> r) analyzed) in
+  (* ---- deterministic merge ----------------------------------------- *)
+  let tagged =
+    Array.to_list analyzed
+    |> List.concat_map (fun (si, cands, _) ->
+           List.mapi (fun qi c -> (si, qi, c)) cands)
+  in
+  let candidates =
+    List.sort merge_compare tagged |> List.map (fun (_, _, c) -> c)
+  in
+  {
+    units;
+    candidates;
+    file_reports;
+    spec_reports;
+    wall_seconds = Unix.gettimeofday () -. t0_wall;
+    cpu_seconds = Sys.time () -. t0_cpu;
+    jobs_used = jobs;
+    cache_hits = (match req.cache with Some c -> Cache.hits c - hits0 | None -> 0);
+    cache_misses =
+      (match req.cache with Some c -> Cache.misses c - misses0 | None -> 0);
+  }

@@ -1,0 +1,80 @@
+(** The parallel scan engine.
+
+    A scan fans two stages out over the {!Pool}: tolerant parsing (one
+    work item per file) and taint analysis (one work item per detector
+    spec, each a self-contained multi-pass project analysis).  Both
+    stages consult the optional {!Cache}, so a rescan of unchanged
+    sources skips straight to the merged result.
+
+    Candidates are merged in a deterministic order — sorted by sink
+    file, then sink location, ties broken by spec order and discovery
+    order — so the output is byte-identical whatever [jobs] is. *)
+
+open Wap_php
+
+(** Bumped whenever the marshalled shape of cached values changes;
+    part of every cache key. *)
+val cache_format_version : string
+
+type progress =
+  | File_parsed of { path : string; cached : bool }
+  | Spec_analyzed of { spec : string; cached : bool }
+
+type request = {
+  files : (string * string) list;  (** [(path, source)], scanned as one app *)
+  specs : Wap_catalog.Catalog.spec list;  (** active detectors *)
+  jobs : int;  (** worker domains; clamped to at least 1 *)
+  cache : Cache.t option;
+  fingerprint : string;
+      (** tool-level cache-key material: version name plus the full
+          active spec set, so changing either invalidates analysis
+          entries *)
+  interprocedural : bool;
+  on_progress : (progress -> unit) option;
+      (** invoked in the calling domain, once per finished work item *)
+}
+
+(** [request ~specs files] with defaults: [jobs = Pool.default_jobs ()],
+    no cache, empty fingerprint, interprocedural on. *)
+val request :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?fingerprint:string ->
+  ?interprocedural:bool ->
+  ?on_progress:(progress -> unit) ->
+  specs:Wap_catalog.Catalog.spec list ->
+  (string * string) list ->
+  request
+
+type file_report = {
+  fr_path : string;
+  fr_seconds : float;  (** wall clock spent parsing this file *)
+  fr_cached : bool;
+  fr_errors : Parser.recovered_error list;
+}
+
+type spec_report = {
+  sr_spec : string;  (** submodule/class label *)
+  sr_seconds : float;  (** wall clock spent on this detector *)
+  sr_cached : bool;
+  sr_candidates : int;
+}
+
+type outcome = {
+  units : Wap_taint.Analyzer.file_unit list;  (** parsed files, input order *)
+  candidates : Wap_taint.Trace.candidate list;
+      (** merged (not yet de-duplicated), in the deterministic order
+          described above *)
+  file_reports : file_report list;  (** input order *)
+  spec_reports : spec_report list;  (** spec order *)
+  wall_seconds : float;
+  cpu_seconds : float;  (** process CPU, all domains aggregated *)
+  jobs_used : int;
+  cache_hits : int;  (** cache lookups served from the cache, this scan *)
+  cache_misses : int;
+}
+
+(** Human label of a spec, e.g. ["query manipulation/SQLI"]. *)
+val spec_label : Wap_catalog.Catalog.spec -> string
+
+val run : request -> outcome

@@ -968,6 +968,80 @@ let rec splice_includes ~(units : file_unit list) ~depth ~visited
         | _ -> [ s ])
       prog
 
+(* ------------------------------------------------------------------ *)
+(* Per-file steps.                                                     *)
+
+(* All mutable analysis state of one (spec, project) run lives in this
+   record; nothing is global, so any number of projects/specs can be
+   analyzed concurrently (one state each) — the re-entrancy the parallel
+   scan engine relies on. *)
+type project_state = {
+  st_spec : Cat.spec;
+  st_interprocedural : bool;
+  st_summaries : Summary.table;
+  st_ctx : ctx;
+      (** Full-phase context shared by the function and top-level sweeps
+          of every file, so cross-file candidate de-duplication matches a
+          whole-project run *)
+}
+
+let project_state ?(interprocedural = true) ~spec () =
+  let summaries = Summary.create_table () in
+  {
+    st_spec = spec;
+    st_interprocedural = interprocedural;
+    st_summaries = summaries;
+    st_ctx = make_ctx ~spec ~phase:Full ~summaries;
+  }
+
+(** Pure per-file step: the summaries of the functions defined in [u],
+    computed against (but never registered into) [summaries]. *)
+let file_summaries ~spec ~summaries (u : file_unit) : Summary.t list =
+  let ctx = make_ctx ~spec ~phase:Summaries_only ~summaries in
+  ctx.file <- u.path;
+  List.map (analyze_function ctx) (Visitor.collect_functions u.program)
+
+(** Summary sweep over one file: each function's summary is registered
+    as soon as it is computed, so later functions (and later files) see
+    earlier ones. *)
+let summarize_file st (u : file_unit) : unit =
+  let ctx =
+    make_ctx ~spec:st.st_spec ~phase:Summaries_only ~summaries:st.st_summaries
+  in
+  ctx.file <- u.path;
+  List.iter
+    (fun f -> Summary.register st.st_summaries (analyze_function ctx f))
+    (Visitor.collect_functions u.program)
+
+(** Function-body sweep over one file: emits candidates found inside
+    function bodies and (interprocedurally) refines their summaries now
+    that callees are known. *)
+let analyze_file_functions st (u : file_unit) : unit =
+  st.st_ctx.file <- u.path;
+  List.iter
+    (fun f ->
+      let s = analyze_function st.st_ctx f in
+      if st.st_interprocedural then Summary.register st.st_summaries s)
+    (Visitor.collect_functions u.program)
+
+(** Top-level sweep over one file, using the final summaries; literal
+    includes of project files are spliced so taint crosses file
+    boundaries. *)
+let analyze_file_toplevel st ~(units : file_unit list) (u : file_unit) : unit =
+  st.st_ctx.file <- u.path;
+  let program = splice_includes ~units ~depth:0 ~visited:[ u.path ] u.program in
+  ignore (exec_stmts st.st_ctx Env.empty program)
+
+(** Candidates accumulated so far, minus those whose sink control flow
+    provably never reaches (after an unconditional exit/die/return/
+    throw) — not vulnerabilities. *)
+let project_candidates st ~(units : file_unit list) : Trace.candidate list =
+  let dead = Wap_flow.Reach.create () in
+  List.iter (fun u -> Wap_flow.Reach.add_program dead u.program) units;
+  List.rev st.st_ctx.candidates
+  |> List.filter (fun (c : Trace.candidate) ->
+         not (Wap_flow.Reach.is_dead dead c.Trace.sink_loc))
+
 (** Analyze a set of files as one application under a single detector
     spec.  Function summaries are shared across the whole set, which is
     how WAP sees applications spread over many included files.
@@ -977,48 +1051,15 @@ let rec splice_includes ~(units : file_unit list) ~depth ~visited
     call boundaries) — the ablation of DESIGN.md §6. *)
 let analyze_project ?(interprocedural = true) ~(spec : Cat.spec)
     (units : file_unit list) : Trace.candidate list =
-  let summaries = Summary.create_table () in
-  if interprocedural then begin
-    (* pass 1: build summaries without emitting candidates *)
-    let ctx1 = make_ctx ~spec ~phase:Summaries_only ~summaries in
-    List.iter
-      (fun u ->
-        ctx1.file <- u.path;
-        List.iter
-          (fun f -> Summary.register summaries (analyze_function ctx1 f))
-          (Visitor.collect_functions u.program))
-      units
-  end;
+  let st = project_state ~interprocedural ~spec () in
+  (* pass 1: build summaries without emitting candidates *)
+  if interprocedural then List.iter (summarize_file st) units;
   (* pass 2: refine summaries now that callees are known, and emit
      candidates found inside function bodies *)
-  let ctx2 = make_ctx ~spec ~phase:Full ~summaries in
-  List.iter
-    (fun u ->
-      ctx2.file <- u.path;
-      List.iter
-        (fun f ->
-          let s = analyze_function ctx2 f in
-          if interprocedural then Summary.register summaries s)
-        (Visitor.collect_functions u.program))
-    units;
-  (* pass 3: top-level flows, using the final summaries; literal includes
-     of project files are spliced so taint crosses file boundaries *)
-  List.iter
-    (fun u ->
-      ctx2.file <- u.path;
-      let program =
-        splice_includes ~units ~depth:0 ~visited:[ u.path ] u.program
-      in
-      let _ = exec_stmts ctx2 Env.empty program in
-      ())
-    units;
-  (* a sink that control flow provably never reaches (after an
-     unconditional exit/die/return/throw) is not a vulnerability *)
-  let dead = Wap_flow.Reach.create () in
-  List.iter (fun u -> Wap_flow.Reach.add_program dead u.program) units;
-  List.rev ctx2.candidates
-  |> List.filter (fun (c : Trace.candidate) ->
-         not (Wap_flow.Reach.is_dead dead c.Trace.sink_loc))
+  List.iter (analyze_file_functions st) units;
+  (* pass 3: top-level flows, using the final summaries *)
+  List.iter (analyze_file_toplevel st ~units) units;
+  project_candidates st ~units
 
 (** Analyze a single parsed file. *)
 let analyze_program ~spec ~file (program : Ast.program) : Trace.candidate list

@@ -29,6 +29,44 @@ val splice_includes :
 
 (** Raised by {!Wap_core.Tool} helpers; kept here for reuse. *)
 
+(** {2 Per-file steps}
+
+    The analysis of a (spec, project) pair decomposes into per-file
+    sweeps over a {!project_state} that owns every piece of mutable
+    state — no globals, so any number of states can be driven
+    concurrently (the parallel scan engine runs one per detector
+    spec). *)
+
+type project_state
+
+val project_state :
+  ?interprocedural:bool -> spec:Wap_catalog.Catalog.spec -> unit ->
+  project_state
+
+(** Pure per-file step: the summaries of the functions defined in one
+    file, computed against (but never registered into) the given
+    table. *)
+val file_summaries :
+  spec:Wap_catalog.Catalog.spec -> summaries:Summary.table -> file_unit ->
+  Summary.t list
+
+(** Pass-1 step: compute and register the summaries of one file's
+    functions (each visible to the functions and files after it). *)
+val summarize_file : project_state -> file_unit -> unit
+
+(** Pass-2 step: emit candidates found inside one file's function
+    bodies, refining their summaries now that callees are known. *)
+val analyze_file_functions : project_state -> file_unit -> unit
+
+(** Pass-3 step: top-level flows of one file, with literal includes of
+    project files ([units]) spliced in place. *)
+val analyze_file_toplevel :
+  project_state -> units:file_unit list -> file_unit -> unit
+
+(** Accumulated candidates, dead-sink filtered. *)
+val project_candidates :
+  project_state -> units:file_unit list -> Trace.candidate list
+
 (** Analyze a set of files as one application under a single detector
     spec.  Function summaries are shared across the whole set, which is
     how WAP sees applications spread over many included files.

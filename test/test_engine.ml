@@ -1,0 +1,266 @@
+(** The parallel scan engine: pool semantics, determinism of the merged
+    output across worker counts, and the digest-keyed incremental
+    cache. *)
+
+module T = Wap_core.Tool
+module Scan = Wap_core.Scan
+module Pool = Wap_engine.Pool
+module Cache = Wap_engine.Cache
+
+let seed = 2016
+let wape = lazy (T.create ~seed Wap_core.Version.Wape)
+
+let acp_files () =
+  let pkg =
+    Wap_corpus.Appgen.of_webapp_profile ~seed
+      (List.nth Wap_corpus.Profiles.vulnerable_webapps 0)
+  in
+  List.map
+    (fun (f : Wap_corpus.Appgen.file) ->
+      (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
+    pkg.Wap_corpus.Appgen.pkg_files
+
+(* ------------------------------------------------------------------ *)
+(* Pool.                                                               *)
+
+let test_pool_order () =
+  let xs = Array.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      let ys = Pool.map ~jobs (fun i -> i * i) xs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "squares in input order at jobs=%d" jobs)
+        (Array.init 100 (fun i -> i * i))
+        ys)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_deterministic_failure () =
+  (* indices 13, 37, 61, 85 fail; the lowest one must escape whatever
+     the scheduling *)
+  let xs = Array.init 100 Fun.id in
+  let f i = if i mod 24 = 13 then failwith (string_of_int i) else i in
+  for _ = 1 to 5 do
+    List.iter
+      (fun jobs ->
+        match Pool.map ~jobs f xs with
+        | _ -> Alcotest.fail "expected an exception"
+        | exception Failure msg ->
+            Alcotest.(check string)
+              (Printf.sprintf "lowest failing index at jobs=%d" jobs)
+              "13" msg)
+      [ 1; 2; 4 ]
+  done
+
+let test_pool_default_jobs () =
+  let original = Sys.getenv_opt "WAP_JOBS" in
+  Unix.putenv "WAP_JOBS" "3";
+  Alcotest.(check int) "WAP_JOBS honoured" 3 (Pool.default_jobs ());
+  Unix.putenv "WAP_JOBS" "bogus";
+  Alcotest.(check bool) "bogus falls back to >= 1" true (Pool.default_jobs () >= 1);
+  Unix.putenv "WAP_JOBS" (Option.value original ~default:"");
+  Alcotest.(check bool) "restored >= 1" true (Pool.default_jobs () >= 1)
+
+let test_pool_map_list_empty () =
+  Alcotest.(check (list int)) "empty in, empty out" []
+    (Pool.map_list ~jobs:4 (fun x -> x) [])
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across worker counts.                                   *)
+
+let zero_timings (r : T.package_result) =
+  { r with T.analysis_seconds = 0.0; analysis_cpu_seconds = 0.0 }
+
+let test_scan_deterministic () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let export jobs =
+    let o = Scan.run tool (Scan.request ~jobs files) in
+    Wap_core.Export.result_to_string (zero_timings o.Scan.result)
+  in
+  let j1 = export 1 in
+  Alcotest.(check bool) "non-trivial corpus" true (String.length j1 > 1000);
+  Alcotest.(check string) "jobs=2 byte-identical to jobs=1" j1 (export 2);
+  Alcotest.(check string) "jobs=4 byte-identical to jobs=1" j1 (export 4)
+
+let test_engine_merge_order () =
+  (* the raw (pre-dedup) engine output is also order-stable *)
+  let tool = Lazy.force wape in
+  let run jobs =
+    let o =
+      Wap_engine.Scan.run
+        (Wap_engine.Scan.request ~jobs ~specs:tool.T.specs (acp_files ()))
+    in
+    List.map Wap_taint.Trace.summary o.Wap_engine.Scan.candidates
+  in
+  Alcotest.(check (list string)) "merge order jobs=4 = jobs=1" (run 1) (run 4)
+
+let test_scan_matches_legacy_wrappers () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let via_scan = (Scan.run tool (Scan.request ~jobs:2 files)).Scan.result in
+  let via_wrapper, errs = T.analyze_sources tool files in
+  Alcotest.(check int) "no recovered errors" 0 (List.length errs);
+  Alcotest.(check string) "wrapper and Scan agree"
+    (Wap_core.Export.result_to_string (zero_timings via_wrapper))
+    (Wap_core.Export.result_to_string (zero_timings via_scan))
+
+(* ------------------------------------------------------------------ *)
+(* Cache.                                                              *)
+
+let test_cache_memoize () =
+  let c = Cache.create () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  let v1, hit1 = Cache.memoize c ~key:(Cache.key [ "k" ]) compute in
+  let v2, hit2 = Cache.memoize c ~key:(Cache.key [ "k" ]) compute in
+  Alcotest.(check (pair int bool)) "first is a miss" (42, false) (v1, hit1);
+  Alcotest.(check (pair int bool)) "second is a hit" (42, true) (v2, hit2);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "hits counted" 1 (Cache.hits c);
+  Alcotest.(check int) "misses counted" 1 (Cache.misses c)
+
+let test_cache_rescan_hits () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let cache = Cache.create () in
+  let o1 = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
+  Alcotest.(check int) "cold scan misses everything" (nfiles + nspecs)
+    o1.Scan.cache_misses;
+  Alcotest.(check int) "cold scan hits nothing" 0 o1.Scan.cache_hits;
+  let o2 = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
+  Alcotest.(check int) "warm rescan hits everything" (nfiles + nspecs)
+    o2.Scan.cache_hits;
+  Alcotest.(check int) "warm rescan misses nothing" 0 o2.Scan.cache_misses;
+  Alcotest.(check string) "cached result identical"
+    (Wap_core.Export.result_to_string (zero_timings o1.Scan.result))
+    (Wap_core.Export.result_to_string (zero_timings o2.Scan.result))
+
+let test_cache_source_edit_invalidates () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let cache = Cache.create () in
+  let _ = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
+  (* editing one file re-parses just that file but re-analyzes the whole
+     project (summaries and includes are cross-file) *)
+  let edited =
+    match files with
+    | (path, src) :: rest -> (path, src ^ "\n") :: rest
+    | [] -> assert false
+  in
+  let o = Scan.run tool (Scan.request ~jobs:2 ~cache edited) in
+  Alcotest.(check int) "unchanged files still hit" (nfiles - 1) o.Scan.cache_hits;
+  Alcotest.(check int) "edited file + all specs recomputed" (1 + nspecs)
+    o.Scan.cache_misses
+
+let test_cache_spec_set_invalidates () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let nfiles = List.length files in
+  let cache = Cache.create () in
+  let _ = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
+  (* equipping a weapon changes the fingerprint: parse entries survive,
+     every analysis entry is invalid *)
+  let armed =
+    T.create ~seed ~weapons:[ Wap_weapon.Generator.wpsqli () ]
+      Wap_core.Version.Wape
+  in
+  Alcotest.(check bool) "fingerprints differ" false
+    (String.equal (T.Scan.fingerprint tool) (T.Scan.fingerprint armed));
+  let o = Scan.run armed (Scan.request ~jobs:2 ~cache files) in
+  Alcotest.(check int) "parses reused across tools" nfiles o.Scan.cache_hits;
+  Alcotest.(check int) "every spec recomputed" (List.length armed.T.specs)
+    o.Scan.cache_misses
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_cache_disk_persistence () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wap-cache-test-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let c1 = Cache.create ~dir () in
+      let o1 = Scan.run tool (Scan.request ~jobs:2 ~cache:c1 files) in
+      Alcotest.(check int) "first process misses" (nfiles + nspecs)
+        o1.Scan.cache_misses;
+      (* a fresh Cache.t on the same directory simulates a new process *)
+      let c2 = Cache.create ~dir () in
+      let o2 = Scan.run tool (Scan.request ~jobs:2 ~cache:c2 files) in
+      Alcotest.(check int) "second process hits from disk" (nfiles + nspecs)
+        o2.Scan.cache_hits;
+      Alcotest.(check string) "persisted result identical"
+        (Wap_core.Export.result_to_string (zero_timings o1.Scan.result))
+        (Wap_core.Export.result_to_string (zero_timings o2.Scan.result)))
+
+(* ------------------------------------------------------------------ *)
+(* Progress and timings.                                               *)
+
+let test_progress_and_timings () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let parsed = ref 0 and analyzed = ref 0 in
+  let on_progress = function
+    | Wap_engine.Scan.File_parsed _ -> incr parsed
+    | Wap_engine.Scan.Spec_analyzed _ -> incr analyzed
+  in
+  let o = Scan.run tool (Scan.request ~jobs:2 ~on_progress files) in
+  Alcotest.(check int) "one progress event per file" (List.length files) !parsed;
+  Alcotest.(check int) "one progress event per spec"
+    (List.length tool.T.specs) !analyzed;
+  Alcotest.(check int) "one timing per file" (List.length files)
+    (List.length o.Scan.file_timings);
+  Alcotest.(check int) "one timing per spec" (List.length tool.T.specs)
+    (List.length o.Scan.spec_timings);
+  Alcotest.(check bool) "wall clock recorded" true
+    (o.Scan.result.T.analysis_seconds > 0.0);
+  Alcotest.(check bool) "cpu clock recorded" true
+    (o.Scan.result.T.analysis_cpu_seconds > 0.0)
+
+let () =
+  Alcotest.run "wap_engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order;
+          Alcotest.test_case "deterministic failure" `Quick
+            test_pool_deterministic_failure;
+          Alcotest.test_case "WAP_JOBS default" `Quick test_pool_default_jobs;
+          Alcotest.test_case "empty map_list" `Quick test_pool_map_list_empty;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "export byte-identical for jobs 1/2/4" `Slow
+            test_scan_deterministic;
+          Alcotest.test_case "engine merge order stable" `Slow
+            test_engine_merge_order;
+          Alcotest.test_case "legacy wrappers route through Scan" `Slow
+            test_scan_matches_legacy_wrappers;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "memoize" `Quick test_cache_memoize;
+          Alcotest.test_case "warm rescan hits everything" `Slow
+            test_cache_rescan_hits;
+          Alcotest.test_case "source edit invalidates" `Slow
+            test_cache_source_edit_invalidates;
+          Alcotest.test_case "spec set invalidates" `Slow
+            test_cache_spec_set_invalidates;
+          Alcotest.test_case "disk persistence" `Slow test_cache_disk_persistence;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "progress + timings" `Slow test_progress_and_timings;
+        ] );
+    ]
