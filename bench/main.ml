@@ -121,6 +121,40 @@ let run_scan_engine () =
     "warm rescan:  %6.2fs wall  (%d hit(s), %d miss(es)) — unchanged files skipped\n"
     oc2.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds
     oc2.Wap_core.Scan.cache_hits oc2.Wap_core.Scan.cache_misses;
+  (* machine-readable companion for CI trend tracking *)
+  let wc1 = oc1.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
+  let wc2 = oc2.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
+  let module J = Wap_report.Json in
+  let doc =
+    J.Obj
+      [
+        ("kernel", J.Str "scan");
+        ("files", J.Int (List.length files));
+        ("packages", J.Int (List.length profiles));
+        ("jobs_parallel", J.Int par_jobs);
+        ("cold_jobs1_wall_seconds", J.Float w1);
+        ( "cold_jobs1_cpu_seconds",
+          J.Float o1.Wap_core.Scan.result.Wap_core.Tool.analysis_cpu_seconds );
+        ("cold_parallel_wall_seconds", J.Float wp);
+        ( "cold_parallel_cpu_seconds",
+          J.Float opar.Wap_core.Scan.result.Wap_core.Tool.analysis_cpu_seconds );
+        ("speedup", J.Float (w1 /. wp));
+        ("deterministic", J.Bool same);
+        ( "candidates",
+          J.Int (List.length o4.Wap_core.Scan.result.Wap_core.Tool.candidates) );
+        ("cache_fill_wall_seconds", J.Float wc1);
+        ("warm_rescan_wall_seconds", J.Float wc2);
+        ( "cache_rescan_ratio",
+          J.Float (if wc1 > 0. then wc2 /. wc1 else 0.) );
+        ("warm_cache_hits", J.Int oc2.Wap_core.Scan.cache_hits);
+        ("warm_cache_misses", J.Int oc2.Wap_core.Scan.cache_misses);
+      ]
+  in
+  let oc = open_out "BENCH_scan.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_string "wrote BENCH_scan.json\n";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

@@ -52,6 +52,161 @@ let cache_dir_arg =
 let make_cache ~no_cache ~cache_dir =
   if no_cache then None else Some (Wap_engine.Cache.create ?dir:cache_dir ())
 
+(* observability flags (Wap_obs), shared by analyze / lint / experiments *)
+
+let log_level_conv =
+  let parse s =
+    match Wap_obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error|quiet)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Wap_obs.Log.level_name l))
+
+let log_format_conv =
+  let parse s =
+    match Wap_obs.Log.format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown log format %S (text|json)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f ->
+        Fmt.string ppf
+          (match f with Wap_obs.Log.Text -> "text" | Wap_obs.Log.Json -> "json") )
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record spans for the whole run and write them as Chrome \
+                 trace-event JSON to $(docv) (open in chrome://tracing or \
+                 https://ui.perfetto.dev).")
+
+let log_level_arg =
+  Arg.(value & opt log_level_conv Wap_obs.Log.Info
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Diagnostics verbosity on stderr: debug, info, warn, error or \
+                 quiet.  debug logs per-file/per-spec progress.")
+
+let log_format_arg =
+  Arg.(value & opt log_format_conv Wap_obs.Log.Text
+       & info [ "log-format" ] ~docv:"FMT"
+           ~doc:"Diagnostics format on stderr: text or json (one JSON object \
+                 per line).")
+
+(* Configure logger + tracer from the flags; returns the finish action
+   that unsets the tracer and writes the trace file. *)
+let setup_obs trace_out log_level log_format =
+  Wap_obs.Log.set_level log_level;
+  Wap_obs.Log.set_format log_format;
+  match trace_out with
+  | None -> fun () -> ()
+  | Some path ->
+      let tracer = Wap_obs.Trace.create () in
+      Wap_obs.Trace.set_global (Some tracer);
+      fun () ->
+        Wap_obs.Trace.set_global None;
+        Wap_obs.Trace.write tracer ~file:path;
+        Wap_obs.Log.info
+          ~fields:
+            [ ("file", path);
+              ("events", string_of_int (Wap_obs.Trace.event_count tracer)) ]
+          "wrote trace"
+
+(* Per-file/per-spec progress, logged at debug level only. *)
+let progress_logger () =
+  if not (Wap_obs.Log.enabled Wap_obs.Log.Debug) then None
+  else
+    Some
+      (function
+      | Wap_engine.Scan.File_parsed { path; cached } ->
+          Wap_obs.Log.debug
+            ~fields:[ ("file", path); ("cached", string_of_bool cached) ]
+            "parsed"
+      | Wap_engine.Scan.Spec_analyzed { spec; cached } ->
+          Wap_obs.Log.debug
+            ~fields:[ ("spec", spec); ("cached", string_of_bool cached) ]
+            "analyzed")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print per-phase timing, counter and per-detector tables to \
+                 stderr after the scan.")
+
+(* The --stats summary: per-phase wall clock (sums to ~analysis_seconds),
+   scan counters, and the per-detector breakdown — all on stderr so
+   stdout stays machine-parseable. *)
+let print_scan_stats (outcome : Wap_core.Scan.outcome) =
+  let module Tbl = Wap_report.Table in
+  let r = outcome.Wap_core.Scan.result in
+  let total = r.Wap_core.Tool.analysis_seconds in
+  let phases = r.Wap_core.Tool.phase_seconds in
+  let accounted = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 phases in
+  let share s = if total <= 0.0 then "" else Tbl.pctf (s /. total) in
+  let phase_rows =
+    List.map (fun (k, s) -> [ k; Printf.sprintf "%.4f" s; share s ]) phases
+    @ [ [ "---"; "---"; "---" ];
+        [ "accounted"; Printf.sprintf "%.4f" accounted; share accounted ];
+        [ "analysis total"; Printf.sprintf "%.4f" total; share total ] ]
+  in
+  let t1 =
+    Tbl.make ~title:"scan phases (wall clock)"
+      ~header:[ "phase"; "seconds"; "share" ]
+      phase_rows
+  in
+  let snap = Wap_obs.Metrics.snapshot Wap_obs.Metrics.global in
+  let hist name =
+    List.assoc_opt name snap.Wap_obs.Metrics.histograms
+  in
+  let mean_ms h =
+    match h with
+    | Some h when h.Wap_obs.Metrics.h_count > 0 ->
+        Printf.sprintf "%.3f"
+          (1e3 *. h.Wap_obs.Metrics.h_sum /. float_of_int h.Wap_obs.Metrics.h_count)
+    | _ -> "n/a"
+  in
+  let counter_rows =
+    [
+      [ "files parsed"; string_of_int r.Wap_core.Tool.files_analyzed ];
+      [ "lines of code"; string_of_int r.Wap_core.Tool.loc ];
+      [ "parse errors recovered";
+        string_of_int
+          (List.fold_left
+             (fun acc (_, errs) -> acc + List.length errs)
+             0 outcome.Wap_core.Scan.parse_errors) ];
+      [ "detector specs"; string_of_int (List.length outcome.Wap_core.Scan.spec_timings) ];
+      [ "candidates"; string_of_int (List.length r.Wap_core.Tool.candidates) ];
+      [ "vulnerabilities"; string_of_int (List.length r.Wap_core.Tool.reported) ];
+      [ "predicted false positives";
+        string_of_int (List.length r.Wap_core.Tool.predicted_fps) ];
+      [ "worker domains"; string_of_int outcome.Wap_core.Scan.jobs_used ];
+      [ "cache hits"; string_of_int outcome.Wap_core.Scan.cache_hits ];
+      [ "cache misses"; string_of_int outcome.Wap_core.Scan.cache_misses ];
+      [ "pool queue-wait mean (ms)";
+        mean_ms (hist "engine.pool.queue_wait_seconds") ];
+      [ "pool task-run mean (ms)"; mean_ms (hist "engine.pool.task_run_seconds") ];
+    ]
+  in
+  let t2 = Tbl.make ~title:"scan counters" ~header:[ "counter"; "value" ] counter_rows in
+  let spec_rows =
+    List.map
+      (fun (s : Wap_engine.Scan.spec_report) ->
+        [
+          s.Wap_engine.Scan.sr_spec;
+          string_of_int s.Wap_engine.Scan.sr_candidates;
+          Printf.sprintf "%.4f" s.Wap_engine.Scan.sr_seconds;
+          (if s.Wap_engine.Scan.sr_cached then "yes" else "no");
+        ])
+      outcome.Wap_core.Scan.spec_timings
+  in
+  let t3 =
+    Tbl.make ~title:"per-detector breakdown"
+      ~header:[ "detector"; "candidates"; "seconds"; "cached" ]
+      spec_rows
+  in
+  Printf.eprintf "%s\n%s\n%s%!" (Tbl.render t1) (Tbl.render t2) (Tbl.render t3)
+
 (* expand directories to their .php files, recursively; explicitly named
    files pass through regardless of extension *)
 let expand_php_paths files =
@@ -122,7 +277,8 @@ let analyze_cmd =
     Arg.(value & opt (some string) None
          & info [ "html" ] ~docv:"FILE" ~doc:"Also write a standalone HTML report.")
   in
-  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out jobs no_cache cache_dir =
+  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out jobs no_cache cache_dir trace_out stats log_level log_format =
+    let finish_obs = setup_obs trace_out log_level log_format in
     let weapons =
       List.map
         (fun name ->
@@ -150,34 +306,43 @@ let analyze_cmd =
     let sources = List.map (fun p -> (p, read_file p)) paths in
     let cache = make_cache ~no_cache ~cache_dir in
     let outcome =
-      Wap_core.Scan.run tool (Wap_core.Scan.request ~jobs ?cache sources)
+      Wap_core.Scan.run tool
+        (Wap_core.Scan.request ~jobs ?cache
+           ?on_progress:(progress_logger ()) sources)
     in
     let result = outcome.Wap_core.Scan.result in
     let parse_errors = outcome.Wap_core.Scan.parse_errors in
     if verbose then
-      Printf.eprintf "scan: %d worker(s), cache %s (%d hit(s), %d miss(es))\n"
-        outcome.Wap_core.Scan.jobs_used
-        (match (cache, cache_dir) with
-        | None, _ -> "off"
-        | Some _, Some dir -> "on (" ^ dir ^ ")"
-        | Some _, None -> "on (memory)")
-        outcome.Wap_core.Scan.cache_hits outcome.Wap_core.Scan.cache_misses;
+      Wap_obs.Log.info
+        ~fields:
+          [ ("workers", string_of_int outcome.Wap_core.Scan.jobs_used);
+            ( "cache",
+              match (cache, cache_dir) with
+              | None, _ -> "off"
+              | Some _, Some dir -> "on (" ^ dir ^ ")"
+              | Some _, None -> "on (memory)" );
+            ("hits", string_of_int outcome.Wap_core.Scan.cache_hits);
+            ("misses", string_of_int outcome.Wap_core.Scan.cache_misses) ]
+        "scan finished";
+    List.iter
+      (fun (path, errs) ->
+        List.iter
+          (fun (e : Wap_php.Parser.recovered_error) ->
+            Wap_obs.Log.warn
+              ~fields:
+                [ ("file", path);
+                  ("loc", Wap_php.Loc.to_string e.Wap_php.Parser.err_loc) ]
+              (Printf.sprintf "parse error recovered: %s"
+                 e.Wap_php.Parser.err_msg))
+          errs)
+      parse_errors;
     (match html_out with
     | Some path ->
         write_file path (Wap_core.Export.result_to_html ~confirm result);
-        Printf.eprintf "wrote %s\n" path
+        Wap_obs.Log.info ~fields:[ ("file", path) ] "wrote HTML report"
     | None -> ());
     if json then print_endline (Wap_core.Export.result_to_string ~confirm result)
     else begin
-      List.iter
-        (fun (path, errs) ->
-          List.iter
-            (fun (e : Wap_php.Parser.recovered_error) ->
-              Printf.eprintf "warning: %s: parse error recovered at %s: %s\n" path
-                (Wap_php.Loc.to_string e.Wap_php.Parser.err_loc)
-                e.Wap_php.Parser.err_msg)
-            errs)
-        parse_errors;
       Printf.printf
         "%d file(s): %d candidate(s), %d vulnerability(ies), %d predicted false positive(s)\n"
         (List.length paths)
@@ -237,18 +402,26 @@ let analyze_cmd =
               in
               let out = path ^ ".fixed.php" in
               write_file out fixed;
-              Printf.printf "  wrote %s (%d fix(es))\n" out
-                (List.length report.Wap_fixer.Corrector.applied)
+              Wap_obs.Log.info
+                ~fields:
+                  [ ("file", out);
+                    ( "fixes",
+                      string_of_int
+                        (List.length report.Wap_fixer.Corrector.applied) ) ]
+                "wrote corrected source"
             end)
           sources
     end;
+    if stats then print_scan_stats outcome;
+    finish_obs ();
     `Ok ()
   in
   let doc = "Detect (and optionally correct) vulnerabilities in PHP files." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(ret (const run $ files $ fix $ version $ weapons $ weapon_dir
                $ sanitizers $ seed_arg $ verbose $ confirm $ json $ training_set
-               $ html_out $ jobs_arg $ no_cache_arg $ cache_dir_arg))
+               $ html_out $ jobs_arg $ no_cache_arg $ cache_dir_arg
+               $ trace_out_arg $ stats_arg $ log_level_arg $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -269,7 +442,9 @@ let lint_cmd =
   let list_rules =
     Arg.(value & flag & info [ "list-rules" ] ~doc:"List the available rules and exit.")
   in
-  let run files json only_rules list_rules jobs no_cache cache_dir =
+  let run files json only_rules list_rules jobs no_cache cache_dir trace_out log_level log_format =
+    let finish_obs = setup_obs trace_out log_level log_format in
+    Fun.protect ~finally:finish_obs @@ fun () ->
     if list_rules then begin
       List.iter
         (fun (r : Wap_lint.Rule.t) ->
@@ -311,6 +486,9 @@ let lint_cmd =
              (match rules with Some rs -> rs | None -> all))
       in
       let lint_one path : Wap_lint.Rule.diag list =
+        Wap_obs.Trace.with_span ~cat:"lint" "lint_file"
+          ~args:[ ("file", path) ]
+        @@ fun () ->
         let src = read_file path in
         let compute () =
           let program, _errs =
@@ -357,7 +535,8 @@ let lint_cmd =
   let doc = "Run the control-flow lint rules over PHP files." in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(ret (const run $ files $ json $ only_rules $ list_rules $ jobs_arg
-               $ no_cache_arg $ cache_dir_arg))
+               $ no_cache_arg $ cache_dir_arg $ trace_out_arg $ log_level_arg
+               $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* weapon-gen                                                          *)
@@ -463,12 +642,18 @@ let corpus_gen_cmd =
     let apps = Wap_corpus.Corpus.webapps ~seed () in
     mkdir (out / "webapps");
     List.iter (fun (_, pkg) -> write_pkg (out / "webapps") pkg) apps;
-    Printf.printf "wrote %d web applications under %s/webapps\n" (List.length apps) out;
+    Wap_obs.Log.info "wrote web applications"
+      ~fields:
+        [ ("count", string_of_int (List.length apps));
+          ("dir", Filename.concat out "webapps") ];
     if plugins then begin
       let ps = Wap_corpus.Corpus.plugins ~seed () in
       mkdir (out / "plugins");
       List.iter (fun (_, pkg) -> write_pkg (out / "plugins") pkg) ps;
-      Printf.printf "wrote %d plugins under %s/plugins\n" (List.length ps) out
+      Wap_obs.Log.info "wrote plugins"
+        ~fields:
+          [ ("count", string_of_int (List.length ps));
+            ("dir", Filename.concat out "plugins") ]
     end;
     `Ok ()
   in
@@ -482,7 +667,9 @@ let experiments_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Only the vulnerable packages.")
   in
-  let run quick seed jobs no_cache cache_dir =
+  let run quick seed jobs no_cache cache_dir trace_out log_level log_format =
+    let finish_obs = setup_obs trace_out log_level log_format in
+    Fun.protect ~finally:finish_obs @@ fun () ->
     let module E = Wap_core.Experiments in
     let cache = make_cache ~no_cache ~cache_dir in
     print_string (E.table1 ());
@@ -512,7 +699,8 @@ let experiments_cmd =
   let doc = "Regenerate the paper's evaluation tables and figures." in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(ret (const run $ quick $ seed_arg $ jobs_arg $ no_cache_arg
-               $ cache_dir_arg))
+               $ cache_dir_arg $ trace_out_arg $ log_level_arg
+               $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* train                                                               *)
@@ -540,7 +728,7 @@ let train_cmd =
     | Some path ->
         write_file path
           (if arff then Wap_mining.Dataset.to_arff d else Wap_mining.Dataset.to_csv d);
-        Printf.printf "wrote %s\n" path
+        Wap_obs.Log.info "wrote training data set" ~fields:[ ("file", path) ]
     | None -> ());
     `Ok ()
   in

@@ -77,6 +77,8 @@ let result_to_json ?(confirm = false) (r : Tool.package_result) : J.t =
       ("loc", J.Int r.Tool.loc);
       ("analysis_seconds", J.Float r.Tool.analysis_seconds);
       ("analysis_cpu_seconds", J.Float r.Tool.analysis_cpu_seconds);
+      ( "phases",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.Tool.phase_seconds) );
       ( "findings",
         J.List
           (List.map (fun f -> finding_to_json ?verdict:(verdict_for f) f) r.Tool.findings) );

@@ -66,6 +66,11 @@ type package_result = {
   loc : int;
   analysis_seconds : float;  (** wall clock *)
   analysis_cpu_seconds : float;  (** process CPU, all worker domains *)
+  phase_seconds : (string * float) list;
+      (** wall clock per pipeline phase, in order: the engine's [parse],
+          [digest], [analyze], [merge] plus this layer's [predict]
+          (dedup + FP classification); sums to nearly
+          [analysis_seconds] *)
   candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
   findings : finding list;
   reported : Wap_taint.Trace.candidate list;  (** predicted real -> reported *)
@@ -180,17 +185,24 @@ module Scan = struct
            ~fingerprint:(fingerprint t) ?on_progress:req.on_progress
            ~specs:t.specs req.files)
     in
-    let candidates = dedup_candidates engine.Wap_engine.Scan.candidates in
-    let findings =
-      List.map
-        (fun c ->
-          {
-            candidate = c;
-            predicted_fp = Wap_mining.Predictor.is_false_positive t.predictor c;
-            symptoms = Wap_mining.Predictor.justification t.predictor c;
-          })
-        candidates
+    let t0_predict = Unix.gettimeofday () in
+    let candidates, findings =
+      Wap_obs.Trace.with_span ~cat:"core" "phase.predict" (fun () ->
+          let candidates = dedup_candidates engine.Wap_engine.Scan.candidates in
+          let findings =
+            List.map
+              (fun c ->
+                {
+                  candidate = c;
+                  predicted_fp =
+                    Wap_mining.Predictor.is_false_positive t.predictor c;
+                  symptoms = Wap_mining.Predictor.justification t.predictor c;
+                })
+              candidates
+          in
+          (candidates, findings))
     in
+    let t_predict = Unix.gettimeofday () -. t0_predict in
     let predicted_fps, reported =
       List.partition (fun f -> f.predicted_fp) findings
     in
@@ -201,6 +213,8 @@ module Scan = struct
         loc = Wap_corpus.Appgen.loc_of_package pkg;
         analysis_seconds = Unix.gettimeofday () -. t0_wall;
         analysis_cpu_seconds = Sys.time () -. t0_cpu;
+        phase_seconds =
+          engine.Wap_engine.Scan.phases @ [ ("predict", t_predict) ];
         candidates;
         findings;
         reported = List.map (fun f -> f.candidate) reported;

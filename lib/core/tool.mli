@@ -39,6 +39,11 @@ type package_result = {
   loc : int;
   analysis_seconds : float;  (** wall clock *)
   analysis_cpu_seconds : float;  (** process CPU, all worker domains *)
+  phase_seconds : (string * float) list;
+      (** wall clock per pipeline phase, in order: the engine's [parse],
+          [digest], [analyze], [merge] plus this layer's [predict]
+          (dedup + FP classification); sums to nearly
+          [analysis_seconds] *)
   candidates : Wap_taint.Trace.candidate list;  (** de-duplicated *)
   findings : finding list;
   reported : Wap_taint.Trace.candidate list;

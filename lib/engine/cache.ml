@@ -4,12 +4,21 @@
 type t = {
   cache_dir : string option;
   mem : (string, string) Hashtbl.t;
+  order : string Queue.t;  (** insertion order, for eviction *)
+  max_entries : int option;
   lock : Mutex.t;
-  mutable n_hits : int;
-  mutable n_misses : int;
+  (* lock-free so a hot lookup path never serializes on the table lock
+     just to count itself, and counts are exact under any [--jobs] *)
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_evictions : int Atomic.t;
 }
 
-let create ?dir () =
+let m_hits = lazy (Wap_obs.Metrics.counter "engine.cache.hits")
+let m_misses = lazy (Wap_obs.Metrics.counter "engine.cache.misses")
+let m_evictions = lazy (Wap_obs.Metrics.counter "engine.cache.evictions")
+
+let create ?dir ?max_entries () =
   let dir =
     match dir with
     | None -> None
@@ -22,9 +31,13 @@ let create ?dir () =
   {
     cache_dir = dir;
     mem = Hashtbl.create 64;
+    order = Queue.create ();
+    max_entries =
+      (match max_entries with Some n when n >= 1 -> Some n | _ -> None);
     lock = Mutex.create ();
-    n_hits = 0;
-    n_misses = 0;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_evictions = Atomic.make 0;
   }
 
 let dir t = t.cache_dir
@@ -60,35 +73,66 @@ let write_file path contents =
     Sys.rename tmp path
   with Sys_error _ | Unix.Unix_error _ -> ()
 
+(* Must be called with the lock held.  Evicts in insertion order until
+   the in-memory table fits the cap again; disk entries survive (they
+   are the persistence layer, not the working set). *)
+let evict_over_cap t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.mem > cap && not (Queue.is_empty t.order) do
+        let victim = Queue.pop t.order in
+        (* re-inserted keys appear twice in [order]; only a key still
+           present counts as an eviction *)
+        if Hashtbl.mem t.mem victim then begin
+          Hashtbl.remove t.mem victim;
+          Atomic.incr t.n_evictions;
+          Wap_obs.Metrics.incr (Lazy.force m_evictions)
+        end
+      done
+
+let remember t k s =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.mem k) then Queue.push k t.order;
+      Hashtbl.replace t.mem k s;
+      evict_over_cap t)
+
 let find_raw t k : string option =
   match locked t (fun () -> Hashtbl.find_opt t.mem k) with
   | Some _ as hit -> hit
   | None -> (
       match Option.bind (disk_path t k) read_file with
       | Some s as hit ->
-          locked t (fun () -> Hashtbl.replace t.mem k s);
+          remember t k s;
           hit
       | None -> None)
 
 let store_raw t k v =
-  locked t (fun () -> Hashtbl.replace t.mem k v);
+  remember t k v;
   match disk_path t k with Some path -> write_file path v | None -> ()
 
 let memoize t ~key:k (compute : unit -> 'a) : 'a * bool =
   match find_raw t k with
   | Some s ->
-      locked t (fun () -> t.n_hits <- t.n_hits + 1);
+      Atomic.incr t.n_hits;
+      Wap_obs.Metrics.incr (Lazy.force m_hits);
+      Wap_obs.Trace.instant ~cat:"cache" "cache.hit"
+        ~args:[ ("key", String.sub k 0 (min 12 (String.length k))) ];
       ((Marshal.from_string s 0 : 'a), true)
   | None ->
-      locked t (fun () -> t.n_misses <- t.n_misses + 1);
+      Atomic.incr t.n_misses;
+      Wap_obs.Metrics.incr (Lazy.force m_misses);
+      Wap_obs.Trace.instant ~cat:"cache" "cache.miss"
+        ~args:[ ("key", String.sub k 0 (min 12 (String.length k))) ];
       let v = compute () in
       store_raw t k (Marshal.to_string v []);
       (v, false)
 
-let hits t = locked t (fun () -> t.n_hits)
-let misses t = locked t (fun () -> t.n_misses)
+let hits t = Atomic.get t.n_hits
+let misses t = Atomic.get t.n_misses
+let evictions t = Atomic.get t.n_evictions
 
 let reset_stats t =
-  locked t (fun () ->
-      t.n_hits <- 0;
-      t.n_misses <- 0)
+  Atomic.set t.n_hits 0;
+  Atomic.set t.n_misses 0;
+  Atomic.set t.n_evictions 0

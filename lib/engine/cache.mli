@@ -8,7 +8,12 @@
     in later runs, which is what lets [wap analyze]/[wap experiments]
     skip unchanged work between processes.
 
-    All operations are safe to call from several domains at once.
+    All operations are safe to call from several domains at once.  The
+    hit/miss/eviction counters are atomics, so they stay exact under any
+    [--jobs]; each lookup also bumps the process-wide
+    [engine.cache.{hits,misses,evictions}] counters of
+    {!Wap_obs.Metrics.global} and, when tracing is on, records an
+    instant event.
 
     The marshalling is untyped, so a key must always be requested at the
     type it was stored at — callers guarantee this by embedding a kind
@@ -17,10 +22,13 @@
 
 type t
 
-(** [create ?dir ()] makes an empty cache.  With [dir] the directory is
-    created if missing and entries are persisted there; on any disk
-    error the cache silently degrades to in-memory only. *)
-val create : ?dir:string -> unit -> t
+(** [create ?dir ?max_entries ()] makes an empty cache.  With [dir] the
+    directory is created if missing and entries are persisted there; on
+    any disk error the cache silently degrades to in-memory only.  With
+    [max_entries] the in-memory table is capped: overflowing entries are
+    evicted in insertion order (persisted files are kept, so an evicted
+    entry can still be re-read from disk). *)
+val create : ?dir:string -> ?max_entries:int -> unit -> t
 
 (** The persistence directory, if any. *)
 val dir : t -> string option
@@ -33,9 +41,10 @@ val key : string list -> string
     computed value under [key]. *)
 val memoize : t -> key:string -> (unit -> 'a) -> 'a * bool
 
-(** Lookups that found an entry / had to compute since creation (or the
-    last {!reset_stats}). *)
+(** Lookups that found an entry / had to compute / entries evicted since
+    creation (or the last {!reset_stats}). *)
 val hits : t -> int
 
 val misses : t -> int
+val evictions : t -> int
 val reset_stats : t -> unit

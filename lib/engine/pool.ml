@@ -1,5 +1,13 @@
 (** Domain-based worker pool over a mutex-protected deque. *)
 
+(* Queue wait is the time from pool start (every item is enqueued up
+   front) to the moment a worker dequeues the item; run time is the
+   application of [f] itself.  Striped atomics, so recording from every
+   worker domain is lock-free. *)
+let m_queue_wait = lazy (Wap_obs.Metrics.histogram "engine.pool.queue_wait_seconds")
+let m_task_run = lazy (Wap_obs.Metrics.histogram "engine.pool.task_run_seconds")
+let m_tasks = lazy (Wap_obs.Metrics.counter "engine.pool.tasks")
+
 let default_jobs () =
   match Sys.getenv_opt "WAP_JOBS" with
   | Some s -> (
@@ -44,7 +52,18 @@ let pop_front (d : deque) : int option =
 let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a array) : 'b array =
   let n = Array.length xs in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then Array.map f xs
+  let t_start = Wap_obs.Clock.now_ns () in
+  let timed_apply x =
+    let t0 = Wap_obs.Clock.now_ns () in
+    Wap_obs.Metrics.observe (Lazy.force m_queue_wait)
+      (Wap_obs.Clock.ns_to_s (Int64.sub t0 t_start));
+    let y = f x in
+    Wap_obs.Metrics.observe (Lazy.force m_task_run)
+      (Wap_obs.Clock.ns_to_s (Wap_obs.Clock.elapsed_ns t0));
+    Wap_obs.Metrics.incr (Lazy.force m_tasks);
+    y
+  in
+  if jobs <= 1 then Array.map timed_apply xs
   else begin
     let results : 'b option array = Array.make n None in
     (* first failure by input index, so the escaping exception is
@@ -68,7 +87,7 @@ let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a array) : 'b array =
       match pop_front tasks with
       | None -> ()
       | Some i ->
-          (match f xs.(i) with
+          (match timed_apply xs.(i) with
           | y -> results.(i) <- Some y
           | exception exn ->
               record_failure i exn (Printexc.get_raw_backtrace ()));

@@ -4,7 +4,12 @@
     calling one included) pop and execute them until the deque drains.
     Results are written into per-index slots, so the output order is
     that of the input regardless of scheduling — the substrate the scan
-    engine builds its deterministic merge on. *)
+    engine builds its deterministic merge on.
+
+    Every work item records its queue wait (pool start to dequeue) and
+    run time into the [engine.pool.*] histograms of
+    {!Wap_obs.Metrics.global}, which the CLI's [--stats] summary
+    reads. *)
 
 (** The worker count used when a caller does not pin one: the [WAP_JOBS]
     environment variable if set to a positive integer, otherwise

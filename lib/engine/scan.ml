@@ -4,8 +4,17 @@
 open Wap_php
 module Cat = Wap_catalog.Catalog
 module Trace = Wap_taint.Trace
+module Obs = Wap_obs.Trace
 
 let cache_format_version = "wap-engine-1"
+
+let m_files_parsed = lazy (Wap_obs.Metrics.counter "engine.files_parsed")
+
+let m_parse_recoveries =
+  lazy (Wap_obs.Metrics.counter "engine.parse_error_recoveries")
+
+let m_candidates spec_label =
+  Wap_obs.Metrics.counter ("engine.candidates." ^ spec_label)
 
 type progress =
   | File_parsed of { path : string; cached : bool }
@@ -46,6 +55,7 @@ type outcome = {
   spec_reports : spec_report list;
   wall_seconds : float;
   cpu_seconds : float;
+  phases : (string * float) list;
   jobs_used : int;
   cache_hits : int;
   cache_misses : int;
@@ -78,7 +88,20 @@ let merge_compare (si, qi, (a : Trace.candidate)) (sj, qj, (b : Trace.candidate)
         let c = compare (si : int) sj in
         if c <> 0 then c else compare (qi : int) qj
 
+(* [timed name f] runs [f] under a span and returns its result plus the
+   wall clock it took — the per-phase breakdown surfaced by [--stats]
+   and the JSON export. *)
+let timed name f =
+  let t0 = Wap_obs.Clock.now_ns () in
+  let v = Obs.with_span ~cat:"engine" name f in
+  (v, Wap_obs.Clock.ns_to_s (Wap_obs.Clock.elapsed_ns t0))
+
 let run (req : request) : outcome =
+  Obs.with_span ~cat:"engine" "scan"
+    ~args:[ ("files", string_of_int (List.length req.files));
+            ("specs", string_of_int (List.length req.specs));
+            ("jobs", string_of_int req.jobs) ]
+  @@ fun () ->
   let t0_wall = Unix.gettimeofday () and t0_cpu = Sys.time () in
   let jobs = max 1 req.jobs in
   let hits0 = match req.cache with Some c -> Cache.hits c | None -> 0 in
@@ -88,6 +111,8 @@ let run (req : request) : outcome =
   in
   (* ---- stage 1: tolerant parse, one work item per file ------------- *)
   let parse_one (path, src) =
+    Obs.with_span ~cat:"engine" "parse_file" ~args:[ ("file", path) ]
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let compute () = Parser.parse_string_tolerant ~file:path src in
     let (program, errs), cached =
@@ -103,30 +128,43 @@ let run (req : request) : outcome =
           Cache.memoize c ~key:k compute
       | None -> (compute (), false)
     in
+    Wap_obs.Metrics.incr (Lazy.force m_files_parsed);
+    if errs <> [] then
+      Wap_obs.Metrics.incr ~by:(List.length errs)
+        (Lazy.force m_parse_recoveries);
     ( { Wap_taint.Analyzer.path; program },
       { fr_path = path; fr_seconds = Unix.gettimeofday () -. t0;
         fr_cached = cached; fr_errors = errs } )
   in
-  let parsed = Pool.map ~jobs parse_one (Array.of_list req.files) in
-  Array.iter
-    (fun (_, r) ->
-      progress (File_parsed { path = r.fr_path; cached = r.fr_cached }))
-    parsed;
+  let parsed, t_parse =
+    timed "phase.parse" (fun () ->
+        let parsed = Pool.map ~jobs parse_one (Array.of_list req.files) in
+        Array.iter
+          (fun (_, r) ->
+            progress (File_parsed { path = r.fr_path; cached = r.fr_cached }))
+          parsed;
+        parsed)
+  in
   let units = Array.to_list (Array.map fst parsed) in
   let file_reports = Array.to_list (Array.map snd parsed) in
   (* The analysis of one file depends on every other file (shared
      function summaries, include splicing), so analysis entries are
      keyed by a digest of the whole source set: any edit invalidates
      them all, which keeps caching sound. *)
-  let project_digest =
-    Cache.key
-      (cache_format_version :: req.fingerprint
-      :: (List.map (fun (p, src) -> p ^ "\x01" ^ Digest.to_hex (Digest.string src))
-            req.files
-         |> List.sort String.compare))
+  let project_digest, t_digest =
+    timed "phase.digest" (fun () ->
+        Cache.key
+          (cache_format_version :: req.fingerprint
+          :: (List.map
+                (fun (p, src) -> p ^ "\x01" ^ Digest.to_hex (Digest.string src))
+                req.files
+             |> List.sort String.compare)))
   in
   (* ---- stage 2: taint analysis, one work item per detector spec ---- *)
   let analyze_one (idx, spec) =
+    let label = spec_label spec in
+    Obs.with_span ~cat:"engine" "analyze_spec" ~args:[ ("spec", label) ]
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let compute () =
       Wap_taint.Analyzer.analyze_project
@@ -144,27 +182,32 @@ let run (req : request) : outcome =
           Cache.memoize c ~key:k compute
       | None -> (compute (), false)
     in
+    Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
     ( idx, cands,
-      { sr_spec = spec_label spec; sr_seconds = Unix.gettimeofday () -. t0;
+      { sr_spec = label; sr_seconds = Unix.gettimeofday () -. t0;
         sr_cached = cached; sr_candidates = List.length cands } )
   in
-  let analyzed =
-    Pool.map ~jobs analyze_one
-      (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
+  let analyzed, t_analyze =
+    timed "phase.analyze" (fun () ->
+        let analyzed =
+          Pool.map ~jobs analyze_one
+            (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
+        in
+        Array.iter
+          (fun (_, _, r) ->
+            progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
+          analyzed;
+        analyzed)
   in
-  Array.iter
-    (fun (_, _, r) ->
-      progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
-    analyzed;
   let spec_reports = Array.to_list (Array.map (fun (_, _, r) -> r) analyzed) in
   (* ---- deterministic merge ----------------------------------------- *)
-  let tagged =
-    Array.to_list analyzed
-    |> List.concat_map (fun (si, cands, _) ->
-           List.mapi (fun qi c -> (si, qi, c)) cands)
-  in
-  let candidates =
-    List.sort merge_compare tagged |> List.map (fun (_, _, c) -> c)
+  let candidates, t_merge =
+    timed "phase.merge" (fun () ->
+        Array.to_list analyzed
+        |> List.concat_map (fun (si, cands, _) ->
+               List.mapi (fun qi c -> (si, qi, c)) cands)
+        |> List.sort merge_compare
+        |> List.map (fun (_, _, c) -> c))
   in
   {
     units;
@@ -173,6 +216,9 @@ let run (req : request) : outcome =
     spec_reports;
     wall_seconds = Unix.gettimeofday () -. t0_wall;
     cpu_seconds = Sys.time () -. t0_cpu;
+    phases =
+      [ ("parse", t_parse); ("digest", t_digest); ("analyze", t_analyze);
+        ("merge", t_merge) ];
     jobs_used = jobs;
     cache_hits = (match req.cache with Some c -> Cache.hits c - hits0 | None -> 0);
     cache_misses =

@@ -8,7 +8,15 @@
 
     Candidates are merged in a deterministic order — sorted by sink
     file, then sink location, ties broken by spec order and discovery
-    order — so the output is byte-identical whatever [jobs] is. *)
+    order — so the output is byte-identical whatever [jobs] is.
+
+    The run is instrumented with {!Wap_obs}: spans for the whole scan,
+    each phase, each parse/analyze work item and every cache lookup
+    (visible in a [--trace-out] Chrome trace), plus process-wide
+    [engine.*] counters (files parsed, parse-error recoveries,
+    candidates per detector spec, cache traffic).  None of it changes
+    the scan result: tracing on or off, the merged output is
+    byte-identical. *)
 
 open Wap_php
 
@@ -69,6 +77,10 @@ type outcome = {
   spec_reports : spec_report list;  (** spec order *)
   wall_seconds : float;
   cpu_seconds : float;  (** process CPU, all domains aggregated *)
+  phases : (string * float) list;
+      (** per-phase wall clock, in pipeline order: [parse] (stage-1 pool
+          fan-out), [digest] (project cache-key digest), [analyze]
+          (stage-2 pool fan-out), [merge] (deterministic sort) *)
   jobs_used : int;
   cache_hits : int;  (** cache lookups served from the cache, this scan *)
   cache_misses : int;

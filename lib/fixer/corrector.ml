@@ -111,6 +111,10 @@ let correct_program (prog : Ast.program) (corrections : correction list) :
     with its class's stock fix, and print the corrected PHP. *)
 let correct_source ~file (src : string)
     (candidates : Wap_taint.Trace.candidate list) : string * report =
+  Wap_obs.Trace.with_span ~cat:"fixer" "correct_source"
+    ~args:
+      [ ("file", file); ("candidates", string_of_int (List.length candidates)) ]
+  @@ fun () ->
   let prog = Parser.parse_string ~file src in
   let corrections =
     List.map

@@ -39,6 +39,9 @@ type t = {
 (** Train the ensemble on a labelled data set (must be in the same
     attribute mode as the config). *)
 let train ?(seed = 42) (config : config) (d : Dataset.t) : t =
+  Wap_obs.Trace.with_span ~cat:"mining" "predictor.train"
+    ~args:[ ("instances", string_of_int (Dataset.size d)) ]
+  @@ fun () ->
   if d.Dataset.mode <> config.mode then
     invalid_arg "Predictor.train: dataset attribute mode mismatch";
   { config; models = List.map (fun a -> a.Classifier.train ~seed d) config.algorithms }
@@ -46,6 +49,7 @@ let train ?(seed = 42) (config : config) (d : Dataset.t) : t =
 (** Majority vote of the top-3 ensemble: is the candidate a false
     positive? *)
 let is_false_positive (p : t) (c : Wap_taint.Trace.candidate) : bool =
+  Wap_obs.Trace.with_span ~cat:"mining" "predictor.classify" @@ fun () ->
   let ev = Evidence.collect ~dynamic:p.config.dynamic_symptoms c in
   let x = Attributes.vector_of_evidence p.config.mode ev in
   let votes =

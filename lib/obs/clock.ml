@@ -1,0 +1,19 @@
+(** Monotonic nanosecond clock: wall clock plus a global high-water mark
+    shared by all domains, so readings never decrease. *)
+
+let high_water : int64 Atomic.t = Atomic.make 0L
+
+let now_ns () : int64 =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let prev = Atomic.get high_water in
+  if Int64.compare t prev >= 0 then begin
+    (* a lost race just means another domain advanced the mark further;
+       [t] is still >= the mark we read, so monotonicity holds *)
+    ignore (Atomic.compare_and_set high_water prev t);
+    t
+  end
+  else prev
+
+let elapsed_ns since = Int64.sub (now_ns ()) since
+let ns_to_us ns = Int64.to_float ns /. 1e3
+let ns_to_s ns = Int64.to_float ns /. 1e9

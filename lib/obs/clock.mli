@@ -1,0 +1,15 @@
+(** A monotonic nanosecond clock for spans and phase timings.
+
+    Built on [Unix.gettimeofday] guarded by a global high-water mark, so
+    successive readings never decrease even if the system clock steps
+    backwards — the property Chrome trace events need ([ts + dur] of a
+    child must stay inside its parent). *)
+
+(** Nanoseconds since an arbitrary epoch; never decreases. *)
+val now_ns : unit -> int64
+
+(** [elapsed_ns since] is [now_ns () - since]. *)
+val elapsed_ns : int64 -> int64
+
+val ns_to_us : int64 -> float
+val ns_to_s : int64 -> float

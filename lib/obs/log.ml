@@ -1,0 +1,123 @@
+(** Leveled structured logger: text or JSONL lines on a configurable
+    writer (stderr by default), mutex-protected across domains. *)
+
+type level = Debug | Info | Warn | Error | Quiet
+
+type format = Text | Json
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+  | Quiet -> 4
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "quiet" | "none" | "off" -> Some Quiet
+  | _ -> None
+
+let format_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "text" -> Some Text
+  | "json" | "jsonl" -> Some Json
+  | _ -> None
+
+let cur_level = Atomic.make Info
+let cur_format = Atomic.make Text
+
+let set_level l = Atomic.set cur_level l
+let level () = Atomic.get cur_level
+let set_format f = Atomic.set cur_format f
+let format () = Atomic.get cur_format
+
+let default_writer line =
+  output_string stderr line;
+  flush stderr
+
+let writer = Atomic.make default_writer
+let set_writer w = Atomic.set writer w
+let reset_writer () = Atomic.set writer default_writer
+
+let enabled l = severity l >= severity (Atomic.get cur_level) && l <> Quiet
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_lock = Mutex.create ()
+
+let render_text l fields msg =
+  let b = Buffer.create 80 in
+  let now = Unix.gettimeofday () in
+  let tm = Unix.localtime now in
+  Buffer.add_string b
+    (Printf.sprintf "wap %02d:%02d:%02d [%-5s] %s" tm.Unix.tm_hour
+       tm.Unix.tm_min tm.Unix.tm_sec (level_name l) msg);
+  if fields <> [] then begin
+    Buffer.add_string b " (";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v)
+      fields;
+    Buffer.add_char b ')'
+  end;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_json l fields msg =
+  let b = Buffer.create 120 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"msg\":\"%s\""
+       (Unix.gettimeofday ()) (level_name l) (json_escape msg));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    fields;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let log l ?(fields = []) msg =
+  if enabled l then begin
+    let line =
+      match Atomic.get cur_format with
+      | Text -> render_text l fields msg
+      | Json -> render_json l fields msg
+    in
+    Mutex.lock emit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock emit_lock)
+      (fun () -> (Atomic.get writer) line)
+  end
+
+let debug ?fields msg = log Debug ?fields msg
+let info ?fields msg = log Info ?fields msg
+let warn ?fields msg = log Warn ?fields msg
+let error ?fields msg = log Error ?fields msg

@@ -1,0 +1,49 @@
+(** Leveled structured logger.
+
+    Every message carries a level, a text body and optional [(key,
+    value)] fields, and is written as one line to the configured writer
+    (stderr by default) — never to stdout, so machine-readable data
+    output ([--json]) is never interleaved with diagnostics.
+
+    Two output formats exist: human text
+    ([wap: \[warn\] message (key=value ...)]) and JSONL (one JSON object
+    per line with [ts], [level], [msg] and the fields).  Emission is
+    mutex-protected, so lines from concurrent domains never tear. *)
+
+type level = Debug | Info | Warn | Error | Quiet
+
+type format = Text | Json
+
+val set_level : level -> unit
+val level : unit -> level
+
+(** [level_of_string "debug"|"info"|"warn"|"error"|"quiet"]. *)
+val level_of_string : string -> level option
+
+val level_name : level -> string
+
+val set_format : format -> unit
+val format : unit -> format
+
+(** [format_of_string "text"|"json"]. *)
+val format_of_string : string -> format option
+
+(** Replace the line writer (default: [prerr_string] + flush).  The
+    writer receives whole lines including the trailing newline; used by
+    tests to capture output. *)
+val set_writer : (string -> unit) -> unit
+
+(** Restore the default stderr writer. *)
+val reset_writer : unit -> unit
+
+(** Would a message at this level be emitted? Guards expensive field
+    construction at call sites. *)
+val enabled : level -> bool
+
+val debug : ?fields:(string * string) list -> string -> unit
+val info : ?fields:(string * string) list -> string -> unit
+val warn : ?fields:(string * string) list -> string -> unit
+val error : ?fields:(string * string) list -> string -> unit
+
+(** Escape a string per RFC 8259 (shared with the trace writer). *)
+val json_escape : string -> string

@@ -1,0 +1,146 @@
+(** Striped atomic counters and fixed-bucket histograms with
+    merge-on-read. *)
+
+(* Power of two; cells are picked by [domain id land (shards - 1)].
+   More shards than typical worker counts, so two domains rarely share
+   a cell. *)
+let shards = 16
+
+let shard_index () = (Domain.self () :> int) land (shards - 1)
+
+type counter = { c_name : string; c_cells : int Atomic.t array }
+
+(* Histogram sums are kept in integer microunits (1e-6 of the observed
+   value) so they can use the same lock-free fetch-and-add as counts;
+   63-bit ints leave ~292k years of headroom for second-valued
+   observations. *)
+type histogram = {
+  h_name : string;
+  h_limits : float array;
+  h_cells : int Atomic.t array array;  (** [shard].(bucket), +1 overflow *)
+  h_sums : int Atomic.t array;  (** [shard], microunits *)
+}
+
+type registry = {
+  r_lock : Mutex.t;
+  r_counters : (string, counter) Hashtbl.t;
+  r_histograms : (string, histogram) Hashtbl.t;
+}
+
+let create_registry () =
+  {
+    r_lock = Mutex.create ();
+    r_counters = Hashtbl.create 16;
+    r_histograms = Hashtbl.create 16;
+  }
+
+let global = create_registry ()
+
+let locked r f =
+  Mutex.lock r.r_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.r_lock) f
+
+let atomic_cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let counter ?(registry = global) name : counter =
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.r_counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_cells = atomic_cells shards } in
+          Hashtbl.add registry.r_counters name c;
+          c)
+
+let incr ?(by = 1) (c : counter) =
+  ignore (Atomic.fetch_and_add c.c_cells.(shard_index ()) by)
+
+let value (c : counter) =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let default_buckets =
+  [| 1e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 1.0; 5.0; 30.0 |]
+
+let histogram ?(registry = global) ?(buckets = default_buckets) name :
+    histogram =
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.r_histograms name with
+      | Some h -> h
+      | None ->
+          let limits = Array.copy buckets in
+          let h =
+            {
+              h_name = name;
+              h_limits = limits;
+              h_cells =
+                Array.init shards (fun _ ->
+                    atomic_cells (Array.length limits + 1));
+              h_sums = atomic_cells shards;
+            }
+          in
+          Hashtbl.add registry.r_histograms name h;
+          h)
+
+let bucket_of (h : histogram) v =
+  let n = Array.length h.h_limits in
+  let rec find i = if i >= n || v <= h.h_limits.(i) then i else find (i + 1) in
+  find 0
+
+let observe (h : histogram) (v : float) =
+  let s = shard_index () in
+  ignore (Atomic.fetch_and_add h.h_cells.(s).(bucket_of h v) 1);
+  ignore (Atomic.fetch_and_add h.h_sums.(s) (int_of_float (v *. 1e6)))
+
+type hist_snapshot = {
+  h_buckets : float array;
+  h_counts : int array;
+  h_count : int;
+  h_sum : float;
+}
+
+let hist_snapshot (h : histogram) : hist_snapshot =
+  let nbuckets = Array.length h.h_limits + 1 in
+  let counts = Array.make nbuckets 0 in
+  Array.iter
+    (fun cells ->
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + Atomic.get c) cells)
+    h.h_cells;
+  let sum_micro =
+    Array.fold_left (fun acc s -> acc + Atomic.get s) 0 h.h_sums
+  in
+  {
+    h_buckets = Array.copy h.h_limits;
+    h_counts = counts;
+    h_count = Array.fold_left ( + ) 0 counts;
+    h_sum = float_of_int sum_micro /. 1e6;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot (r : registry) : snapshot =
+  let counters, histograms =
+    locked r (fun () ->
+        ( Hashtbl.fold (fun k c acc -> (k, c) :: acc) r.r_counters [],
+          Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.r_histograms [] ))
+  in
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters =
+      List.sort by_name (List.map (fun (k, c) -> (k, value c)) counters);
+    histograms =
+      List.sort by_name
+        (List.map (fun (k, h) -> (k, hist_snapshot h)) histograms);
+  }
+
+let reset (r : registry) =
+  locked r (fun () ->
+      Hashtbl.iter
+        (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells)
+        r.r_counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.h_cells;
+          Array.iter (fun s -> Atomic.set s 0) h.h_sums)
+        r.r_histograms)

@@ -1,0 +1,69 @@
+(** Atomic counters and fixed-bucket histograms.
+
+    Each metric stripes its cells over a small array of atomics indexed
+    by the emitting domain's id, so concurrent domains rarely contend on
+    one cache line; reading ({!value}, {!snapshot}) merges the
+    per-domain cells — the "merge at scan end" of the scan pipeline.
+    Updates are lock-free and never lost, whatever [--jobs] is.
+
+    Metrics live in a registry keyed by name; {!counter} / {!histogram}
+    find-or-create, so instrumentation sites can look a metric up by
+    name without coordinating.  The default registry is {!global}; tests
+    create private ones. *)
+
+type registry
+
+(** A fresh, empty registry. *)
+val create_registry : unit -> registry
+
+(** The process-wide registry the pipeline's instrumentation records
+    into. *)
+val global : registry
+
+(** {2 Counters} *)
+
+type counter
+
+(** Find or create the named counter. *)
+val counter : ?registry:registry -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+
+(** Merged value over all per-domain cells. *)
+val value : counter -> int
+
+(** {2 Histograms} *)
+
+type histogram
+
+(** Default bucket upper bounds, in seconds: 100us .. 30s,
+    roughly logarithmic. *)
+val default_buckets : float array
+
+(** Find or create the named histogram.  [buckets] (ascending upper
+    bounds) is only consulted on creation; an implicit overflow bucket
+    catches everything above the last bound. *)
+val histogram : ?registry:registry -> ?buckets:float array -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+type hist_snapshot = {
+  h_buckets : float array;  (** upper bounds, ascending *)
+  h_counts : int array;  (** per bucket, one extra overflow slot *)
+  h_count : int;  (** total observations *)
+  h_sum : float;  (** sum of observed values *)
+}
+
+val hist_snapshot : histogram -> hist_snapshot
+
+(** {2 Registry-wide views} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : registry -> snapshot
+
+(** Zero every cell of every metric (the metrics stay registered). *)
+val reset : registry -> unit

@@ -1,0 +1,183 @@
+(** Ambient span tracer: per-domain event buffers, Chrome trace-event
+    JSON export. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : int64;
+  ev_dur_ns : int64;
+  ev_tid : int;
+  ev_depth : int;
+  ev_args : (string * string) list;
+  ev_instant : bool;
+}
+
+(* One per (tracer, domain): appended to only by its owning domain, so
+   event emission needs no lock. *)
+type buf = {
+  b_tid : int;
+  mutable b_events : event list;  (** reversed *)
+  mutable b_count : int;
+  mutable b_depth : int;  (** current span-stack depth *)
+}
+
+type t = {
+  epoch_ns : int64;
+  lock : Mutex.t;  (** guards [bufs] registration only *)
+  bufs : (int, buf) Hashtbl.t;
+}
+
+let create () =
+  { epoch_ns = Clock.now_ns (); lock = Mutex.create (); bufs = Hashtbl.create 8 }
+
+let global_tracer : t option Atomic.t = Atomic.make None
+let set_global t = Atomic.set global_tracer t
+let global () = Atomic.get global_tracer
+let enabled () = Option.is_some (Atomic.get global_tracer)
+
+(* Cache the (tracer, buffer) pair per domain so the registration lock
+   is taken once per domain per tracer, not once per event. *)
+let dls_buf : (t * buf) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buffer_for (t : t) : buf =
+  let cache = Domain.DLS.get dls_buf in
+  match !cache with
+  | Some (t', b) when t' == t -> b
+  | _ ->
+      let tid = (Domain.self () :> int) in
+      Mutex.lock t.lock;
+      let b =
+        match Hashtbl.find_opt t.bufs tid with
+        | Some b -> b
+        | None ->
+            let b = { b_tid = tid; b_events = []; b_count = 0; b_depth = 0 } in
+            Hashtbl.add t.bufs tid b;
+            b
+      in
+      Mutex.unlock t.lock;
+      cache := Some (t, b);
+      b
+
+let push b ev =
+  b.b_events <- ev :: b.b_events;
+  b.b_count <- b.b_count + 1
+
+let with_span ?(args = []) ~cat name (f : unit -> 'a) : 'a =
+  match Atomic.get global_tracer with
+  | None -> f ()
+  | Some t ->
+      let b = buffer_for t in
+      let depth = b.b_depth in
+      b.b_depth <- depth + 1;
+      let t0 = Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = Clock.elapsed_ns t0 in
+          b.b_depth <- depth;
+          push b
+            {
+              ev_name = name;
+              ev_cat = cat;
+              ev_ts_ns = Int64.sub t0 t.epoch_ns;
+              ev_dur_ns = dur;
+              ev_tid = b.b_tid;
+              ev_depth = depth;
+              ev_args = args;
+              ev_instant = false;
+            })
+        f
+
+let instant ?(args = []) ~cat name =
+  match Atomic.get global_tracer with
+  | None -> ()
+  | Some t ->
+      let b = buffer_for t in
+      push b
+        {
+          ev_name = name;
+          ev_cat = cat;
+          ev_ts_ns = Int64.sub (Clock.now_ns ()) t.epoch_ns;
+          ev_dur_ns = 0L;
+          ev_tid = b.b_tid;
+          ev_depth = b.b_depth;
+          ev_args = args;
+          ev_instant = true;
+        }
+
+let events (t : t) : event list =
+  Mutex.lock t.lock;
+  let bufs = Hashtbl.fold (fun _ b acc -> b :: acc) t.bufs [] in
+  Mutex.unlock t.lock;
+  List.concat_map (fun b -> b.b_events) bufs
+  |> List.sort (fun a b ->
+         let c = Int64.compare a.ev_ts_ns b.ev_ts_ns in
+         if c <> 0 then c else compare a.ev_tid b.ev_tid)
+
+let event_count (t : t) : int =
+  Mutex.lock t.lock;
+  let n = Hashtbl.fold (fun _ b acc -> acc + b.b_count) t.bufs 0 in
+  Mutex.unlock t.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON.                                            *)
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (Log.json_escape k) (Log.json_escape v)))
+    args;
+  Buffer.add_string buf "}"
+
+let to_chrome_json ?pid (t : t) : string =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  let evs = events t in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.ev_tid) evs)
+  in
+  let buf = Buffer.create (4096 + (160 * List.length evs)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let comma () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  (* thread-name metadata so the viewer labels each lane "domain N" *)
+  List.iter
+    (fun tid ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           pid tid tid))
+    tids;
+  List.iter
+    (fun e ->
+      comma ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f"
+           (Log.json_escape e.ev_name) (Log.json_escape e.ev_cat)
+           (if e.ev_instant then "i" else "X")
+           pid e.ev_tid (Clock.ns_to_us e.ev_ts_ns));
+      if e.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
+      else
+        Buffer.add_string buf
+          (Printf.sprintf ",\"dur\":%.3f" (Clock.ns_to_us e.ev_dur_ns));
+      if e.ev_args <> [] then begin
+        Buffer.add_string buf ",\"args\":";
+        add_args buf e.ev_args
+      end;
+      Buffer.add_string buf "}")
+    evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write ?pid (t : t) ~file =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json ?pid t))

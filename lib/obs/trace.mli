@@ -1,0 +1,63 @@
+(** Span tracing over the monotonic clock, exported as Chrome
+    trace-event JSON ([chrome://tracing] / Perfetto compatible).
+
+    A {e span} covers one timed region ([with_span]); spans opened while
+    another span of the same domain is running nest under it, which the
+    trace viewer renders as stacked slices (Chrome "X" complete events
+    nest by time containment within one [tid]).  Each domain appends to
+    its own buffer — no cross-domain synchronization per event, only a
+    one-time registration when a domain emits its first event.
+
+    Tracing is ambient: instrumentation sites call {!with_span}
+    unconditionally, and when no tracer is installed ({!set_global}
+    [None], the default) the only cost is one atomic load — recording
+    never changes what the instrumented code computes or returns. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** category: [engine], [taint], [php], ... *)
+  ev_ts_ns : int64;  (** start, relative to the tracer's epoch *)
+  ev_dur_ns : int64;  (** duration; [0L] and {!is_instant} for instants *)
+  ev_tid : int;  (** emitting domain's id *)
+  ev_depth : int;  (** span-stack depth at emission, 0 = top level *)
+  ev_args : (string * string) list;
+  ev_instant : bool;
+}
+
+type t
+
+(** A fresh tracer; its epoch (trace time zero) is the creation
+    instant. *)
+val create : unit -> t
+
+(** Install [Some t] to start recording process-wide, [None] to stop. *)
+val set_global : t option -> unit
+
+val global : unit -> t option
+
+(** Is a global tracer installed? *)
+val enabled : unit -> bool
+
+(** [with_span ~cat name f] runs [f ()], recording a span around it in
+    the current domain's buffer of the global tracer (no-op without
+    one).  The span is recorded even if [f] raises. *)
+val with_span :
+  ?args:(string * string) list -> cat:string -> string -> (unit -> 'a) -> 'a
+
+(** Record a zero-duration instant event. *)
+val instant : ?args:(string * string) list -> cat:string -> string -> unit
+
+(** All recorded events, every domain's buffer merged, sorted by start
+    time.  Only meaningful once the traced workload has finished (worker
+    domains joined). *)
+val events : t -> event list
+
+val event_count : t -> int
+
+(** The trace as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]); timestamps in microseconds.  [pid]
+    defaults to the current process id. *)
+val to_chrome_json : ?pid:int -> t -> string
+
+(** Write {!to_chrome_json} to [file]. *)
+val write : ?pid:int -> t -> file:string -> unit

@@ -1005,6 +1005,9 @@ let file_summaries ~spec ~summaries (u : file_unit) : Summary.t list =
     as soon as it is computed, so later functions (and later files) see
     earlier ones. *)
 let summarize_file st (u : file_unit) : unit =
+  Wap_obs.Trace.with_span ~cat:"taint" "summarize_file"
+    ~args:[ ("file", u.path) ]
+  @@ fun () ->
   let ctx =
     make_ctx ~spec:st.st_spec ~phase:Summaries_only ~summaries:st.st_summaries
   in
@@ -1017,6 +1020,9 @@ let summarize_file st (u : file_unit) : unit =
     function bodies and (interprocedurally) refines their summaries now
     that callees are known. *)
 let analyze_file_functions st (u : file_unit) : unit =
+  Wap_obs.Trace.with_span ~cat:"taint" "analyze_functions"
+    ~args:[ ("file", u.path) ]
+  @@ fun () ->
   st.st_ctx.file <- u.path;
   List.iter
     (fun f ->
@@ -1028,6 +1034,9 @@ let analyze_file_functions st (u : file_unit) : unit =
     includes of project files are spliced so taint crosses file
     boundaries. *)
 let analyze_file_toplevel st ~(units : file_unit list) (u : file_unit) : unit =
+  Wap_obs.Trace.with_span ~cat:"taint" "analyze_toplevel"
+    ~args:[ ("file", u.path) ]
+  @@ fun () ->
   st.st_ctx.file <- u.path;
   let program = splice_includes ~units ~depth:0 ~visited:[ u.path ] u.program in
   ignore (exec_stmts st.st_ctx Env.empty program)
@@ -1036,6 +1045,7 @@ let analyze_file_toplevel st ~(units : file_unit list) (u : file_unit) : unit =
     provably never reaches (after an unconditional exit/die/return/
     throw) — not vulnerabilities. *)
 let project_candidates st ~(units : file_unit list) : Trace.candidate list =
+  Wap_obs.Trace.with_span ~cat:"taint" "dead_sink_filter" @@ fun () ->
   let dead = Wap_flow.Reach.create () in
   List.iter (fun u -> Wap_flow.Reach.add_program dead u.program) units;
   List.rev st.st_ctx.candidates
@@ -1051,14 +1061,18 @@ let project_candidates st ~(units : file_unit list) : Trace.candidate list =
     call boundaries) — the ablation of DESIGN.md §6. *)
 let analyze_project ?(interprocedural = true) ~(spec : Cat.spec)
     (units : file_unit list) : Trace.candidate list =
+  let span name f = Wap_obs.Trace.with_span ~cat:"taint" name f in
   let st = project_state ~interprocedural ~spec () in
   (* pass 1: build summaries without emitting candidates *)
-  if interprocedural then List.iter (summarize_file st) units;
+  if interprocedural then
+    span "pass1.summaries" (fun () -> List.iter (summarize_file st) units);
   (* pass 2: refine summaries now that callees are known, and emit
      candidates found inside function bodies *)
-  List.iter (analyze_file_functions st) units;
+  span "pass2.functions" (fun () ->
+      List.iter (analyze_file_functions st) units);
   (* pass 3: top-level flows, using the final summaries *)
-  List.iter (analyze_file_toplevel st ~units) units;
+  span "pass3.toplevel" (fun () ->
+      List.iter (analyze_file_toplevel st ~units) units);
   project_candidates st ~units
 
 (** Analyze a single parsed file. *)

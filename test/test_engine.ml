@@ -68,7 +68,12 @@ let test_pool_map_list_empty () =
 (* Determinism across worker counts.                                   *)
 
 let zero_timings (r : T.package_result) =
-  { r with T.analysis_seconds = 0.0; analysis_cpu_seconds = 0.0 }
+  {
+    r with
+    T.analysis_seconds = 0.0;
+    analysis_cpu_seconds = 0.0;
+    phase_seconds = List.map (fun (k, _) -> (k, 0.0)) r.T.phase_seconds;
+  }
 
 let test_scan_deterministic () =
   let tool = Lazy.force wape in
@@ -228,6 +233,44 @@ let test_progress_and_timings () =
   Alcotest.(check bool) "cpu clock recorded" true
     (o.Scan.result.T.analysis_cpu_seconds > 0.0)
 
+let test_phase_breakdown () =
+  let tool = Lazy.force wape in
+  let o = Scan.run tool (Scan.request ~jobs:2 (acp_files ())) in
+  let phases = o.Scan.result.T.phase_seconds in
+  Alcotest.(check (list string)) "phases in pipeline order"
+    [ "parse"; "digest"; "analyze"; "merge"; "predict" ]
+    (List.map fst phases);
+  List.iter
+    (fun (k, s) ->
+      Alcotest.(check bool) (k ^ " is non-negative") true (s >= 0.0))
+    phases;
+  let accounted = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 phases in
+  let total = o.Scan.result.T.analysis_seconds in
+  (* acceptance criterion is 10%; allow 25% here to keep CI unflaky on
+     loaded shared runners *)
+  Alcotest.(check bool)
+    (Printf.sprintf "phases (%.4fs) account for most of the wall clock (%.4fs)"
+       accounted total)
+    true
+    (accounted <= total && accounted >= 0.75 *. total)
+
+(* ------------------------------------------------------------------ *)
+(* Optional tracing of the whole suite: WAP_TRACE_OUT=FILE installs a
+   global tracer before any test runs and writes a Chrome trace when the
+   process exits.  CI uses this to archive a trace artifact; it also
+   exercises the "tracing changes no scan result" guarantee on every
+   test above.                                                          *)
+
+let () =
+  match Sys.getenv_opt "WAP_TRACE_OUT" with
+  | None | Some "" -> ()
+  | Some path ->
+      let tracer = Wap_obs.Trace.create () in
+      Wap_obs.Trace.set_global (Some tracer);
+      at_exit (fun () ->
+          Wap_obs.Trace.set_global None;
+          Wap_obs.Trace.write tracer ~file:path)
+
 let () =
   Alcotest.run "wap_engine"
     [
@@ -262,5 +305,6 @@ let () =
       ( "reporting",
         [
           Alcotest.test_case "progress + timings" `Slow test_progress_and_timings;
+          Alcotest.test_case "phase breakdown" `Slow test_phase_breakdown;
         ] );
     ]

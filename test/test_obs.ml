@@ -1,0 +1,441 @@
+(** The observability substrate: monotonic clock, structured logger,
+    span tracing (Chrome trace-event export), striped metrics, and the
+    guarantee that tracing never changes scan results. *)
+
+module Clock = Wap_obs.Clock
+module Log = Wap_obs.Log
+module Trace = Wap_obs.Trace
+module Metrics = Wap_obs.Metrics
+module Json = Wap_report.Json
+
+(* ------------------------------------------------------------------ *)
+(* Clock.                                                              *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards: %Ld after %Ld" t !prev;
+    prev := t
+  done;
+  let t0 = Clock.now_ns () in
+  Alcotest.(check bool) "elapsed is non-negative" true
+    (Int64.compare (Clock.elapsed_ns t0) 0L >= 0)
+
+let test_clock_units () =
+  Alcotest.(check (float 1e-9)) "1.5us" 1.5 (Clock.ns_to_us 1_500L);
+  Alcotest.(check (float 1e-9)) "2.5s" 2.5 (Clock.ns_to_s 2_500_000_000L)
+
+(* ------------------------------------------------------------------ *)
+(* Logger.                                                             *)
+
+let with_captured_log f =
+  let lines = ref [] in
+  let saved_level = Log.level () and saved_format = Log.format () in
+  Log.set_writer (fun line -> lines := line :: !lines);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_writer ();
+      Log.set_level saved_level;
+      Log.set_format saved_format)
+    (fun () ->
+      f ();
+      List.rev !lines)
+
+let test_log_levels () =
+  List.iter
+    (fun l ->
+      Alcotest.(check (option string))
+        (Log.level_name l ^ " round-trips")
+        (Some (Log.level_name l))
+        (Option.map Log.level_name (Log.level_of_string (Log.level_name l))))
+    [ Log.Debug; Log.Info; Log.Warn; Log.Error; Log.Quiet ];
+  Alcotest.(check (option string)) "unknown level rejected" None
+    (Option.map Log.level_name (Log.level_of_string "loud"));
+  let lines =
+    with_captured_log (fun () ->
+        Log.set_level Log.Warn;
+        Log.set_format Log.Text;
+        Alcotest.(check bool) "debug disabled at warn" false (Log.enabled Log.Debug);
+        Alcotest.(check bool) "error enabled at warn" true (Log.enabled Log.Error);
+        Log.debug "invisible";
+        Log.info "also invisible";
+        Log.warn "visible warning";
+        Log.error "visible error")
+  in
+  Alcotest.(check int) "only warn+error emitted" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line ends with newline" true
+        (String.length line > 0 && line.[String.length line - 1] = '\n'))
+    lines
+
+let test_log_text_fields () =
+  let lines =
+    with_captured_log (fun () ->
+        Log.set_level Log.Info;
+        Log.set_format Log.Text;
+        Log.info "scan finished" ~fields:[ ("files", "12"); ("jobs", "4") ])
+  in
+  match lines with
+  | [ line ] ->
+      let has sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "message present" true (has "scan finished");
+      Alcotest.(check bool) "fields rendered" true (has "files=12");
+      (* the level tag is padded to a fixed width: [info ] *)
+      Alcotest.(check bool) "level tag present" true (has "[info")
+  | ls -> Alcotest.failf "expected one line, got %d" (List.length ls)
+
+let test_log_jsonl () =
+  let lines =
+    with_captured_log (fun () ->
+        Log.set_level Log.Debug;
+        Log.set_format Log.Json;
+        Log.warn "odd \"input\"\n here" ~fields:[ ("path", "a\\b.php") ])
+  in
+  match lines with
+  | [ line ] -> (
+      match Json.of_string (String.trim line) with
+      | Error e -> Alcotest.failf "JSONL line does not parse: %s" e
+      | Ok doc ->
+          Alcotest.(check (option string)) "level field" (Some "warn")
+            (match Json.member "level" doc with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+          Alcotest.(check (option string)) "msg survives escaping"
+            (Some "odd \"input\"\n here")
+            (match Json.member "msg" doc with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+          Alcotest.(check (option string)) "field survives escaping"
+            (Some "a\\b.php")
+            (match Json.member "path" doc with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+          Alcotest.(check bool) "timestamp present" true
+            (Json.member "ts" doc <> None))
+  | ls -> Alcotest.failf "expected one line, got %d" (List.length ls)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing.                                                            *)
+
+let with_tracer f =
+  let t = Trace.create () in
+  Trace.set_global (Some t);
+  Fun.protect ~finally:(fun () -> Trace.set_global None) (fun () -> f t)
+
+let find_event evs name =
+  match List.find_opt (fun (e : Trace.event) -> e.Trace.ev_name = name) evs with
+  | Some e -> e
+  | None -> Alcotest.failf "event %s not recorded" name
+
+let test_span_nesting () =
+  let evs =
+    with_tracer (fun t ->
+        Trace.with_span ~cat:"test" "outer" (fun () ->
+            Trace.with_span ~cat:"test" "inner"
+              ~args:[ ("k", "v") ]
+              (fun () -> ignore (Sys.opaque_identity 1));
+            Trace.instant ~cat:"test" "tick");
+        Trace.events t)
+  in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let outer = find_event evs "outer" and inner = find_event evs "inner" in
+  let tick = find_event evs "tick" in
+  Alcotest.(check int) "outer at depth 0" 0 outer.Trace.ev_depth;
+  Alcotest.(check int) "inner at depth 1" 1 inner.Trace.ev_depth;
+  Alcotest.(check bool) "tick is an instant" true tick.Trace.ev_instant;
+  Alcotest.(check bool) "span is not an instant" false outer.Trace.ev_instant;
+  let ends (e : Trace.event) = Int64.add e.Trace.ev_ts_ns e.Trace.ev_dur_ns in
+  Alcotest.(check bool) "child starts inside parent" true
+    (Int64.compare inner.Trace.ev_ts_ns outer.Trace.ev_ts_ns >= 0);
+  Alcotest.(check bool) "child ends inside parent" true
+    (Int64.compare (ends inner) (ends outer) <= 0);
+  Alcotest.(check (list (pair string string))) "args recorded"
+    [ ("k", "v") ] inner.Trace.ev_args
+
+let test_span_records_on_raise () =
+  let evs =
+    with_tracer (fun t ->
+        (try
+           Trace.with_span ~cat:"test" "failing" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Trace.events t)
+  in
+  Alcotest.(check int) "span recorded despite the raise" 1 (List.length evs);
+  Alcotest.(check string) "it is the failing span" "failing"
+    (List.hd evs).Trace.ev_name
+
+let test_tracing_disabled_is_noop () =
+  Trace.set_global None;
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  (* must not raise, must still run the thunk *)
+  let r = Trace.with_span ~cat:"test" "ambient" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result returned" 42 r;
+  Trace.instant ~cat:"test" "ambient-instant"
+
+let test_chrome_json_well_formed () =
+  let json =
+    with_tracer (fun t ->
+        Trace.with_span ~cat:"test" "outer" (fun () ->
+            Trace.with_span ~cat:"test" "inner \"quoted\"" (fun () -> ()));
+        Trace.instant ~cat:"test" "mark";
+        Trace.to_chrome_json ~pid:1 t)
+  in
+  match Json.of_string json with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok doc -> (
+      match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          (* the three recorded events plus thread_name metadata *)
+          Alcotest.(check bool) "at least four entries" true
+            (List.length evs >= 4);
+          let phases =
+            List.filter_map
+              (fun e ->
+                match Json.member "ph" e with
+                | Some (Json.Str s) -> Some s
+                | _ -> None)
+            evs
+          in
+          Alcotest.(check int) "every event has a phase" (List.length evs)
+            (List.length phases);
+          Alcotest.(check bool) "has complete events" true
+            (List.mem "X" phases);
+          Alcotest.(check bool) "has an instant event" true
+            (List.mem "i" phases);
+          Alcotest.(check bool) "has thread metadata" true
+            (List.mem "M" phases);
+          List.iter
+            (fun e ->
+              List.iter
+                (fun k ->
+                  if Json.member k e = None then
+                    Alcotest.failf "event missing %S: %s" k
+                      (Json.to_string ~indent:false e))
+                [ "name"; "ph"; "pid"; "tid" ])
+            evs)
+
+let test_trace_write_file () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wap-trace-test-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      with_tracer (fun t ->
+          Trace.with_span ~cat:"test" "s" (fun () -> ());
+          Trace.write t ~file:path);
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "written file parses" true
+        (match Json.of_string s with Ok _ -> true | Error _ -> false))
+
+let test_trace_multi_domain () =
+  let evs =
+    with_tracer (fun t ->
+        let ds =
+          List.init 4 (fun i ->
+              Domain.spawn (fun () ->
+                  Trace.with_span ~cat:"test"
+                    (Printf.sprintf "worker-%d" i)
+                    (fun () -> ())))
+        in
+        List.iter Domain.join ds;
+        Trace.events t)
+  in
+  Alcotest.(check int) "one span per domain" 4 (List.length evs);
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.ev_tid) evs)
+  in
+  Alcotest.(check int) "four distinct tids" 4 (List.length tids)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+let test_counter_basic () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r "test.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "42 after 1+41" 42 (Metrics.value c);
+  let c' = Metrics.counter ~registry:r "test.count" in
+  Metrics.incr c';
+  Alcotest.(check int) "find-or-create shares state" 43 (Metrics.value c)
+
+let test_counter_merge_4_domains () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r "test.parallel" in
+  let per_domain = 25_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no increment lost at jobs=4" (4 * per_domain)
+    (Metrics.value c)
+
+let test_histogram_buckets () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 0.01; 0.1; 1.0 |] "test.h" in
+  List.iter (Metrics.observe h) [ 0.005; 0.05; 0.5; 5.0 ];
+  let s = Metrics.hist_snapshot h in
+  Alcotest.(check (array (float 1e-9))) "bounds kept" [| 0.01; 0.1; 1.0 |]
+    s.Metrics.h_buckets;
+  Alcotest.(check (array int)) "one observation per bucket + overflow"
+    [| 1; 1; 1; 1 |] s.Metrics.h_counts;
+  Alcotest.(check int) "total count" 4 s.Metrics.h_count;
+  Alcotest.(check (float 1e-6)) "sum" 5.555 s.Metrics.h_sum
+
+let test_histogram_merge_4_domains () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 1.0 |] "test.hp" in
+  let per_domain = 10_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.observe h 0.5
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Metrics.hist_snapshot h in
+  Alcotest.(check int) "no observation lost at jobs=4" (4 * per_domain)
+    s.Metrics.h_count;
+  Alcotest.(check (float 1.0)) "sum merged" (0.5 *. float_of_int (4 * per_domain))
+    s.Metrics.h_sum
+
+let test_registry_snapshot_and_reset () =
+  let r = Metrics.create_registry () in
+  Metrics.incr (Metrics.counter ~registry:r "b.second");
+  Metrics.incr (Metrics.counter ~registry:r "a.first");
+  Metrics.observe (Metrics.histogram ~registry:r "z.h") 0.25;
+  let s = Metrics.snapshot r in
+  Alcotest.(check (list (pair string int))) "counters sorted by name"
+    [ ("a.first", 1); ("b.second", 1) ]
+    s.Metrics.counters;
+  Alcotest.(check (list string)) "histograms listed" [ "z.h" ]
+    (List.map fst s.Metrics.histograms);
+  Metrics.reset r;
+  let s = Metrics.snapshot r in
+  Alcotest.(check (list (pair string int))) "reset zeroes, keeps registration"
+    [ ("a.first", 0); ("b.second", 0) ]
+    s.Metrics.counters
+
+(* ------------------------------------------------------------------ *)
+(* Cache eviction (the [max_entries] cap added with the atomic
+   counters).                                                          *)
+
+let test_cache_eviction () =
+  let module Cache = Wap_engine.Cache in
+  let c = Cache.create ~max_entries:2 () in
+  let compute v () = v in
+  let k i = Cache.key [ string_of_int i ] in
+  ignore (Cache.memoize c ~key:(k 1) (compute 1));
+  ignore (Cache.memoize c ~key:(k 2) (compute 2));
+  Alcotest.(check int) "under the cap: nothing evicted" 0 (Cache.evictions c);
+  ignore (Cache.memoize c ~key:(k 3) (compute 3));
+  Alcotest.(check int) "over the cap: oldest evicted" 1 (Cache.evictions c);
+  let _, hit3 = Cache.memoize c ~key:(k 3) (compute 3) in
+  Alcotest.(check bool) "newest entry still cached" true hit3;
+  let _, hit1 = Cache.memoize c ~key:(k 1) (compute 1) in
+  Alcotest.(check bool) "evicted entry recomputes" false hit1
+
+(* ------------------------------------------------------------------ *)
+(* Tracing must not change scan results.                               *)
+
+let test_tracing_does_not_change_results () =
+  let seed = 2016 in
+  let tool = Wap_core.Tool.create ~seed Wap_core.Version.Wape in
+  let pkg =
+    Wap_corpus.Appgen.of_webapp_profile ~seed
+      (List.nth Wap_corpus.Profiles.vulnerable_webapps 0)
+  in
+  let files =
+    List.map
+      (fun (f : Wap_corpus.Appgen.file) ->
+        (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
+      pkg.Wap_corpus.Appgen.pkg_files
+  in
+  let export () =
+    let o =
+      Wap_core.Scan.run tool (Wap_core.Scan.request ~jobs:4 files)
+    in
+    let r = o.Wap_core.Scan.result in
+    Wap_core.Export.result_to_string
+      {
+        r with
+        Wap_core.Tool.analysis_seconds = 0.0;
+        analysis_cpu_seconds = 0.0;
+        phase_seconds =
+          List.map (fun (k, _) -> (k, 0.0)) r.Wap_core.Tool.phase_seconds;
+      }
+  in
+  let plain = export () in
+  let traced, n_events =
+    with_tracer (fun t ->
+        let e = export () in
+        (e, Trace.event_count t))
+  in
+  Alcotest.(check bool) "the traced run actually recorded spans" true
+    (n_events > 0);
+  Alcotest.(check string) "export byte-identical with tracing on" plain traced
+
+let () =
+  Alcotest.run "wap_obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "unit conversions" `Quick test_clock_units;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels gate emission" `Quick test_log_levels;
+          Alcotest.test_case "text format" `Quick test_log_text_fields;
+          Alcotest.test_case "jsonl format" `Quick test_log_jsonl;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span survives raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_tracing_disabled_is_noop;
+          Alcotest.test_case "chrome JSON well-formed" `Quick
+            test_chrome_json_well_formed;
+          Alcotest.test_case "write to file" `Quick test_trace_write_file;
+          Alcotest.test_case "per-domain buffers" `Quick test_trace_multi_domain;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basic;
+          Alcotest.test_case "counter merge at jobs=4" `Quick
+            test_counter_merge_4_domains;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram merge at jobs=4" `Quick
+            test_histogram_merge_4_domains;
+          Alcotest.test_case "snapshot + reset" `Quick
+            test_registry_snapshot_and_reset;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "max_entries eviction" `Quick test_cache_eviction ] );
+      ( "regression",
+        [
+          Alcotest.test_case "tracing changes no scan bytes" `Slow
+            test_tracing_does_not_change_results;
+        ] );
+    ]
