@@ -9,7 +9,10 @@
     - [corpus-gen]  materialize the synthetic evaluation corpus;
     - [experiments] regenerate the paper's tables and figures;
     - [train]       build and export the predictor's training data set;
-    - [symptoms]    list the symptom/attribute catalog (Table I). *)
+    - [symptoms]    list the symptom/attribute catalog (Table I);
+    - [fuzz]        generate random PHP programs and check the pipeline
+                    against differential oracles, shrinking and saving
+                    any violation as a reproducer. *)
 
 open Cmdliner
 
@@ -746,11 +749,122 @@ let symptoms_cmd =
   let doc = "List the symptom and attribute catalog (Table I)." in
   Cmd.v (Cmd.info "symptoms" ~doc) Term.(ret (const run $ const ()))
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let iterations =
+    Arg.(value & opt int 500
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"Number of random programs to generate and check.")
+  in
+  let fuzz_seed =
+    Arg.(value & opt int 2016
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Generator seed; one (seed, iteration) pair always \
+                   regenerates the same program.")
+  in
+  let oracle =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:"Oracle to check (repeatable; default: all of \
+                   lexer-totality, printer-fixpoint, scan-determinism, \
+                   sanitizer-monotonicity, fixer-soundness).")
+  in
+  let out_seed_dir =
+    Arg.(value & opt string "fuzz-seeds"
+         & info [ "out-seed-dir" ] ~docv:"DIR"
+             ~doc:"Directory where shrunk reproducers of violations are \
+                   written.")
+  in
+  let max_size =
+    Arg.(value & opt int 10
+         & info [ "max-size" ] ~docv:"N"
+             ~doc:"Top-level statement bound per generated program.")
+  in
+  let max_failures =
+    Arg.(value & opt int 5
+         & info [ "max-failures" ] ~docv:"N"
+             ~doc:"Stop fuzzing after this many violations.")
+  in
+  let run iterations seed oracle_names out_seed_dir max_size max_failures
+      trace_out log_level log_format =
+    let finish_obs = setup_obs trace_out log_level log_format in
+    let unknown =
+      List.filter (fun n -> Wap_fuzz.Oracle.by_name n = None) oracle_names
+    in
+    if unknown <> [] then begin
+      finish_obs ();
+      `Error
+        ( false,
+          Printf.sprintf "unknown oracle %s (known: %s)"
+            (String.concat ", " unknown)
+            (String.concat ", " Wap_fuzz.Oracle.names) )
+    end
+    else begin
+      let oracles =
+        match oracle_names with
+        | [] -> Wap_fuzz.Oracle.all
+        | names -> List.filter_map Wap_fuzz.Oracle.by_name names
+      in
+      let config =
+        {
+          Wap_fuzz.Driver.seed;
+          iterations;
+          max_stmts = max_size;
+          oracles;
+          out_seed_dir = Some out_seed_dir;
+          max_failures;
+          shrink_budget = 400;
+        }
+      in
+      let on_progress done_ total =
+        if done_ mod 250 = 0 || done_ = total then
+          Wap_obs.Log.info "fuzz progress"
+            ~fields:
+              [ ("cases", string_of_int done_); ("of", string_of_int total) ]
+      in
+      let report = Wap_fuzz.Driver.run ~on_progress config in
+      finish_obs ();
+      Printf.printf "fuzz: %d cases, seed %d, oracles [%s]: %d violation(s)\n"
+        report.Wap_fuzz.Driver.cases seed
+        (String.concat ", "
+           (List.map (fun (o : Wap_fuzz.Oracle.t) -> o.name) oracles))
+        (List.length report.Wap_fuzz.Driver.failures);
+      if report.Wap_fuzz.Driver.failures = [] then `Ok ()
+      else begin
+        List.iter
+          (fun (f : Wap_fuzz.Driver.failure) ->
+            Printf.printf "\n%s (iteration %d): %s\n" f.fl_oracle
+              f.fl_iteration f.fl_message;
+            (match f.fl_seed_file with
+            | Some path -> Printf.printf "reproducer written to %s\n" path
+            | None -> ());
+            print_string "--- shrunk reproducer ---\n";
+            print_string f.fl_source;
+            if String.length f.fl_source > 0
+               && f.fl_source.[String.length f.fl_source - 1] <> '\n'
+            then print_newline ())
+          report.Wap_fuzz.Driver.failures;
+        exit 1
+      end
+    end
+  in
+  let doc =
+    "Fuzz the pipeline with random PHP programs against differential \
+     oracles (lexer totality, printer/parser fixpoint, scan determinism, \
+     sanitizer monotonicity, fixer soundness)."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(ret (const run $ iterations $ fuzz_seed $ oracle $ out_seed_dir
+               $ max_size $ max_failures $ trace_out_arg $ log_level_arg
+               $ log_format_arg))
+
 let main =
   let doc = "modular, extensible static analysis for PHP web applications" in
   let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
   Cmd.group info
     [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd;
-      train_cmd; symptoms_cmd ]
+      train_cmd; symptoms_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

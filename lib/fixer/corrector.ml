@@ -38,6 +38,30 @@ let is_target (targets : Ast.expr list) (e : Ast.expr) =
       || (Loc.equal t.Ast.eloc e.Ast.eloc && Ast.equal_expr t e))
     targets
 
+(* A backtick sink cannot be fixed by wrapping: [`cmd {$x}`] executes
+   like [shell_exec("cmd {$x}")], so sanitizing the *result* leaves the
+   injection intact — and PHP's interpolation syntax cannot carry the
+   sanitizer call inside the string.  Rewrite to an explicit
+   [shell_exec] over a concatenation, sanitizing every interpolated
+   expression. *)
+let backtick_rewrite fix_name (parts : Ast.interp_part list) loc : Ast.expr =
+  let piece = function
+    | Ast.Ip_str s -> Ast.mk_e ~loc (Ast.String s)
+    | Ast.Ip_expr pe ->
+        if already_wrapped fix_name pe then pe else wrap_call fix_name pe
+  in
+  let arg =
+    match List.map piece parts with
+    | [] -> Ast.mk_e ~loc (Ast.String "")
+    | first :: rest ->
+        List.fold_left
+          (fun acc p -> Ast.mk_e ~loc (Ast.Binop (Ast.Concat, acc, p)))
+          first rest
+  in
+  Ast.mk_e ~loc
+    (Ast.Call
+       (Ast.F_ident "shell_exec", [ { Ast.a_expr = arg; a_spread = false } ]))
+
 (** Wrap the tainted sink arguments of one candidate with [fix]. *)
 let apply_one (prog : Ast.program) ({ candidate; fix } : correction) :
     Ast.program =
@@ -47,11 +71,37 @@ let apply_one (prog : Ast.program) ({ candidate; fix } : correction) :
       candidate.Wap_taint.Trace.sink_args
   in
   let f (e : Ast.expr) =
-    if is_target tainted_args e && not (already_wrapped fix.Fix.fix_name e) then
-      wrap_call fix.Fix.fix_name e
-    else e
+    if not (is_target tainted_args e) then e
+    else
+      match e.Ast.e with
+      | Ast.Backtick parts
+        when String.equal candidate.Wap_taint.Trace.sink_name "shell_exec"
+             && Loc.equal candidate.Wap_taint.Trace.sink_loc e.Ast.eloc ->
+          backtick_rewrite fix.Fix.fix_name parts e.Ast.eloc
+      | _ ->
+          if already_wrapped fix.Fix.fix_name e then e
+          else wrap_call fix.Fix.fix_name e
   in
   Visitor.map_stmts f prog
+
+(** Apply every correction, backtick rewrites last.  An ordinary wrap
+    preserves the wrapped subtree, so a later correction still finds
+    its target by location + structural equality even inside an earlier
+    wrap — e.g. [echo `cmd $x` . $y] is both an XSS sink (the whole
+    concatenation) and an OS-command-injection sink (the backtick).
+    The backtick rewrite is the one destructive rewrite, so it must not
+    run before a correction matching an expression that *contains* the
+    backtick. *)
+let apply_all (prog : Ast.program) (corrections : correction list) :
+    Ast.program =
+  let is_backtick_sink { candidate; _ } =
+    String.equal candidate.Wap_taint.Trace.sink_name "shell_exec"
+  in
+  let ordered =
+    List.filter (fun c -> not (is_backtick_sink c)) corrections
+    @ List.filter is_backtick_sink corrections
+  in
+  List.fold_left apply_one prog ordered
 
 (* A fix function definition, parsed from its PHP source so it prints
    uniformly with the rest of the file. *)
@@ -90,7 +140,7 @@ let correct_program (prog : Ast.program) (corrections : correction list) :
         end)
       corrections
   in
-  let prog = List.fold_left apply_one prog corrections in
+  let prog = apply_all prog corrections in
   let needed_fixes =
     List.sort_uniq
       (fun (a : Fix.t) b -> String.compare a.fix_name b.fix_name)

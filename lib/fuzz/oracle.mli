@@ -1,0 +1,35 @@
+(** Differential oracles over one fuzz input.
+
+    An oracle states an invariant of the pipeline that must hold for
+    {e every} input — totality, round-tripping, determinism,
+    monotonicity, soundness — so any violation is a bug by construction,
+    not a judgement call about detection quality. *)
+
+type case = {
+  source : string;  (** the PHP source under test *)
+  gen_ast : Wap_php.Ast.program option;
+      (** the generated AST when the source was printed from one; [None]
+          for replayed seed files and spiced raw sources *)
+}
+
+val case_of_source : string -> case
+
+type verdict = Pass | Fail of string
+
+(** Shared scan context.  The tool is expensive to build (it trains the
+    FP predictor), so it is created lazily and shared across the run. *)
+type ctx = { tool : Wap_core.Tool.t Lazy.t }
+
+type t = {
+  name : string;  (** stable CLI/seed-file identifier, e.g. ["printer-fixpoint"] *)
+  describe : string;
+  check : ctx -> case -> verdict;
+}
+
+(** The five oracles, in documentation order: [lexer-totality],
+    [printer-fixpoint], [scan-determinism], [sanitizer-monotonicity],
+    [fixer-soundness]. *)
+val all : t list
+
+val by_name : string -> t option
+val names : string list

@@ -1,0 +1,181 @@
+(* Greedy structural shrinking.
+
+   Given a failing input, repeatedly try strictly-smaller variants and
+   keep any that still fails, until no reduction applies or the
+   evaluation budget runs out.  Reductions preserve the generator's
+   canonicality invariants (see {!Gen}) so a shrunk AST case still
+   fails for the original reason, not because shrinking manufactured a
+   non-canonical tree. *)
+
+open Wap_php
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* AST reductions.                                                     *)
+
+let body_of_stmt (s : stmt) : stmt list option =
+  match s.s with
+  | If (branches, els) ->
+      Some
+        (List.concat_map (fun (_, b) -> b) branches
+        @ Option.value ~default:[] els)
+  | While (_, b) | Foreach (_, _, b) | Block b -> Some b
+  | Func_def f -> Some f.f_body
+  | _ -> None
+
+(* Direct sub-expressions, used as replacement candidates. *)
+let sub_exprs (e : expr) : expr list =
+  match e.e with
+  | Int _ | Float _ | String _ | Var _ | Constant _ | Static_prop _
+  | Class_const _ ->
+      []
+  | Interp parts | Backtick parts ->
+      List.filter_map (function Ip_expr e -> Some e | Ip_str _ -> None) parts
+  | Var_var e | Clone e | Unop (_, e) | Incdec (_, e) | Cast (_, e)
+  | Empty e | Print e | Include (_, e) ->
+      [ e ]
+  | Array_lit items -> List.map (fun i -> i.ai_value) items
+  | Index (b, sub) -> b :: Option.to_list sub
+  | Prop (b, _) -> [ b ]
+  | Call (F_ident _, args) -> List.map (fun a -> a.a_expr) args
+  | Call (F_var f, args) -> f :: List.map (fun a -> a.a_expr) args
+  | Call (F_method (o, _), args) -> o :: List.map (fun a -> a.a_expr) args
+  | Call (F_static _, args) -> List.map (fun a -> a.a_expr) args
+  | New (_, args) -> List.map (fun a -> a.a_expr) args
+  | Binop (_, a, b) | Assign (_, a, b) | Assign_ref (a, b) -> [ a; b ]
+  | Ternary (c, t, e) -> (c :: Option.to_list t) @ [ e ]
+  | Isset es -> es
+  | Exit e -> Option.to_list e
+  | List es -> List.filter_map Fun.id es
+  | Closure c -> List.map (fun p -> p.p_default) c.cl_params |> List.filter_map Fun.id
+
+(* Whether an expression is rooted in a variable.  A var-rooted node may
+   sit in a position that syntactically demands one — an interpolation
+   part, an assignment target — so it is only ever replaced by another
+   var-rooted expression. *)
+let var_rooted e = Option.is_some (base_variable e)
+
+let replacements_for (e : expr) : expr list =
+  let children = sub_exprs e in
+  if var_rooted e then List.filter var_rooted children
+  else
+    match e.e with
+    | Int _ | String _ -> [] (* already atomic *)
+    | _ -> children @ [ int_ 0 ]
+
+(* Enumerate single-node replacements: [replace_nth prog k r] rewrites
+   the [k]-th expression (in [Visitor.map_stmts] visit order) using the
+   [r]-th entry of its replacement list. *)
+let count_exprs prog =
+  let n = ref 0 in
+  ignore
+    (Visitor.map_stmts
+       (fun e ->
+         incr n;
+         e)
+       prog);
+  !n
+
+let replace_nth prog k r =
+  let n = ref (-1) in
+  let changed = ref false in
+  let prog' =
+    Visitor.map_stmts
+      (fun e ->
+        incr n;
+        if !n = k then
+          match List.nth_opt (replacements_for e) r with
+          | Some e' ->
+              changed := true;
+              e'
+          | None -> e
+        else e)
+      prog
+  in
+  if !changed then Some prog' else None
+
+let stmt_reductions (prog : program) : program list =
+  let n = List.length prog in
+  let removals =
+    List.init n (fun i -> List.filteri (fun j _ -> j <> i) prog)
+  in
+  let unwraps =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match body_of_stmt s with
+           | Some body ->
+               [ List.concat
+                   (List.mapi (fun j s' -> if j = i then body else [ s' ]) prog) ]
+           | None -> [])
+         prog)
+  in
+  removals @ unwraps
+
+let expr_reductions (prog : program) : program list =
+  let total = count_exprs prog in
+  let out = ref [] in
+  for k = total - 1 downto 0 do
+    let r = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      match replace_nth prog k !r with
+      | Some p -> out := p :: !out; incr r
+      | None -> continue_ := false
+    done
+  done;
+  !out
+
+let program ?(budget = 400) ~fails (prog : program) : program =
+  let evals = ref 0 in
+  let try_fail p =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      fails p
+    end
+  in
+  let rec go prog =
+    let candidates = stmt_reductions prog @ expr_reductions prog in
+    match List.find_opt try_fail candidates with
+    | Some smaller when !evals < budget -> go smaller
+    | Some smaller -> smaller
+    | None -> prog
+  in
+  go prog
+
+(* ------------------------------------------------------------------ *)
+(* Raw source reduction: line-based ddmin-lite for spiced/replayed
+   cases, where there is no AST to cut.  The [<?php] opener is pinned. *)
+
+let source ?(budget = 300) ~fails (src : string) : string =
+  let evals = ref 0 in
+  let try_fail s =
+    if !evals >= budget then false
+    else begin
+      incr evals;
+      fails s
+    end
+  in
+  let rejoin lines = String.concat "\n" lines in
+  let rec go lines chunk =
+    let n = List.length lines in
+    if chunk < 1 then rejoin lines
+    else begin
+      let found = ref None in
+      let i = ref 1 (* keep the opening line *) in
+      while !found = None && !i + chunk <= n do
+        let candidate =
+          List.filteri (fun j _ -> j < !i || j >= !i + chunk) lines
+        in
+        if try_fail (rejoin candidate) then found := Some candidate;
+        incr i
+      done;
+      match !found with
+      | Some smaller -> go smaller (min chunk (List.length smaller - 1))
+      | None -> go lines (chunk / 2)
+    end
+  in
+  let lines = String.split_on_char '\n' src in
+  let n = List.length lines in
+  if n <= 1 then src else go lines (max 1 ((n - 1) / 2))

@@ -1,0 +1,19 @@
+(** Greedy shrinking of failing fuzz inputs.
+
+    Reductions are strictly size-decreasing, so shrinking terminates;
+    [budget] bounds the number of [fails] evaluations (each of which may
+    run a full scan).  AST reductions preserve {!Gen}'s canonicality
+    invariants so the shrunk program still fails the original oracle
+    rather than a manufactured round-trip mismatch. *)
+
+(** Shrink a generated program.  [fails p] must re-run the violated
+    oracle on [p] and report whether it still fails. *)
+val program :
+  ?budget:int ->
+  fails:(Wap_php.Ast.program -> bool) ->
+  Wap_php.Ast.program ->
+  Wap_php.Ast.program
+
+(** Line-based ddmin-lite for raw sources (spiced or replayed cases);
+    the opening [<?php] line is pinned. *)
+val source : ?budget:int -> fails:(string -> bool) -> string -> string

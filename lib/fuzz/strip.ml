@@ -1,0 +1,132 @@
+(* Deep location erasure.  The derived [Ast.equal_program] compares
+   [Loc.t] fields, so the printer/parser fixpoint oracle — "reparsing the
+   printed program yields the same AST modulo locations" — normalizes
+   both sides through this module first.  [Visitor.map_expr] only
+   touches expressions; statements, functions and classes carry
+   locations of their own, hence the dedicated recursion. *)
+
+open Wap_php
+open Ast
+
+let rec expr { e; _ } = { e = expr_kind e; eloc = Loc.dummy }
+
+and expr_kind = function
+  | (Int _ | Float _ | String _ | Var _ | Constant _) as k -> k
+  | Interp parts -> Interp (List.map interp_part parts)
+  | Var_var e -> Var_var (expr e)
+  | Array_lit items -> Array_lit (List.map array_item items)
+  | Index (e, sub) -> Index (expr e, Option.map expr sub)
+  | Prop (e, m) -> Prop (expr e, member m)
+  | Static_prop (c, p) -> Static_prop (c, p)
+  | Class_const (c, k) -> Class_const (c, k)
+  | Call (f, args) -> Call (callee f, List.map arg args)
+  | New (c, args) -> New (c, List.map arg args)
+  | Clone e -> Clone (expr e)
+  | Binop (op, a, b) -> Binop (op, expr a, expr b)
+  | Unop (op, e) -> Unop (op, expr e)
+  | Incdec (op, e) -> Incdec (op, expr e)
+  | Assign (op, l, r) -> Assign (op, expr l, expr r)
+  | Assign_ref (l, r) -> Assign_ref (expr l, expr r)
+  | Ternary (c, t, e) -> Ternary (expr c, Option.map expr t, expr e)
+  | Cast (c, e) -> Cast (c, expr e)
+  | Isset es -> Isset (List.map expr es)
+  | Empty e -> Empty (expr e)
+  | Exit e -> Exit (Option.map expr e)
+  | Print e -> Print (expr e)
+  | Include (k, e) -> Include (k, expr e)
+  | List es -> List (List.map (Option.map expr) es)
+  | Closure c -> Closure (closure c)
+  | Backtick parts -> Backtick (List.map interp_part parts)
+
+and interp_part = function
+  | Ip_str s -> Ip_str s
+  | Ip_expr e -> Ip_expr (expr e)
+
+and array_item { ai_key; ai_value; ai_by_ref } =
+  { ai_key = Option.map expr ai_key; ai_value = expr ai_value; ai_by_ref }
+
+and member = function
+  | Mem_ident i -> Mem_ident i
+  | Mem_expr e -> Mem_expr (expr e)
+
+and callee = function
+  | F_ident i -> F_ident i
+  | F_var e -> F_var (expr e)
+  | F_method (e, m) -> F_method (expr e, member m)
+  | F_static (c, m) -> F_static (c, m)
+
+and arg { a_expr; a_spread } = { a_expr = expr a_expr; a_spread }
+
+and closure c =
+  {
+    cl_params = List.map param c.cl_params;
+    cl_uses = c.cl_uses;
+    cl_body = stmts c.cl_body;
+    cl_static = c.cl_static;
+  }
+
+and param p = { p with p_default = Option.map expr p.p_default }
+
+and stmt { s; _ } = { s = stmt_kind s; sloc = Loc.dummy }
+
+and stmt_kind = function
+  | Expr_stmt e -> Expr_stmt (expr e)
+  | Echo es -> Echo (List.map expr es)
+  | If (branches, els) ->
+      If
+        ( List.map (fun (c, body) -> (expr c, stmts body)) branches,
+          Option.map stmts els )
+  | While (c, body) -> While (expr c, stmts body)
+  | Do_while (body, c) -> Do_while (stmts body, expr c)
+  | For (init, cond, step, body) ->
+      For (List.map expr init, List.map expr cond, List.map expr step, stmts body)
+  | Foreach (e, binding, body) ->
+      Foreach
+        ( expr e,
+          {
+            fe_key = Option.map expr binding.fe_key;
+            fe_by_ref = binding.fe_by_ref;
+            fe_value = expr binding.fe_value;
+          },
+          stmts body )
+  | Switch (e, cases) -> Switch (expr e, List.map case cases)
+  | (Break _ | Continue _ | Global _ | Inline_html _ | Nop) as k -> k
+  | Return e -> Return (Option.map expr e)
+  | Static_vars vars ->
+      Static_vars (List.map (fun (n, d) -> (n, Option.map expr d)) vars)
+  | Unset es -> Unset (List.map expr es)
+  | Throw e -> Throw (expr e)
+  | Try (body, catches, fin) ->
+      Try (stmts body, List.map catch catches, Option.map stmts fin)
+  | Func_def f -> Func_def (func f)
+  | Class_def c -> Class_def (cls c)
+  | Block body -> Block (stmts body)
+  | Const_def defs -> Const_def (List.map (fun (n, e) -> (n, expr e)) defs)
+
+and case = function
+  | Case (e, body) -> Case (expr e, stmts body)
+  | Default body -> Default (stmts body)
+
+and catch c = { c with c_body = stmts c.c_body }
+
+and func f =
+  {
+    f with
+    f_params = List.map param f.f_params;
+    f_body = stmts f.f_body;
+    f_loc = Loc.dummy;
+  }
+
+and cls c =
+  {
+    c with
+    k_consts = List.map (fun (n, e) -> (n, expr e)) c.k_consts;
+    k_props = List.map (fun p -> { p with pr_default = Option.map expr p.pr_default }) c.k_props;
+    k_methods = List.map (fun m -> { m with m_func = func m.m_func }) c.k_methods;
+    k_loc = Loc.dummy;
+  }
+
+and stmts l = List.map stmt l
+
+let program (p : program) = stmts p
+let equal a b = equal_program (program a) (program b)

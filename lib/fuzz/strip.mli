@@ -1,0 +1,13 @@
+(** Deep location erasure over the PHP AST.
+
+    The printer/parser fixpoint oracle compares ASTs with the derived
+    [Wap_php.Ast.equal_program], which also compares the [Loc.t] carried
+    by every node.  Stripping both sides to [Loc.dummy] first turns that
+    into the intended "structurally equal modulo locations". *)
+
+val expr : Wap_php.Ast.expr -> Wap_php.Ast.expr
+val stmt : Wap_php.Ast.stmt -> Wap_php.Ast.stmt
+val program : Wap_php.Ast.program -> Wap_php.Ast.program
+
+(** [equal a b] is structural equality modulo locations. *)
+val equal : Wap_php.Ast.program -> Wap_php.Ast.program -> bool

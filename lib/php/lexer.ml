@@ -69,10 +69,15 @@ let read_ident st =
 (* ------------------------------------------------------------------ *)
 (* Escape sequences in double-quoted context.                          *)
 
-let resolve_dq_escape st =
-  (* Called with [peek st] on the char right after a backslash. *)
+let resolve_dq_escape ?(quote = '"') st =
+  (* Called with [peek st] on the char right after a backslash.  [quote]
+     is the delimiter of the surrounding context (['"'] for double-quoted
+     strings and heredocs, ['`'] for backticks) — a backslash-escaped
+     delimiter always resolves to the delimiter itself. *)
   let c = peek st in
   advance st;
+  if c = quote then Some quote
+  else
   match c with
   | 'n' -> Some '\n'
   | 't' -> Some '\t'
@@ -123,8 +128,8 @@ let resolve_dq_escape st =
    been isolated as [body] positions; works directly on [st] until
    [stop_at] says the terminator is reached.  Emits interpolation
    parts. *)
-let scan_interp_parts st ~(stop : state -> bool) ~(consume_stop : state -> unit) :
-    Token.interp_part list =
+let scan_interp_parts ?quote st ~(stop : state -> bool)
+    ~(consume_stop : state -> unit) : Token.interp_part list =
   let parts = ref [] in
   let buf = Buffer.create 32 in
   let flush () =
@@ -142,7 +147,7 @@ let scan_interp_parts st ~(stop : state -> bool) ~(consume_stop : state -> unit)
           advance st;
           if at_end st then fail st "dangling backslash in string";
           let before = peek st in
-          (match resolve_dq_escape st with
+          (match resolve_dq_escape ?quote st with
           | Some c -> Buffer.add_char buf c
           | None ->
               Buffer.add_char buf '\\';
@@ -166,7 +171,11 @@ let scan_interp_parts st ~(stop : state -> bool) ~(consume_stop : state -> unit)
                   Buffer.add_char b (peek st);
                   advance st
                 done;
-                Token.Sub_int (int_of_string (Buffer.contents b))
+                (* offsets beyond the native int range behave like plain
+                   string keys, as PHP treats them *)
+                match int_of_string_opt (Buffer.contents b) with
+                | Some n -> Token.Sub_int n
+                | None -> Token.Sub_name (Buffer.contents b)
               end
               else if is_ident_start (peek st) then Token.Sub_name (read_ident st)
               else if peek st = '\'' then begin
@@ -397,7 +406,22 @@ let tokenize ~file src : (Token.t * Loc.t) list =
         advance st
       done;
       if Buffer.length b = 2 then fail st "malformed hexadecimal literal";
-      Token.INT (int_of_string (Buffer.contents b))
+      let s = Buffer.contents b in
+      (match int_of_string_opt s with
+      | Some n -> Token.INT n
+      | None ->
+          (* hex literal beyond the native int range: PHP overflows to
+             float; fold the digits ourselves *)
+          let v = ref 0.0 in
+          String.iter
+            (fun c ->
+              let d =
+                if is_digit c then Char.code c - Char.code '0'
+                else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+              in
+              v := (!v *. 16.0) +. float_of_int d)
+            (String.sub s 2 (String.length s - 2));
+          Token.FLOAT !v)
     end
     else begin
       let is_float = ref false in
@@ -479,7 +503,7 @@ let tokenize ~file src : (Token.t * Loc.t) list =
   and backtick () =
     advance st (* opening backtick *);
     let parts =
-      scan_interp_parts st
+      scan_interp_parts ~quote:'`' st
         ~stop:(fun s -> peek s = '`')
         ~consume_stop:(fun s -> advance s)
     in

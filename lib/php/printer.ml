@@ -96,21 +96,32 @@ let escape_single s =
     s;
   Buffer.contents b
 
-let escape_double s =
+(* Escaping for interpolated contexts.  [quote] is the active delimiter
+   ('"' for double-quoted strings, '`' for backticks): only the active
+   delimiter is escaped, so a backtick inside a double-quoted string (or
+   a double quote inside a command) stays literal. *)
+let escape_interp ~quote s =
   let b = Buffer.create (String.length s + 2) in
   String.iter
     (fun c ->
-      match c with
-      | '"' -> buf_add b "\\\""
-      | '\\' -> buf_add b "\\\\"
-      | '$' -> buf_add b "\\$"
-      | '\n' -> buf_add b "\\n"
-      | '\t' -> buf_add b "\\t"
-      | '\r' -> buf_add b "\\r"
-      | c when Char.code c < 32 -> buf_add b (Printf.sprintf "\\x%02x" (Char.code c))
-      | c -> Buffer.add_char b c)
+      if c = quote then begin
+        Buffer.add_char b '\\';
+        Buffer.add_char b quote
+      end
+      else
+        match c with
+        | '\\' -> buf_add b "\\\\"
+        | '$' -> buf_add b "\\$"
+        | '\n' -> buf_add b "\\n"
+        | '\t' -> buf_add b "\\t"
+        | '\r' -> buf_add b "\\r"
+        | c when Char.code c < 32 -> buf_add b (Printf.sprintf "\\x%02x" (Char.code c))
+        | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+let escape_double = escape_interp ~quote:'"'
+let escape_backtick = escape_interp ~quote:'`'
 
 (* Is the literal printable with single quotes without escape surprises? *)
 let string_needs_double s =
@@ -133,11 +144,24 @@ and expr_prec b (e : expr) ctx =
   match e.e with
   | Int n -> buf_add b (string_of_int n)
   | Float f ->
-      let s = Printf.sprintf "%.12g" f in
+      (* Shortest representation that parses back to the same double:
+         %.12g is enough for the values real code writes, but e.g.
+         0.30000000000000004 needs 17 digits, and an overflowed literal
+         (1e309, 0xFFFFFFFFFFFFFFFF) is infinite — "%g" would print
+         "inf", which is not PHP. *)
       let s =
-        if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
-        then s
-        else s ^ ".0"
+        if f = infinity then "1.0e400"
+        else if f = neg_infinity then "-1.0e400"
+        else if f <> f then "(0.0/0.0)" (* unreachable from parsed source *)
+        else
+          let rec shortest = function
+            | [] -> Printf.sprintf "%.17g" f
+            | p :: rest ->
+                let s = Printf.sprintf "%.*g" p f in
+                if float_of_string s = f then s else shortest rest
+          in
+          let s = shortest [ 12; 15; 16 ] in
+          if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
       in
       buf_add b s
   | String s ->
@@ -158,7 +182,7 @@ and expr_prec b (e : expr) ctx =
       buf_add b "`";
       List.iter
         (function
-          | Ip_str s -> buf_add b (escape_double s)
+          | Ip_str s -> buf_add b (escape_backtick s)
           | Ip_expr e ->
               buf_add b "{";
               expr_prec b e 0;
@@ -221,20 +245,40 @@ and expr_prec b (e : expr) ctx =
           expr_prec b e2 21)
   | Binop (op, l, r) ->
       let prec = binop_prec op in
+      (* ?? and ** associate to the right in PHP (and in Parser), so a
+         left-nested tree needs parentheses on the left, not the right *)
+      let right_assoc = match op with Coalesce | Pow -> true | _ -> false in
       paren (ctx > prec) (fun () ->
-          expr_prec b l prec;
+          expr_prec b l (if right_assoc then prec + 1 else prec);
           buf_add b (" " ^ binop_sym op ^ " ");
-          expr_prec b r (prec + 1))
+          expr_prec b r (if right_assoc then prec else prec + 1))
   | Unop (op, e2) ->
       paren (ctx > 21) (fun () ->
-          buf_add b
-            (match op with
+          let sym =
+            match op with
             | Neg -> "-"
             | Uplus -> "+"
             | Not -> "!"
             | Bit_not -> "~"
-            | Silence -> "@");
-          expr_prec b e2 21)
+            | Silence -> "@"
+          in
+          buf_add b sym;
+          let ob = Buffer.create 16 in
+          expr_prec ob e2 21;
+          let rendered = Buffer.contents ob in
+          (* "-" followed by "-$x" would re-lex as the "--" decrement
+             token; keep the sign and the operand apart *)
+          let clash =
+            (op = Neg || op = Uplus)
+            && rendered <> ""
+            && rendered.[0] = sym.[0]
+          in
+          if clash then begin
+            buf_add b "(";
+            buf_add b rendered;
+            buf_add b ")"
+          end
+          else buf_add b rendered)
   | Incdec (k, e2) ->
       paren (ctx > 21) (fun () ->
           match k with

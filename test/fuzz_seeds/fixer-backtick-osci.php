@@ -1,0 +1,7 @@
+<?php
+// An OS-command-injection sink inside backticks cannot be fixed by
+// wrapping the backtick result; the corrector must rewrite it to
+// shell_exec() with each interpolated expression sanitized.
+$v0 = $_GET['cmd'];
+`run {$v0}`;
+echo `x{$v0}tail` . $v0;

@@ -1,0 +1,5 @@
+<?php
+// Astral-plane characters in reported snippets must survive the JSON
+// export round trip (UTF-16 surrogate pairing in \u escapes).
+$q = $_GET['😀id'];
+mysql_query("SELECT $q");

@@ -1,0 +1,7 @@
+<?php
+// Integer literals beyond 2^63-1 must lex as floats (PHP semantics),
+// not raise Failure("int_of_string").
+$a = 0xFFFFFFFFFFFFFFFF;
+$b = 9223372036854775808;
+$c = 0x10000000000000000;
+echo "x{$a}$b[99999999999999999999]";

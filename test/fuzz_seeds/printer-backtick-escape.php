@@ -1,0 +1,5 @@
+<?php
+// A literal backtick inside a backtick operator must be re-escaped by
+// the printer, or the reprint re-lexes as two shell strings.
+$out = `ls \`pwd\``;
+echo $out;

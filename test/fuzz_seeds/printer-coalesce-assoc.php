@@ -1,0 +1,6 @@
+<?php
+// ?? is right-associative; a left-nested coalesce must keep its parens
+// when printed or the reparse changes the tree.
+($_POST ?? 0) ?? 0;
+$_POST ?? 0 ?? 0;
+2 ** 3 ** 2;

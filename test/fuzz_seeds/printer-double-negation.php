@@ -1,0 +1,5 @@
+<?php
+// Nested unary minus must not print as --, which re-lexes as a
+// pre-decrement.
+- -$_POST;
++ +$_GET;

@@ -1,0 +1,7 @@
+<?php
+// Overflowing literals become infinite floats; the printer must emit a
+// PHP-lexable spelling (not "inf"), and finite floats must round-trip
+// to the same value.
+$f = 1e309;
+$g = 0.30000000000000004;
+$h = 1.5e-8;

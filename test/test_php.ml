@@ -459,6 +459,65 @@ let test_escape_round_trip () =
   | Ast.String s -> Alcotest.(check string) "round trip" nasty s
   | _ -> Alcotest.fail "expected string literal"
 
+let test_lex_int_overflow () =
+  (* literals beyond 2^63-1 lex as floats, PHP-style, instead of
+     raising Failure from int_of_string *)
+  (match tokens "0xFFFFFFFFFFFFFFFF 9223372036854775808 0x10000000000000000" with
+  | [ Token.FLOAT a; Token.FLOAT b; Token.FLOAT c ] ->
+      Alcotest.(check (float 1e6)) "0xFFFF... ~ 2^64" 1.8446744073709552e19 a;
+      Alcotest.(check (float 1e6)) "2^63" 9.223372036854776e18 b;
+      Alcotest.(check (float 1e6)) "0x1_0000... ~ 2^64" 1.8446744073709552e19 c
+  | ts ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "," (List.map Token.show ts)));
+  (* a too-large subscript inside interpolation degrades to a bareword
+     key rather than crashing the lexer *)
+  match tokens {|"$a[99999999999999999999]"|} with
+  | [ Token.INTERP_STRING
+        [ Token.Part_index ("a", Token.Sub_name "99999999999999999999") ] ] ->
+      ()
+  | ts ->
+      Alcotest.failf "unexpected: %s" (String.concat "," (List.map Token.show ts))
+
+let test_print_right_assoc_parens () =
+  (* ?? and ** parse right-associatively, so a left-nested tree must
+     keep its parentheses when printed *)
+  Alcotest.(check string) "left-nested coalesce"
+    "<?php\n($_POST ?? 0) ?? 0;\n" (normalize "<?php ($_POST ?? 0) ?? 0;");
+  Alcotest.(check string) "right-nested coalesce needs none"
+    "<?php\n$_POST ?? 0 ?? 0;\n" (normalize "<?php $_POST ?? 0 ?? 0;");
+  Alcotest.(check string) "left-nested pow"
+    "<?php\n(2 ** 3) ** 2;\n" (normalize "<?php (2 ** 3) ** 2;")
+
+let test_print_nested_unary () =
+  (* -(-$x) must not print as --$x, which re-lexes as pre-decrement *)
+  Alcotest.(check string) "double minus"
+    "<?php\n-(-$x);\n" (normalize "<?php - -$x;");
+  Alcotest.(check string) "double plus"
+    "<?php\n+(+$x);\n" (normalize "<?php + +$x;")
+
+let test_print_float_spelling () =
+  (* overflowing literals become infinite floats; the printer must emit
+     a PHP-lexable spelling, and finite floats must round-trip exactly *)
+  Alcotest.(check string) "infinity prints as an overflowing literal"
+    "<?php\n$f = 1.0e400;\n" (normalize "<?php $f = 1e309;");
+  Alcotest.(check string) "17 significant digits survive"
+    "<?php\n$g = 0.30000000000000004;\n"
+    (normalize "<?php $g = 0.30000000000000004;");
+  Alcotest.(check string) "negative infinity"
+    "-1.0e400" (Printer.expr_to_string (Ast.mk_e (Ast.Float neg_infinity)));
+  match (Parser.parse_expression (Printer.expr_to_string (Ast.mk_e (Ast.Float nan)))).Ast.e with
+  | Ast.Binop (Ast.Div, _, _) -> ()
+  | _ -> Alcotest.fail "NaN must print as a parseable expression"
+
+let test_print_backtick_escape () =
+  (* a literal backtick inside the backtick operator is re-escaped *)
+  Alcotest.(check string) "escaped backtick survives"
+    "<?php\n$out = `ls \\`pwd\\``;\n"
+    (normalize "<?php $out = `ls \\`pwd\\``;");
+  let once = normalize "<?php $out = `ls \\`pwd\\``;" in
+  Alcotest.(check string) "and is a fixpoint" once (normalize once)
+
 (* ------------------------------------------------------------------ *)
 (* Visitor.                                                            *)
 
@@ -623,7 +682,16 @@ let () =
             Alcotest.test_case (Printf.sprintf "stability sample %d" i) `Quick
               (test_print_parse_stable src))
           sample_sources
-        @ [ Alcotest.test_case "escape round trip" `Quick test_escape_round_trip ] );
+        @ [
+            Alcotest.test_case "escape round trip" `Quick test_escape_round_trip;
+            Alcotest.test_case "lexer: int overflow to float" `Quick
+              test_lex_int_overflow;
+            Alcotest.test_case "right-assoc ops keep parens" `Quick
+              test_print_right_assoc_parens;
+            Alcotest.test_case "nested unary sign" `Quick test_print_nested_unary;
+            Alcotest.test_case "float spelling" `Quick test_print_float_spelling;
+            Alcotest.test_case "backtick escape" `Quick test_print_backtick_escape;
+          ] );
       ( "visitor",
         [
           Alcotest.test_case "named calls" `Quick test_visitor_named_calls;

@@ -116,6 +116,42 @@ let test_json_floats () =
   Alcotest.(check bool) "fractional" true
     (contains (J.to_string ~indent:false (J.Float 0.25)) "0.25")
 
+let test_json_unicode_escapes () =
+  (* astral code points escape as a UTF-16 surrogate pair in ASCII mode
+     and decode back to the same UTF-8 *)
+  let smile = "\xf0\x9f\x98\x80" (* U+1F600 *) in
+  let ascii = J.to_string_ascii ~indent:false (J.Str smile) in
+  Alcotest.(check string) "surrogate pair" "\"\\ud83d\\ude00\""
+    (String.lowercase_ascii ascii);
+  (match J.of_string ascii with
+  | Ok (J.Str s) -> Alcotest.(check string) "pair decodes to UTF-8" smile s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  (match J.of_string "\"\\uD83D\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone high surrogate must be rejected");
+  (match J.of_string "\"\\uDE00x\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lone low surrogate must be rejected");
+  (* malformed UTF-8 degrades to U+FFFD instead of emitting raw bytes *)
+  let out = J.to_string_ascii ~indent:false (J.Str "\xff") in
+  Alcotest.(check string) "replacement char" "\"\\ufffd\""
+    (String.lowercase_ascii out)
+
+let test_json_ascii_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("k\xf0\x9f\x98\x80", J.Str "caf\xc3\xa9\n\xf0\x9f\x98\x80");
+        ("n", J.Float 1.5);
+      ]
+  in
+  match (J.of_string (J.to_string_ascii v), J.of_string (J.to_string v)) with
+  | Ok a, Ok b ->
+      Alcotest.(check string) "ascii output round-trips to the UTF-8 output"
+        (J.to_string b) (J.to_string a)
+  | Error e, _ | _, Error e -> Alcotest.failf "parse error: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Export (findings to JSON).                                          *)
 
@@ -201,6 +237,8 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "structures" `Quick test_json_structures;
           Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "ascii round trip" `Quick test_json_ascii_roundtrip;
         ] );
       ( "html",
         [
