@@ -61,7 +61,7 @@ let print_tables ~quick () =
 (* ------------------------------------------------------------------ *)
 (* Scan-engine kernel: parallel speedup and warm-cache rescan.         *)
 
-let run_scan_engine () =
+let run_scan_engine ?(check_fused = false) () =
   (* merge several packages into one large application so the scan has
      enough files and spec-tasks to spread over the workers *)
   let profiles =
@@ -80,12 +80,13 @@ let run_scan_engine () =
       profiles
   in
   let tool = Wap_core.Tool.create ~seed Wap_core.Version.Wape in
-  let scan ?cache jobs =
-    Wap_core.Scan.run tool (Wap_core.Scan.request ~jobs ?cache files)
+  let scan ?cache ?(fuse = true) jobs =
+    Wap_core.Scan.run tool (Wap_core.Scan.request ~jobs ?cache ~fuse files)
   in
   print_string "== Scan engine (lib/engine) ==\n";
-  Printf.printf "corpus: %d files from %d packages\n" (List.length files)
-    (List.length profiles);
+  Printf.printf "corpus: %d files from %d packages, %d detector specs\n"
+    (List.length files) (List.length profiles)
+    (List.length tool.Wap_core.Tool.specs);
   let cores = Domain.recommended_domain_count () in
   (* speedup is only physically possible up to the core count; past it,
      extra domains just contend on the stop-the-world minor GC *)
@@ -96,6 +97,13 @@ let run_scan_engine () =
   let wp = opar.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
   Printf.printf "cold scan, jobs=1: %6.2fs wall  (%.2fs cpu)\n" w1
     o1.Wap_core.Scan.result.Wap_core.Tool.analysis_cpu_seconds;
+  (* fused vs per-spec: same scan, same jobs=1, only the fusion differs *)
+  let ons = scan ~fuse:false 1 in
+  let wns = ons.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
+  let fused_speedup = if w1 > 0. then wns /. w1 else 0. in
+  Printf.printf
+    "cold scan, jobs=1, --no-fuse: %6.2fs wall — fused speedup %.2fx\n" wns
+    fused_speedup;
   Printf.printf "cold scan, jobs=%d: %6.2fs wall  (%.2fs cpu)  speedup %.2fx\n"
     par_jobs wp opar.Wap_core.Scan.result.Wap_core.Tool.analysis_cpu_seconds
     (w1 /. wp);
@@ -125,12 +133,19 @@ let run_scan_engine () =
   let wc1 = oc1.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
   let wc2 = oc2.Wap_core.Scan.result.Wap_core.Tool.analysis_seconds in
   let module J = Wap_report.Json in
+  let phase_obj (o : Wap_core.Scan.outcome) =
+    J.Obj
+      (List.map
+         (fun (k, s) -> (k, J.Float s))
+         o.Wap_core.Scan.result.Wap_core.Tool.phase_seconds)
+  in
   let doc =
     J.Obj
       [
         ("kernel", J.Str "scan");
         ("files", J.Int (List.length files));
         ("packages", J.Int (List.length profiles));
+        ("specs", J.Int (List.length tool.Wap_core.Tool.specs));
         ("jobs_parallel", J.Int par_jobs);
         ("cold_jobs1_wall_seconds", J.Float w1);
         ( "cold_jobs1_cpu_seconds",
@@ -139,6 +154,10 @@ let run_scan_engine () =
         ( "cold_parallel_cpu_seconds",
           J.Float opar.Wap_core.Scan.result.Wap_core.Tool.analysis_cpu_seconds );
         ("speedup", J.Float (w1 /. wp));
+        ("per_spec_jobs1_wall_seconds", J.Float wns);
+        ("fused_speedup", J.Float fused_speedup);
+        ("phases_fused_jobs1", phase_obj o1);
+        ("phases_per_spec_jobs1", phase_obj ons);
         ("deterministic", J.Bool same);
         ( "candidates",
           J.Int (List.length o4.Wap_core.Scan.result.Wap_core.Tool.candidates) );
@@ -155,7 +174,13 @@ let run_scan_engine () =
   output_char oc '\n';
   close_out oc;
   print_string "wrote BENCH_scan.json\n";
-  print_newline ()
+  print_newline ();
+  if check_fused && fused_speedup < 1.0 then begin
+    Printf.eprintf
+      "FAIL: fused scan slower than the per-spec pipeline (speedup %.2fx < 1.0)\n"
+      fused_speedup;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
@@ -188,6 +213,9 @@ let substrate_tests () =
   let xss_spec =
     Wap_catalog.Catalog.default_spec Wap_catalog.Vuln_class.Xss_reflected
   in
+  let catalog_specs =
+    (Wap_core.Tool.create ~seed Wap_core.Version.Wape).Wap_core.Tool.specs
+  in
   let candidates = Wap_taint.Analyzer.analyze_project ~spec:sqli_spec unit_ in
   let dataset = Wap_core.Training.dataset_for ~seed Wap_core.Version.Wape in
   let svm = Wap_mining.Svm.train ~seed dataset in
@@ -206,6 +234,17 @@ let substrate_tests () =
       (staged (fun () -> Wap_taint.Analyzer.analyze_project ~spec:sqli_spec unit_));
     Test.make ~name:"taint-clientside-submodule"
       (staged (fun () -> Wap_taint.Analyzer.analyze_project ~spec:xss_spec unit_));
+    (* fused_vs_per_spec: the same full-catalog analysis, one fused pass
+       vs one single-spec pass per spec — the micro view of the scan
+       engine's fused_speedup *)
+    Test.make ~name:"taint-full-catalog-fused"
+      (staged (fun () ->
+           Wap_taint.Analyzer.analyze_with_specs ~specs:catalog_specs unit_));
+    Test.make ~name:"taint-full-catalog-per-spec"
+      (staged (fun () ->
+           List.concat_map
+             (fun spec -> Wap_taint.Analyzer.analyze_project ~spec unit_)
+             catalog_specs));
     Test.make ~name:"symptom-collection"
       (staged (fun () -> List.map Wap_mining.Evidence.collect candidates));
     Test.make ~name:"svm-train"
@@ -308,9 +347,10 @@ let () =
   let tables_only = List.mem "--tables-only" args in
   let bench_only = List.mem "--bench-only" args in
   let engine_only = List.mem "--engine-only" args in
-  if engine_only then run_scan_engine ()
+  let check_fused = List.mem "--check-fused" args in
+  if engine_only then run_scan_engine ~check_fused ()
   else begin
     if not bench_only then print_tables ~quick ();
-    run_scan_engine ();
+    run_scan_engine ~check_fused ();
     if not tables_only then run_bechamel ()
   end

@@ -55,6 +55,15 @@ let cache_dir_arg =
 let make_cache ~no_cache ~cache_dir =
   if no_cache then None else Some (Wap_engine.Cache.create ?dir:cache_dir ())
 
+let no_fuse_arg =
+  Arg.(value & flag
+       & info [ "no-fuse" ]
+           ~doc:"Run one taint pass per detector spec instead of the fused \
+                 multi-spec pass.  Slower; the output is byte-identical — \
+                 this is the escape hatch used to differentially check the \
+                 fused analyzer (the WAP_FUSE=0 environment variable has the \
+                 same effect).")
+
 (* observability flags (Wap_obs), shared by analyze / lint / experiments *)
 
 let log_level_conv =
@@ -129,6 +138,10 @@ let progress_logger () =
       | Wap_engine.Scan.Spec_analyzed { spec; cached } ->
           Wap_obs.Log.debug
             ~fields:[ ("spec", spec); ("cached", string_of_bool cached) ]
+            "analyzed"
+      | Wap_engine.Scan.File_analyzed { path; cached } ->
+          Wap_obs.Log.debug
+            ~fields:[ ("file", path); ("cached", string_of_bool cached) ]
             "analyzed")
 
 let stats_arg =
@@ -280,7 +293,7 @@ let analyze_cmd =
     Arg.(value & opt (some string) None
          & info [ "html" ] ~docv:"FILE" ~doc:"Also write a standalone HTML report.")
   in
-  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out jobs no_cache cache_dir trace_out stats log_level log_format =
+  let run files fix version weapons weapon_dir sanitizers seed verbose confirm json training_set html_out jobs no_cache cache_dir no_fuse trace_out stats log_level log_format =
     let finish_obs = setup_obs trace_out log_level log_format in
     let weapons =
       List.map
@@ -311,6 +324,7 @@ let analyze_cmd =
     let outcome =
       Wap_core.Scan.run tool
         (Wap_core.Scan.request ~jobs ?cache
+           ?fuse:(if no_fuse then Some false else None)
            ?on_progress:(progress_logger ()) sources)
     in
     let result = outcome.Wap_core.Scan.result in
@@ -424,7 +438,8 @@ let analyze_cmd =
     Term.(ret (const run $ files $ fix $ version $ weapons $ weapon_dir
                $ sanitizers $ seed_arg $ verbose $ confirm $ json $ training_set
                $ html_out $ jobs_arg $ no_cache_arg $ cache_dir_arg
-               $ trace_out_arg $ stats_arg $ log_level_arg $ log_format_arg))
+               $ no_fuse_arg $ trace_out_arg $ stats_arg $ log_level_arg
+               $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)

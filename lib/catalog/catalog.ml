@@ -179,80 +179,153 @@ let default_spec (vclass : Vuln_class.t) : spec =
 (** All default specs for a list of classes. *)
 let specs_for classes = List.map default_spec classes
 
-(** Lookup tables used by the taint analyzer: quick membership tests. *)
-module Lookup = struct
-  module SS = Set.Make (String)
+(* ------------------------------------------------------------------ *)
+(* Stable spec identity.                                               *)
 
+(** Content-derived identity of one spec: stable across processes (no
+    marshalling, no hash-function drift), used as cache-key material. *)
+let spec_id (s : spec) : string = Digest.to_hex (Digest.string (show_spec s))
+
+(** Identity of an ordered spec set.  The order is part of the identity:
+    it determines the deterministic merge order of scan results. *)
+let set_fingerprint (specs : spec list) : string =
+  Digest.to_hex (Digest.string (String.concat "\x00" (List.map spec_id specs)))
+
+(** Lookup tables used by the taint analyzer: quick membership tests.
+
+    Every table is indexed by {e spec id} — the position of a spec in
+    the list given to {!Lookup.of_specs} — so one fused analysis pass can
+    ask "for which of the active specs is [name] a source/sink/
+    sanitizer?" in one lookup.  The single-spec boolean API is kept on
+    top for callers that only care about membership. *)
+module Lookup = struct
   type t = {
-    superglobals : SS.t;
-    source_fns : SS.t;
-    sink_fns : (string, Vuln_class.t * int list) Hashtbl.t;
-    sink_methods : (string * string, Vuln_class.t) Hashtbl.t;
-    echo_classes : Vuln_class.t list;
-    include_classes : Vuln_class.t list;
-    san_fns : SS.t;
-    san_methods : (string * string, unit) Hashtbl.t;
+    nspecs : int;
+    superglobals : (string, int list) Hashtbl.t;  (** name -> spec ids, ascending *)
+    source_fns : (string, int list) Hashtbl.t;
+    sink_fns : (string, (int * Vuln_class.t * int list) list) Hashtbl.t;
+        (** per name: (spec id, class, dangerous positions), ids
+            ascending; a spec's own entries keep most-recent-first
+            order, matching a single-spec [Hashtbl.find_all] *)
+    sink_methods : (string * string, (int * Vuln_class.t) list) Hashtbl.t;
+    echo_specs : int list;
+    include_specs : int list;
+    san_fns : (string, int list) Hashtbl.t;
+    san_methods : (string * string, int list) Hashtbl.t;
   }
 
+  let add_id tbl key id =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    if not (List.mem id cur) then Hashtbl.replace tbl key (cur @ [ id ])
+
   let of_specs (specs : spec list) : t =
-    let superglobals = ref SS.empty in
-    let source_fns = ref SS.empty in
+    let superglobals = Hashtbl.create 16 in
+    let source_fns = Hashtbl.create 32 in
     let sink_fns = Hashtbl.create 64 in
     let sink_methods = Hashtbl.create 16 in
-    let echo_classes = ref [] in
-    let include_classes = ref [] in
-    let san_fns = ref SS.empty in
+    let echo_specs = ref [] in
+    let include_specs = ref [] in
+    let san_fns = Hashtbl.create 32 in
     let san_methods = Hashtbl.create 16 in
-    List.iter
-      (fun spec ->
+    List.iteri
+      (fun id spec ->
         List.iter
           (function
-            | Src_superglobal s -> superglobals := SS.add s !superglobals
-            | Src_fn f -> source_fns := SS.add (String.lowercase_ascii f) !source_fns)
+            | Src_superglobal s -> add_id superglobals s id
+            | Src_fn f -> add_id source_fns (String.lowercase_ascii f) id)
           spec.sources;
         List.iter
           (function
             | Sink_fn (f, args) ->
-                Hashtbl.add sink_fns (String.lowercase_ascii f) (spec.vclass, args)
+                let key = String.lowercase_ascii f in
+                Hashtbl.replace sink_fns key
+                  ((id, spec.vclass, args)
+                  :: Option.value ~default:[] (Hashtbl.find_opt sink_fns key))
             | Sink_method (o, m) ->
-                Hashtbl.add sink_methods
-                  (String.lowercase_ascii o, String.lowercase_ascii m)
-                  spec.vclass
-            | Sink_echo -> echo_classes := spec.vclass :: !echo_classes
-            | Sink_include -> include_classes := spec.vclass :: !include_classes)
+                let key = (String.lowercase_ascii o, String.lowercase_ascii m) in
+                let cur =
+                  Option.value ~default:[] (Hashtbl.find_opt sink_methods key)
+                in
+                if not (List.exists (fun (i, _) -> i = id) cur) then
+                  Hashtbl.replace sink_methods key (cur @ [ (id, spec.vclass) ])
+            | Sink_echo ->
+                if not (List.mem id !echo_specs) then
+                  echo_specs := id :: !echo_specs
+            | Sink_include ->
+                if not (List.mem id !include_specs) then
+                  include_specs := id :: !include_specs)
           spec.sinks;
         List.iter
           (function
-            | San_fn f -> san_fns := SS.add (String.lowercase_ascii f) !san_fns
+            | San_fn f -> add_id san_fns (String.lowercase_ascii f) id
             | San_method (o, m) ->
-                Hashtbl.replace san_methods
+                add_id san_methods
                   (String.lowercase_ascii o, String.lowercase_ascii m)
-                  ())
+                  id)
           spec.sanitizers)
       specs;
+    (* prepending while walking specs in order left ids descending and
+       each spec's own entries reversed; a stable ascending sort restores
+       id order while keeping the per-spec reversal (= find_all order) *)
+    Hashtbl.filter_map_inplace
+      (fun _ entries ->
+        Some
+          (List.stable_sort
+             (fun (a, _, _) (b, _, _) -> compare (a : int) b)
+             entries))
+      sink_fns;
     {
-      superglobals = !superglobals;
-      source_fns = !source_fns;
+      nspecs = List.length specs;
+      superglobals;
+      source_fns;
       sink_fns;
       sink_methods;
-      echo_classes = List.rev !echo_classes;
-      include_classes = List.rev !include_classes;
-      san_fns = !san_fns;
+      echo_specs = List.rev !echo_specs;
+      include_specs = List.rev !include_specs;
+      san_fns;
       san_methods;
     }
 
-  let is_superglobal t name = SS.mem name t.superglobals
-  let is_source_fn t name = SS.mem (String.lowercase_ascii name) t.source_fns
+  let nspecs t = t.nspecs
+  let ids tbl key = Option.value ~default:[] (Hashtbl.find_opt tbl key)
+  let superglobal_ids t name = ids t.superglobals name
+  let source_fn_ids t name = ids t.source_fns (String.lowercase_ascii name)
+
+  let sink_fn_entries t name =
+    Option.value ~default:[]
+      (Hashtbl.find_opt t.sink_fns (String.lowercase_ascii name))
+
+  let sink_method_entries t obj meth =
+    Option.value ~default:[]
+      (Hashtbl.find_opt t.sink_methods
+         (String.lowercase_ascii obj, String.lowercase_ascii meth))
+
+  let sink_method_ids t obj meth = List.map fst (sink_method_entries t obj meth)
+
+  let echo_ids t = t.echo_specs
+  let include_ids t = t.include_specs
+  let sanitizer_fn_ids t name = ids t.san_fns (String.lowercase_ascii name)
+
+  let sanitizer_method_ids t obj meth =
+    ids t.san_methods (String.lowercase_ascii obj, String.lowercase_ascii meth)
+
+  (* ---- single-spec boolean view ---------------------------------- *)
+
+  let is_superglobal t name = Hashtbl.mem t.superglobals name
+
+  let is_source_fn t name =
+    Hashtbl.mem t.source_fns (String.lowercase_ascii name)
 
   let sink_classes_of_fn t name =
-    Hashtbl.find_all t.sink_fns (String.lowercase_ascii name)
+    List.map (fun (_, vc, args) -> (vc, args)) (sink_fn_entries t name)
 
   let sink_class_of_method t obj meth =
-    Hashtbl.find_all t.sink_methods
-      (String.lowercase_ascii obj, String.lowercase_ascii meth)
+    List.map snd (sink_method_entries t obj meth)
 
-  let is_sanitizer_fn t name = SS.mem (String.lowercase_ascii name) t.san_fns
+  let is_sanitizer_fn t name =
+    Hashtbl.mem t.san_fns (String.lowercase_ascii name)
 
   let is_sanitizer_method t obj meth =
-    Hashtbl.mem t.san_methods (String.lowercase_ascii obj, String.lowercase_ascii meth)
+    Hashtbl.mem t.san_methods
+      (String.lowercase_ascii obj, String.lowercase_ascii meth)
 end

@@ -57,12 +57,56 @@ val default_spec : Vuln_class.t -> spec
 (** [specs_for classes] = [List.map default_spec classes]. *)
 val specs_for : Vuln_class.t list -> spec list
 
+(** Content-derived identity of one spec: stable across processes, used
+    as cache-key material. *)
+val spec_id : spec -> string
+
+(** Identity of an ordered spec set; the order is part of it (it
+    determines the deterministic merge order of scan results). *)
+val set_fingerprint : spec list -> string
+
 (** Fast membership structures derived from a spec set, used by the
-    taint analyzer on every call site. *)
+    taint analyzer on every call site.
+
+    Tables are indexed by {e spec id} — the position of a spec in the
+    list given to {!Lookup.of_specs} — so one fused analysis pass can ask
+    "for which of the active specs is [name] a source/sink/sanitizer?"
+    in a single lookup.  All [*_ids] results are ascending and
+    duplicate-free.  The boolean single-spec view is kept on top. *)
 module Lookup : sig
   type t
 
   val of_specs : spec list -> t
+
+  (** Number of specs the table was built from. *)
+  val nspecs : t -> int
+
+  (** Specs treating [$name] as a tainted superglobal (exact case). *)
+  val superglobal_ids : t -> string -> int list
+
+  (** Specs treating a call of [name] as an entry point. *)
+  val source_fn_ids : t -> string -> int list
+
+  (** All (spec id, class, dangerous positions) sink entries for a
+      function name; ids ascending, one spec's own entries in its
+      single-spec [find_all] order (most recently declared first). *)
+  val sink_fn_entries : t -> string -> (int * Vuln_class.t * int list) list
+
+  (** Specs with an [obj->meth] sink; the object ["*"] matches any
+      variable. *)
+  val sink_method_ids : t -> string -> string -> int list
+
+  (** Specs sinking on [echo]/[print] constructs. *)
+  val echo_ids : t -> int list
+
+  (** Specs sinking on [include]/[require] constructs. *)
+  val include_ids : t -> int list
+
+  val sanitizer_fn_ids : t -> string -> int list
+  val sanitizer_method_ids : t -> string -> string -> int list
+
+  (** {2 Single-spec boolean view} *)
+
   val is_superglobal : t -> string -> bool
   val is_source_fn : t -> string -> bool
 

@@ -68,14 +68,17 @@ val parse_package :
 (** The unified scan API.  Every entry point — CLI, experiments, bench,
     and the deprecated wrappers below — routes through one
     request/outcome pair executed on the parallel engine
-    ({!Wap_engine.Scan}): tolerant parsing and per-spec analysis fan out
-    over [jobs] worker domains, candidates merge deterministically, and
-    an optional digest-keyed cache skips unchanged work. *)
+    ({!Wap_engine.Scan}): tolerant parsing fans out over [jobs] worker
+    domains, one fused taint pass covers all detector specs (per-file
+    fan-out in its top-level stage; [fuse:false] or [WAP_FUSE=0]
+    restores the per-spec pipeline), candidates merge deterministically,
+    and an optional digest-keyed cache skips unchanged work. *)
 module Scan : sig
   type request = {
     files : (string * string) list;  (** [(path, source)], one app *)
     jobs : int;  (** worker domains *)
     cache : Wap_engine.Cache.t option;
+    fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
     on_progress : (Wap_engine.Scan.progress -> unit) option;
     package : Wap_corpus.Appgen.package option;
         (** corpus package the files came from (ground truth, LoC);
@@ -84,10 +87,11 @@ module Scan : sig
 
   (** Build a request.  [jobs] defaults to
       {!Wap_engine.Pool.default_jobs}; omitting [cache] disables
-      caching. *)
+      caching; [fuse] defaults to {!Wap_engine.Scan.default_fuse}. *)
   val request :
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
+    ?fuse:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     ?package:Wap_corpus.Appgen.package ->
     (string * string) list ->
@@ -97,6 +101,7 @@ module Scan : sig
   val request_of_package :
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
+    ?fuse:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     Wap_corpus.Appgen.package ->
     request

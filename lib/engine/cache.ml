@@ -111,21 +111,29 @@ let store_raw t k v =
   remember t k v;
   match disk_path t k with Some path -> write_file path v | None -> ()
 
-let memoize t ~key:k (compute : unit -> 'a) : 'a * bool =
+let find t ~key:k : 'a option =
   match find_raw t k with
   | Some s ->
       Atomic.incr t.n_hits;
       Wap_obs.Metrics.incr (Lazy.force m_hits);
       Wap_obs.Trace.instant ~cat:"cache" "cache.hit"
         ~args:[ ("key", String.sub k 0 (min 12 (String.length k))) ];
-      ((Marshal.from_string s 0 : 'a), true)
+      Some (Marshal.from_string s 0 : 'a)
   | None ->
       Atomic.incr t.n_misses;
       Wap_obs.Metrics.incr (Lazy.force m_misses);
       Wap_obs.Trace.instant ~cat:"cache" "cache.miss"
         ~args:[ ("key", String.sub k 0 (min 12 (String.length k))) ];
+      None
+
+let store t ~key:k v = store_raw t k (Marshal.to_string v [])
+
+let memoize t ~key:k (compute : unit -> 'a) : 'a * bool =
+  match find t ~key:k with
+  | Some v -> (v, true)
+  | None ->
       let v = compute () in
-      store_raw t k (Marshal.to_string v []);
+      store t ~key:k v;
       (v, false)
 
 let hits t = Atomic.get t.n_hits

@@ -41,6 +41,14 @@ val key : string list -> string
     computed value under [key]. *)
 val memoize : t -> key:string -> (unit -> 'a) -> 'a * bool
 
+(** Typed probe: the cached value, counting a hit or a miss.  Pair with
+    {!store} when the compute step cannot be expressed as a closure
+    passed to {!memoize} (e.g. probing many keys before deciding). *)
+val find : t -> key:string -> 'a option
+
+(** Store a value without touching the hit/miss counters. *)
+val store : t -> key:string -> 'a -> unit
+
 (** Lookups that found an entry / had to compute / entries evicted since
     creation (or the last {!reset_stats}). *)
 val hits : t -> int

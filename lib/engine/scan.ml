@@ -1,12 +1,22 @@
-(** The parallel scan engine: parse fan-out per file, analysis fan-out
-    per detector spec, deterministic merge, digest-keyed caching. *)
+(** The parallel scan engine: parse fan-out per file, one fused taint
+    pass over all detector specs (analysis fan-out per file in its
+    parallel stage), deterministic merge, digest-keyed caching.
+
+    [fuse:false] (or [WAP_FUSE=0]) switches stage 2 back to the
+    sequential one-pass-per-spec pipeline — the escape hatch used for
+    differential checking of the fused analyzer. *)
 
 open Wap_php
 module Cat = Wap_catalog.Catalog
 module Trace = Wap_taint.Trace
 module Obs = Wap_obs.Trace
 
-let cache_format_version = "wap-engine-1"
+let cache_format_version = "wap-engine-2"
+
+let default_fuse () =
+  match Sys.getenv_opt "WAP_FUSE" with
+  | Some ("0" | "false" | "off") -> false
+  | _ -> true
 
 let m_files_parsed = lazy (Wap_obs.Metrics.counter "engine.files_parsed")
 
@@ -19,6 +29,7 @@ let m_candidates spec_label =
 type progress =
   | File_parsed of { path : string; cached : bool }
   | Spec_analyzed of { spec : string; cached : bool }
+  | File_analyzed of { path : string; cached : bool }
 
 type request = {
   files : (string * string) list;
@@ -27,12 +38,14 @@ type request = {
   cache : Cache.t option;
   fingerprint : string;
   interprocedural : bool;
+  fuse : bool;
   on_progress : (progress -> unit) option;
 }
 
 let request ?(jobs = Pool.default_jobs ()) ?cache ?(fingerprint = "")
-    ?(interprocedural = true) ?on_progress ~specs files =
-  { files; specs; jobs; cache; fingerprint; interprocedural; on_progress }
+    ?(interprocedural = true) ?fuse ?on_progress ~specs files =
+  let fuse = match fuse with Some b -> b | None -> default_fuse () in
+  { files; specs; jobs; cache; fingerprint; interprocedural; fuse; on_progress }
 
 type file_report = {
   fr_path : string;
@@ -160,50 +173,150 @@ let run (req : request) : outcome =
                 req.files
              |> List.sort String.compare)))
   in
-  (* ---- stage 2: taint analysis, one work item per detector spec ---- *)
-  let analyze_one (idx, spec) =
-    let label = spec_label spec in
-    Obs.with_span ~cat:"engine" "analyze_spec" ~args:[ ("spec", label) ]
-    @@ fun () ->
-    let t0 = Unix.gettimeofday () in
-    let compute () =
-      Wap_taint.Analyzer.analyze_project
-        ~interprocedural:req.interprocedural ~spec units
+  (* ---- stage 2 (fused): one taint pass for all specs, one parallel
+     work item per FILE in the top-level sweep -------------------------- *)
+  let fused_stage () =
+    (* per-file entries still depend on every project-wide input
+       (summaries, include splicing), so the digest covers the whole
+       source set and the full spec set: any edit, or a weapon
+       added/removed, invalidates every entry *)
+    let fuse_digest =
+      Cache.key
+        [ cache_format_version; project_digest;
+          Cat.set_fingerprint req.specs;
+          string_of_bool req.interprocedural ]
     in
-    let cands, cached =
-      match req.cache with
-      | Some c ->
-          let k =
-            Cache.key
-              [ cache_format_version; "analyze"; project_digest;
-                Cat.show_spec spec;
-                string_of_bool req.interprocedural ]
+    let file_key (u : Wap_taint.Analyzer.file_unit) =
+      Cache.key
+        [ cache_format_version; "analyze-file"; fuse_digest;
+          u.Wap_taint.Analyzer.path ]
+    in
+    (* all-or-nothing probe (every key is probed even after a miss, so
+       hit/miss counts stay deterministic): assembling a partial set
+       would not be cheaper — the passes are whole-project anyway *)
+    let probed =
+      List.map
+        (fun u ->
+          let entry :
+              ((int * Trace.candidate) list * (int * Trace.candidate) list)
+              option =
+            match req.cache with
+            | Some c -> Cache.find c ~key:(file_key u)
+            | None -> None
           in
-          Cache.memoize c ~key:k compute
-      | None -> (compute (), false)
+          (u, entry))
+        units
     in
-    Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
-    ( idx, cands,
-      { sr_spec = label; sr_seconds = Unix.gettimeofday () -. t0;
-        sr_cached = cached; sr_candidates = List.length cands } )
-  in
-  let analyzed, t_analyze =
-    timed "phase.analyze" (fun () ->
-        let analyzed =
-          Pool.map ~jobs analyze_one
-            (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
+    let all_hit =
+      units <> [] && List.for_all (fun (_, e) -> e <> None) probed
+    in
+    let per_file =
+      if all_hit then
+        List.map (fun (u, e) -> (u, Option.get e)) probed
+      else begin
+        let st =
+          Wap_taint.Analyzer.project_state
+            ~interprocedural:req.interprocedural ~specs:req.specs ()
         in
-        Array.iter
-          (fun (_, _, r) ->
-            progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
-          analyzed;
-        analyzed)
+        (* passes 1 and 2 are sequential by design (summaries build up
+           across files); pass 3 is pure per file and fans out *)
+        if req.interprocedural then
+          Obs.with_span ~cat:"engine" "fused.summaries" (fun () ->
+              List.iter (Wap_taint.Analyzer.summarize_file st) units);
+        let pass2 =
+          Obs.with_span ~cat:"engine" "fused.functions" (fun () ->
+              Array.of_list
+                (List.map (Wap_taint.Analyzer.analyze_file_functions st) units))
+        in
+        let pass3 =
+          Obs.with_span ~cat:"engine" "fused.toplevel" (fun () ->
+              Pool.map ~jobs
+                (fun u -> Wap_taint.Analyzer.analyze_file_toplevel st ~units u)
+                (Array.of_list units))
+        in
+        let per_file =
+          List.mapi (fun i u -> (u, (pass2.(i), pass3.(i)))) units
+        in
+        (match req.cache with
+        | Some c ->
+            List.iter
+              (fun (u, entry) -> Cache.store c ~key:(file_key u) entry)
+              per_file
+        | None -> ());
+        per_file
+      end
+    in
+    List.iter
+      (fun (u, _) ->
+        progress
+          (File_analyzed
+             { path = u.Wap_taint.Analyzer.path; cached = all_hit }))
+      per_file;
+    let pass2 = List.concat_map (fun (_, (d, _)) -> d) per_file in
+    let pass3 = List.concat_map (fun (_, (_, t)) -> t) per_file in
+    let finalized = Wap_taint.Analyzer.finalize ~units (pass2 @ pass3) in
+    (* group per spec id (stable, preserving discovery order) *)
+    List.mapi
+      (fun si spec ->
+        let cands =
+          List.filter_map
+            (fun (j, c) -> if j = si then Some c else None)
+            finalized
+        in
+        let label = spec_label spec in
+        Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
+        ( si, cands,
+          { sr_spec = label; sr_seconds = 0.; sr_cached = all_hit;
+            sr_candidates = List.length cands } ))
+      req.specs
   in
-  let spec_reports = Array.to_list (Array.map (fun (_, _, r) -> r) analyzed) in
+  (* ---- stage 2 (per-spec escape hatch): one work item per spec ------ *)
+  let per_spec_stage () =
+    let analyze_one (idx, spec) =
+      let label = spec_label spec in
+      Obs.with_span ~cat:"engine" "analyze_spec" ~args:[ ("spec", label) ]
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let compute () =
+        Wap_taint.Analyzer.analyze_project
+          ~interprocedural:req.interprocedural ~spec units
+      in
+      let cands, cached =
+        match req.cache with
+        | Some c ->
+            let k =
+              Cache.key
+                [ cache_format_version; "analyze"; project_digest;
+                  Cat.show_spec spec;
+                  string_of_bool req.interprocedural ]
+            in
+            Cache.memoize c ~key:k compute
+        | None -> (compute (), false)
+      in
+      Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
+      ( idx, cands,
+        { sr_spec = label; sr_seconds = Unix.gettimeofday () -. t0;
+          sr_cached = cached; sr_candidates = List.length cands } )
+    in
+    let analyzed =
+      Pool.map ~jobs analyze_one
+        (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
+    in
+    Array.iter
+      (fun (_, _, r) ->
+        progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
+      analyzed;
+    Array.to_list analyzed
+  in
+  let per_spec, t_analyze =
+    timed "phase.analyze" (fun () ->
+        if req.fuse then fused_stage () else per_spec_stage ())
+  in
+  let spec_reports = List.map (fun (_, _, r) -> r) per_spec in
   (* ---- deterministic merge ----------------------------------------- *)
   let candidates, t_merge =
     timed "phase.merge" (fun () ->
-        Array.to_list analyzed
+        per_spec
         |> List.concat_map (fun (si, cands, _) ->
                List.mapi (fun qi c -> (si, qi, c)) cands)
         |> List.sort merge_compare

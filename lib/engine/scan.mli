@@ -1,10 +1,16 @@
 (** The parallel scan engine.
 
     A scan fans two stages out over the {!Pool}: tolerant parsing (one
-    work item per file) and taint analysis (one work item per detector
-    spec, each a self-contained multi-pass project analysis).  Both
-    stages consult the optional {!Cache}, so a rescan of unchanged
-    sources skips straight to the merged result.
+    work item per file) and taint analysis.  By default the analysis is
+    {e fused}: one multi-pass project walk computes candidates for all
+    detector specs at once (per-spec taint vectors in the analyzer), and
+    the parallel fan-out of its top-level pass is one work item per
+    FILE.  [fuse:false] — or [WAP_FUSE=0] in the environment — restores
+    the previous pipeline, one self-contained project analysis per spec;
+    both produce byte-identical merged output, which is what the
+    [scan-fused-equiv] fuzz oracle checks.  Both stages consult the
+    optional {!Cache}, so a rescan of unchanged sources skips straight
+    to the merged result.
 
     Candidates are merged in a deterministic order — sorted by sink
     file, then sink location, ties broken by spec order and discovery
@@ -24,9 +30,17 @@ open Wap_php
     part of every cache key. *)
 val cache_format_version : string
 
+(** The default of {!request}'s [fuse]: [false] iff [WAP_FUSE] is set to
+    [0], [false] or [off]. *)
+val default_fuse : unit -> bool
+
 type progress =
   | File_parsed of { path : string; cached : bool }
   | Spec_analyzed of { spec : string; cached : bool }
+      (** per-spec pipeline only ([fuse:false]) *)
+  | File_analyzed of { path : string; cached : bool }
+      (** fused pipeline only: one per file once its analysis (or cache
+          assembly) is done *)
 
 type request = {
   files : (string * string) list;  (** [(path, source)], scanned as one app *)
@@ -38,17 +52,20 @@ type request = {
           active spec set, so changing either invalidates analysis
           entries *)
   interprocedural : bool;
+  fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
   on_progress : (progress -> unit) option;
       (** invoked in the calling domain, once per finished work item *)
 }
 
 (** [request ~specs files] with defaults: [jobs = Pool.default_jobs ()],
-    no cache, empty fingerprint, interprocedural on. *)
+    no cache, empty fingerprint, interprocedural on,
+    [fuse = default_fuse ()]. *)
 val request :
   ?jobs:int ->
   ?cache:Cache.t ->
   ?fingerprint:string ->
   ?interprocedural:bool ->
+  ?fuse:bool ->
   ?on_progress:(progress -> unit) ->
   specs:Wap_catalog.Catalog.spec list ->
   (string * string) list ->
@@ -63,7 +80,9 @@ type file_report = {
 
 type spec_report = {
   sr_spec : string;  (** submodule/class label *)
-  sr_seconds : float;  (** wall clock spent on this detector *)
+  sr_seconds : float;
+      (** wall clock spent on this detector; [0.] in the fused pipeline,
+          where the specs share one pass (see [phases]) *)
   sr_cached : bool;
   sr_candidates : int;
 }

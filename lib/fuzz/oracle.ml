@@ -1,4 +1,4 @@
-(* The five differential oracles.
+(* The six differential oracles.
 
    Each oracle is a predicate over one fuzz case that must hold for
    *every* input: not "the scan finds the planted bug" but "the pipeline
@@ -143,7 +143,24 @@ let scan_determinism ctx case =
               else Fail "ASCII-escaping the export changed its contents")
 
 (* ------------------------------------------------------------------ *)
-(* 4. Sanitizer monotonicity: wrapping a tainted sink argument in a
+(* 4. Fused/per-spec equivalence: the fused multi-spec taint pass and
+   the sequential one-pass-per-spec pipeline export byte-identical
+   results.  This is the differential check of the fused analyzer: the
+   per-spec path exercises N independent single-spec analyses, so any
+   cross-spec interaction inside the fused pass shows up here. *)
+
+let scan_fused_equiv ctx case =
+  let tool = Lazy.force ctx.tool in
+  let export ~fuse =
+    canon_export
+      (Wap_core.Scan.run tool
+         (Wap_core.Scan.request ~fuse ~jobs:1 [ (file, case.source) ]))
+  in
+  if String.equal (export ~fuse:true) (export ~fuse:false) then Pass
+  else Fail "fused scan export differs from the per-spec scan export"
+
+(* ------------------------------------------------------------------ *)
+(* 5. Sanitizer monotonicity: wrapping a tainted sink argument in a
    sanitizer of the candidate's class never *adds* candidates. *)
 
 let count_by_key cands =
@@ -231,7 +248,7 @@ let sanitizer_monotonicity ctx case =
             | None -> Pass))
 
 (* ------------------------------------------------------------------ *)
-(* 5. Fixer soundness: corrected source reparses, and the rescan reports
+(* 6. Fixer soundness: corrected source reparses, and the rescan reports
    no candidate of the fixed class at the fixed line. *)
 
 let fixer_soundness ctx case =
@@ -291,6 +308,9 @@ let all =
     { name = "scan-determinism";
       describe = "JSON export byte-identical across --jobs and cache states; well-formed";
       check = scan_determinism };
+    { name = "scan-fused-equiv";
+      describe = "fused multi-spec scan byte-identical to the per-spec pipeline";
+      check = scan_fused_equiv };
     { name = "sanitizer-monotonicity";
       describe = "sanitizing a tainted argument never adds candidates";
       check = sanitizer_monotonicity };

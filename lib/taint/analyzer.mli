@@ -1,12 +1,14 @@
-(** The taint analyzer: detects candidate vulnerabilities for one
-    detector specification.
+(** The taint analyzer: one fused flow-sensitive pass computing
+    candidate vulnerabilities for {e all} active detector specs at
+    once.
 
-    The analysis is flow-sensitive inside each scope and interprocedural
-    through {!Summary} tables.  Sanitization functions of the spec kill
-    taint; validation functions do {e not} — they only add guard
-    evidence to the flow, exactly like the original WAP, whose
-    false-positive predictor is in charge of deciding whether the
-    observed validations make the candidate a false alarm. *)
+    Taint is tracked as a per-spec vector ({!Env.taint}): entry points
+    mark the components of the specs they feed, each spec's sanitizers
+    kill only that spec's component, and a sink emits one candidate per
+    spec whose component survives.  Components never interact across
+    specs, so the fused run is — component by component — exactly the N
+    independent single-spec runs, with the spec-independent work
+    (traversal, environment bookkeeping, include splicing) done once. *)
 
 open Wap_php
 
@@ -27,53 +29,63 @@ val splice_includes :
   units:file_unit list -> depth:int -> visited:string list ->
   Ast.program -> Ast.program
 
-(** Raised by {!Wap_core.Tool} helpers; kept here for reuse. *)
-
 (** {2 Per-file steps}
 
-    The analysis of a (spec, project) pair decomposes into per-file
+    The analysis of a (spec set, project) pair decomposes into per-file
     sweeps over a {!project_state} that owns every piece of mutable
     state — no globals, so any number of states can be driven
-    concurrently (the parallel scan engine runs one per detector
-    spec). *)
+    concurrently (the parallel scan engine runs one per project). *)
 
 type project_state
 
 val project_state :
-  ?interprocedural:bool -> spec:Wap_catalog.Catalog.spec -> unit ->
+  ?interprocedural:bool -> specs:Wap_catalog.Catalog.spec list -> unit ->
   project_state
 
-(** Pure per-file step: the summaries of the functions defined in one
-    file, computed against (but never registered into) the given
-    table. *)
-val file_summaries :
-  spec:Wap_catalog.Catalog.spec -> summaries:Summary.table -> file_unit ->
-  Summary.t list
-
 (** Pass-1 step: compute and register the summaries of one file's
-    functions (each visible to the functions and files after it). *)
+    functions (each visible to the functions and files after it).
+    Sequential, in file order. *)
 val summarize_file : project_state -> file_unit -> unit
 
-(** Pass-2 step: emit candidates found inside one file's function
-    bodies, refining their summaries now that callees are known. *)
-val analyze_file_functions : project_state -> file_unit -> unit
+(** Pass-2 step: the candidates found inside one file's function bodies
+    (paired with the finding spec's id, discovery order), refining
+    their summaries now that callees are known.  Sequential, in file
+    order, on the shared state. *)
+val analyze_file_functions :
+  project_state -> file_unit -> (int * Trace.candidate) list
 
 (** Pass-3 step: top-level flows of one file, with literal includes of
-    project files ([units]) spliced in place. *)
+    project files ([units]) spliced in place.  Pure with respect to the
+    state (fresh context, read-only summaries), so different files may
+    run concurrently.  Candidates are de-duplicated within the file
+    only; run {!finalize} over the concatenation. *)
 val analyze_file_toplevel :
-  project_state -> units:file_unit list -> file_unit -> unit
+  project_state -> units:file_unit list -> file_unit ->
+  (int * Trace.candidate) list
 
-(** Accumulated candidates, dead-sink filtered. *)
-val project_candidates :
-  project_state -> units:file_unit list -> Trace.candidate list
+(** Cross-file/cross-pass de-duplication (first emission wins) followed
+    by the dead-sink filter.  Feed it pass-2 results (in file order)
+    followed by pass-3 results (in file order). *)
+val finalize :
+  units:file_unit list ->
+  (int * Trace.candidate) list ->
+  (int * Trace.candidate) list
 
-(** Analyze a set of files as one application under a single detector
-    spec.  Function summaries are shared across the whole set, which is
-    how WAP sees applications spread over many included files.
+(** Whole-project fused analysis: passes 1–3 over all files, finalized.
+    Each candidate is paired with the id (list position in [specs]) of
+    the spec that found it; candidates are in discovery order.
 
     [interprocedural:false] disables the summary mechanism (function
     bodies are still scanned for local flows, but taint no longer
     crosses call boundaries) — the ablation of DESIGN.md §6. *)
+val analyze_project_indexed :
+  ?interprocedural:bool ->
+  specs:Wap_catalog.Catalog.spec list ->
+  file_unit list ->
+  (int * Trace.candidate) list
+
+(** Analyze a set of files as one application under a single detector
+    spec (the fused analysis of a one-spec set). *)
 val analyze_project :
   ?interprocedural:bool ->
   spec:Wap_catalog.Catalog.spec ->
@@ -87,8 +99,10 @@ val analyze_program :
   Ast.program ->
   Trace.candidate list
 
-(** Run several detector specs over the same project and concatenate the
-    findings (one run per sub-module configuration, as in Fig. 2). *)
+(** Run several detector specs over the same project — one fused pass —
+    and return the findings grouped by spec, in spec order (the shape a
+    sequential run per sub-module configuration, as in Fig. 2, would
+    produce). *)
 val analyze_with_specs :
   ?interprocedural:bool ->
   specs:Wap_catalog.Catalog.spec list ->

@@ -6,7 +6,12 @@
     sinks inside the body it can reach.  A parameter whose flow is
     killed by a sanitizer simply does not appear — so a user wrapper
     around [mysql_real_escape_string] is automatically treated as a
-    sanitizer at call sites. *)
+    sanitizer at call sites.
+
+    Because sanitizers (and sources, and sinks) are per-spec, one
+    function has one summary {e per active spec}: a {!fused} summary is
+    the array of those per-spec summaries, built in a single body walk
+    and indexed by spec id. *)
 
 type param_flow = {
   pf_index : int;
@@ -23,6 +28,7 @@ type param_sink = {
 }
 [@@deriving show]
 
+(** One spec's view of one function. *)
 type t = {
   fn_name : string;  (** lowercase *)
   arity : int;
@@ -39,10 +45,22 @@ let empty fn_name arity =
 
 let find_param_flow t i = List.find_opt (fun pf -> pf.pf_index = i) t.returns_params
 
+(** All active specs' views of one function, indexed by spec id. *)
+type fused = {
+  fs_name : string;  (** lowercase *)
+  fs_arity : int;
+  fs_specs : t array;
+}
+
+let fused_of_list name arity per_spec =
+  { fs_name = name; fs_arity = arity; fs_specs = Array.of_list per_spec }
+
+let for_spec (f : fused) id = f.fs_specs.(id)
+
 (** Summaries table keyed by lowercase function name.  Methods are
     registered under their bare method name. *)
-type table = (string, t) Hashtbl.t
+type table = (string, fused) Hashtbl.t
 
 let create_table () : table = Hashtbl.create 64
 let find (tbl : table) name = Hashtbl.find_opt tbl (String.lowercase_ascii name)
-let register (tbl : table) (s : t) = Hashtbl.replace tbl s.fn_name s
+let register (tbl : table) (s : fused) = Hashtbl.replace tbl s.fs_name s

@@ -6,7 +6,12 @@
     sinks inside the body it can reach.  A parameter whose flow is
     killed by a sanitizer simply does not appear — so a user wrapper
     around [mysql_real_escape_string] is automatically treated as a
-    sanitizer at call sites. *)
+    sanitizer at call sites.
+
+    Sanitizers, sources and sinks are per-spec, so one function has one
+    summary {e per active spec}: a {!fused} summary is the array of
+    per-spec summaries built in a single body walk, indexed by spec
+    id. *)
 
 type param_flow = {
   pf_index : int;
@@ -23,6 +28,7 @@ type param_sink = {
 }
 [@@deriving show]
 
+(** One spec's view of one function. *)
 type t = {
   fn_name : string;  (** lowercase *)
   arity : int;
@@ -37,10 +43,20 @@ type t = {
 val empty : string -> int -> t
 val find_param_flow : t -> int -> param_flow option
 
+(** All active specs' views of one function, indexed by spec id. *)
+type fused = {
+  fs_name : string;  (** lowercase *)
+  fs_arity : int;
+  fs_specs : t array;
+}
+
+val fused_of_list : string -> int -> t list -> fused
+val for_spec : fused -> int -> t
+
 (** Summary table keyed by lowercase function name; methods are
     registered under their bare method name. *)
 type table
 
 val create_table : unit -> table
-val find : table -> string -> t option
-val register : table -> t -> unit
+val find : table -> string -> fused option
+val register : table -> fused -> unit

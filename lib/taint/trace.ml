@@ -45,6 +45,54 @@ let add_step o step = { o with steps = o.steps @ [ step ] }
 let add_through o fname = { o with through = fname :: o.through }
 let add_guard o g = if List.mem g o.guards then o else { o with guards = g :: o.guards }
 
+(* ------------------------------------------------------------------ *)
+(* Evidence-list merges.                                               *)
+
+(* [through]/[guards] are small most of the time, but deep concatenation
+   chains fold thousands of operands into one origin; the naive
+   prepend-if-absent accumulation is then quadratic.  Both merges below
+   keep the exact output (order included) of the naive versions and
+   switch to a set-backed membership test once the lists are big enough
+   for it to pay. *)
+
+module SS = Set.Make (String)
+
+let small_merge = 8
+
+(** [union_names base extra]: fold [extra] onto [base], prepending each
+    element not already present — the accumulation historically done with
+    [if List.mem x l then l else x :: l]. *)
+let union_names base extra =
+  match extra with
+  | [] -> base
+  | _ ->
+      if List.length base + List.length extra <= small_merge then
+        List.fold_left
+          (fun l x -> if List.mem x l then l else x :: l)
+          base extra
+      else
+        let seen = ref (SS.of_list base) in
+        List.fold_left
+          (fun l x ->
+            if SS.mem x !seen then l
+            else begin
+              seen := SS.add x !seen;
+              x :: l
+            end)
+          base extra
+
+(** [inter_names a b]: elements of [a] also present in [b], in [a]'s
+    order — guard intersection at control-flow merges. *)
+let inter_names a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | _ ->
+      if List.length a + List.length b <= small_merge then
+        List.filter (fun g -> List.mem g b) a
+      else
+        let in_b = SS.of_list b in
+        List.filter (fun g -> SS.mem g in_b) a
+
 (** Is the origin a function-summary placeholder for parameter [i]? *)
 let param_source i = Printf.sprintf "param:%d" i
 

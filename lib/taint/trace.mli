@@ -42,6 +42,16 @@ val add_step : origin -> step -> origin
 val add_through : origin -> string -> origin
 val add_guard : origin -> string -> origin
 
+(** [union_names base extra] folds [extra] onto [base], prepending each
+    element not already present — the [through]/[guards] accumulation of
+    operand joins.  Set-backed above a small size, naive below; output is
+    identical either way. *)
+val union_names : string list -> string list -> string list
+
+(** [inter_names a b]: elements of [a] also present in [b], in [a]'s
+    order — the guard intersection at control-flow merges. *)
+val inter_names : string list -> string list -> string list
+
 (** The placeholder source name for parameter [i] during function-summary
     analysis. *)
 val param_source : int -> string

@@ -87,6 +87,29 @@ let test_scan_deterministic () =
   Alcotest.(check string) "jobs=2 byte-identical to jobs=1" j1 (export 2);
   Alcotest.(check string) "jobs=4 byte-identical to jobs=1" j1 (export 4)
 
+let test_fused_equals_per_spec () =
+  (* the tentpole invariant: the fused multi-spec pass and the per-spec
+     escape hatch produce byte-identical exports, at any worker count *)
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let export ~fuse jobs =
+    let o = Scan.run tool (Scan.request ~fuse ~jobs files) in
+    Wap_core.Export.result_to_string (zero_timings o.Scan.result)
+  in
+  let fused = export ~fuse:true 1 in
+  Alcotest.(check bool) "non-trivial corpus" true (String.length fused > 1000);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "per-spec jobs=%d identical to fused" jobs)
+        fused
+        (export ~fuse:false jobs);
+      Alcotest.(check string)
+        (Printf.sprintf "fused jobs=%d identical to fused jobs=1" jobs)
+        fused
+        (export ~fuse:true jobs))
+    [ 1; 4 ]
+
 let test_engine_merge_order () =
   (* the raw (pre-dedup) engine output is also order-stable *)
   let tool = Lazy.force wape in
@@ -127,16 +150,33 @@ let test_cache_memoize () =
 let test_cache_rescan_hits () =
   let tool = Lazy.force wape in
   let files = acp_files () in
-  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let nfiles = List.length files in
+  (* fused: one parse entry plus one analysis entry per FILE *)
   let cache = Cache.create () in
-  let o1 = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
-  Alcotest.(check int) "cold scan misses everything" (nfiles + nspecs)
+  let o1 = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache files) in
+  Alcotest.(check int) "cold scan misses everything" (nfiles + nfiles)
     o1.Scan.cache_misses;
   Alcotest.(check int) "cold scan hits nothing" 0 o1.Scan.cache_hits;
-  let o2 = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
-  Alcotest.(check int) "warm rescan hits everything" (nfiles + nspecs)
+  let o2 = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache files) in
+  Alcotest.(check int) "warm rescan hits everything" (nfiles + nfiles)
     o2.Scan.cache_hits;
   Alcotest.(check int) "warm rescan misses nothing" 0 o2.Scan.cache_misses;
+  Alcotest.(check string) "cached result identical"
+    (Wap_core.Export.result_to_string (zero_timings o1.Scan.result))
+    (Wap_core.Export.result_to_string (zero_timings o2.Scan.result))
+
+let test_cache_rescan_hits_per_spec () =
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  (* per-spec escape hatch: one analysis entry per SPEC *)
+  let cache = Cache.create () in
+  let o1 = Scan.run tool (Scan.request ~fuse:false ~jobs:2 ~cache files) in
+  Alcotest.(check int) "cold scan misses everything" (nfiles + nspecs)
+    o1.Scan.cache_misses;
+  let o2 = Scan.run tool (Scan.request ~fuse:false ~jobs:2 ~cache files) in
+  Alcotest.(check int) "warm rescan hits everything" (nfiles + nspecs)
+    o2.Scan.cache_hits;
   Alcotest.(check string) "cached result identical"
     (Wap_core.Export.result_to_string (zero_timings o1.Scan.result))
     (Wap_core.Export.result_to_string (zero_timings o2.Scan.result))
@@ -144,39 +184,58 @@ let test_cache_rescan_hits () =
 let test_cache_source_edit_invalidates () =
   let tool = Lazy.force wape in
   let files = acp_files () in
-  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let nfiles = List.length files in
   let cache = Cache.create () in
-  let _ = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
+  let _ = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache files) in
   (* editing one file re-parses just that file but re-analyzes the whole
-     project (summaries and includes are cross-file) *)
+     project (summaries and includes are cross-file, so every per-file
+     analysis entry embeds the whole-project digest) *)
   let edited =
     match files with
     | (path, src) :: rest -> (path, src ^ "\n") :: rest
     | [] -> assert false
   in
-  let o = Scan.run tool (Scan.request ~jobs:2 ~cache edited) in
+  let o = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache edited) in
   Alcotest.(check int) "unchanged files still hit" (nfiles - 1) o.Scan.cache_hits;
-  Alcotest.(check int) "edited file + all specs recomputed" (1 + nspecs)
-    o.Scan.cache_misses
+  Alcotest.(check int) "edited parse + every analysis entry recomputed"
+    (1 + nfiles) o.Scan.cache_misses
 
 let test_cache_spec_set_invalidates () =
   let tool = Lazy.force wape in
   let files = acp_files () in
   let nfiles = List.length files in
   let cache = Cache.create () in
-  let _ = Scan.run tool (Scan.request ~jobs:2 ~cache files) in
-  (* equipping a weapon changes the fingerprint: parse entries survive,
-     every analysis entry is invalid *)
+  let _ = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache files) in
+  (* equipping a weapon changes the spec-set fingerprint: parse entries
+     survive, every per-file analysis entry is invalid *)
   let armed =
     T.create ~seed ~weapons:[ Wap_weapon.Generator.wpsqli () ]
       Wap_core.Version.Wape
   in
   Alcotest.(check bool) "fingerprints differ" false
     (String.equal (T.Scan.fingerprint tool) (T.Scan.fingerprint armed));
-  let o = Scan.run armed (Scan.request ~jobs:2 ~cache files) in
+  let o = Scan.run armed (Scan.request ~fuse:true ~jobs:2 ~cache files) in
   Alcotest.(check int) "parses reused across tools" nfiles o.Scan.cache_hits;
-  Alcotest.(check int) "every spec recomputed" (List.length armed.T.specs)
-    o.Scan.cache_misses
+  Alcotest.(check int) "every file re-analyzed" nfiles o.Scan.cache_misses
+
+let test_cache_weapon_added_mid_cache () =
+  (* regression: a weapon equipped after the cache is warm must change
+     the scan result exactly as it would with no cache at all *)
+  let tool = Lazy.force wape in
+  let files = acp_files () in
+  let cache = Cache.create () in
+  let _ = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache files) in
+  let armed =
+    T.create ~seed ~weapons:[ Wap_weapon.Generator.wpsqli () ]
+      Wap_core.Version.Wape
+  in
+  let via_warm_cache =
+    Scan.run armed (Scan.request ~fuse:true ~jobs:2 ~cache files)
+  in
+  let via_no_cache = Scan.run armed (Scan.request ~fuse:true ~jobs:2 files) in
+  Alcotest.(check string) "warm cache does not mask the new weapon"
+    (Wap_core.Export.result_to_string (zero_timings via_no_cache.Scan.result))
+    (Wap_core.Export.result_to_string (zero_timings via_warm_cache.Scan.result))
 
 let rec rm_rf path =
   if Sys.is_directory path then begin
@@ -188,7 +247,7 @@ let rec rm_rf path =
 let test_cache_disk_persistence () =
   let tool = Lazy.force wape in
   let files = acp_files () in
-  let nfiles = List.length files and nspecs = List.length tool.T.specs in
+  let nfiles = List.length files in
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "wap-cache-test-%d" (Unix.getpid ()))
@@ -197,13 +256,13 @@ let test_cache_disk_persistence () =
     ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
     (fun () ->
       let c1 = Cache.create ~dir () in
-      let o1 = Scan.run tool (Scan.request ~jobs:2 ~cache:c1 files) in
-      Alcotest.(check int) "first process misses" (nfiles + nspecs)
+      let o1 = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache:c1 files) in
+      Alcotest.(check int) "first process misses" (nfiles + nfiles)
         o1.Scan.cache_misses;
       (* a fresh Cache.t on the same directory simulates a new process *)
       let c2 = Cache.create ~dir () in
-      let o2 = Scan.run tool (Scan.request ~jobs:2 ~cache:c2 files) in
-      Alcotest.(check int) "second process hits from disk" (nfiles + nspecs)
+      let o2 = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~cache:c2 files) in
+      Alcotest.(check int) "second process hits from disk" (nfiles + nfiles)
         o2.Scan.cache_hits;
       Alcotest.(check string) "persisted result identical"
         (Wap_core.Export.result_to_string (zero_timings o1.Scan.result))
@@ -215,23 +274,33 @@ let test_cache_disk_persistence () =
 let test_progress_and_timings () =
   let tool = Lazy.force wape in
   let files = acp_files () in
-  let parsed = ref 0 and analyzed = ref 0 in
+  let parsed = ref 0 and spec_analyzed = ref 0 and file_analyzed = ref 0 in
   let on_progress = function
     | Wap_engine.Scan.File_parsed _ -> incr parsed
-    | Wap_engine.Scan.Spec_analyzed _ -> incr analyzed
+    | Wap_engine.Scan.Spec_analyzed _ -> incr spec_analyzed
+    | Wap_engine.Scan.File_analyzed _ -> incr file_analyzed
   in
-  let o = Scan.run tool (Scan.request ~jobs:2 ~on_progress files) in
-  Alcotest.(check int) "one progress event per file" (List.length files) !parsed;
-  Alcotest.(check int) "one progress event per spec"
-    (List.length tool.T.specs) !analyzed;
+  let o = Scan.run tool (Scan.request ~fuse:true ~jobs:2 ~on_progress files) in
+  Alcotest.(check int) "one parse event per file" (List.length files) !parsed;
+  Alcotest.(check int) "one analyze event per file (fused)"
+    (List.length files) !file_analyzed;
+  Alcotest.(check int) "no per-spec events (fused)" 0 !spec_analyzed;
   Alcotest.(check int) "one timing per file" (List.length files)
     (List.length o.Scan.file_timings);
-  Alcotest.(check int) "one timing per spec" (List.length tool.T.specs)
+  Alcotest.(check int) "one report per spec" (List.length tool.T.specs)
     (List.length o.Scan.spec_timings);
   Alcotest.(check bool) "wall clock recorded" true
     (o.Scan.result.T.analysis_seconds > 0.0);
   Alcotest.(check bool) "cpu clock recorded" true
-    (o.Scan.result.T.analysis_cpu_seconds > 0.0)
+    (o.Scan.result.T.analysis_cpu_seconds > 0.0);
+  (* the per-spec escape hatch still reports per-spec progress *)
+  parsed := 0;
+  spec_analyzed := 0;
+  file_analyzed := 0;
+  let _ = Scan.run tool (Scan.request ~fuse:false ~jobs:2 ~on_progress files) in
+  Alcotest.(check int) "one analyze event per spec (per-spec)"
+    (List.length tool.T.specs) !spec_analyzed;
+  Alcotest.(check int) "no per-file analyze events (per-spec)" 0 !file_analyzed
 
 let test_phase_breakdown () =
   let tool = Lazy.force wape in
@@ -286,6 +355,8 @@ let () =
         [
           Alcotest.test_case "export byte-identical for jobs 1/2/4" `Slow
             test_scan_deterministic;
+          Alcotest.test_case "fused = per-spec, jobs 1/4" `Slow
+            test_fused_equals_per_spec;
           Alcotest.test_case "engine merge order stable" `Slow
             test_engine_merge_order;
           Alcotest.test_case "legacy wrappers route through Scan" `Slow
@@ -294,12 +365,16 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "memoize" `Quick test_cache_memoize;
-          Alcotest.test_case "warm rescan hits everything" `Slow
+          Alcotest.test_case "warm rescan hits everything (fused)" `Slow
             test_cache_rescan_hits;
+          Alcotest.test_case "warm rescan hits everything (per-spec)" `Slow
+            test_cache_rescan_hits_per_spec;
           Alcotest.test_case "source edit invalidates" `Slow
             test_cache_source_edit_invalidates;
           Alcotest.test_case "spec set invalidates" `Slow
             test_cache_spec_set_invalidates;
+          Alcotest.test_case "weapon added mid-cache" `Slow
+            test_cache_weapon_added_mid_cache;
           Alcotest.test_case "disk persistence" `Slow test_cache_disk_persistence;
         ] );
       ( "reporting",
