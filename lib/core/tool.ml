@@ -126,22 +126,26 @@ module Scan = struct
     jobs : int;  (** worker domains *)
     cache : Wap_engine.Cache.t option;
     fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
+    ir : bool;  (** fused pass 3 over lowered IR (default) vs AST walker *)
     on_progress : (Wap_engine.Scan.progress -> unit) option;
     package : Wap_corpus.Appgen.package option;
         (** corpus package the files came from (ground truth, LoC);
             synthesized from [files] when absent *)
   }
 
-  let request ?(jobs = Wap_engine.Pool.default_jobs ()) ?cache ?fuse
+  let request ?(jobs = Wap_engine.Pool.default_jobs ()) ?cache ?fuse ?ir
       ?on_progress ?package files =
     let fuse =
       match fuse with Some b -> b | None -> Wap_engine.Scan.default_fuse ()
     in
-    { files; jobs; cache; fuse; on_progress; package }
+    let ir =
+      match ir with Some b -> b | None -> Wap_engine.Scan.default_ir ()
+    in
+    { files; jobs; cache; fuse; ir; on_progress; package }
 
-  let request_of_package ?jobs ?cache ?fuse ?on_progress
+  let request_of_package ?jobs ?cache ?fuse ?ir ?on_progress
       (pkg : Wap_corpus.Appgen.package) =
-    request ?jobs ?cache ?fuse ?on_progress ~package:pkg
+    request ?jobs ?cache ?fuse ?ir ?on_progress ~package:pkg
       (List.map
          (fun (f : Wap_corpus.Appgen.file) ->
            (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
@@ -186,7 +190,7 @@ module Scan = struct
     let engine =
       Wap_engine.Scan.run
         (Wap_engine.Scan.request ~jobs:req.jobs ?cache:req.cache
-           ~fingerprint:(fingerprint t) ~fuse:req.fuse
+           ~fingerprint:(fingerprint t) ~fuse:req.fuse ~ir:req.ir
            ?on_progress:req.on_progress ~specs:t.specs req.files)
     in
     let t0_predict = Unix.gettimeofday () in

@@ -79,6 +79,7 @@ module Scan : sig
     jobs : int;  (** worker domains *)
     cache : Wap_engine.Cache.t option;
     fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
+    ir : bool;  (** fused pass 3 over lowered IR (default) vs AST walker *)
     on_progress : (Wap_engine.Scan.progress -> unit) option;
     package : Wap_corpus.Appgen.package option;
         (** corpus package the files came from (ground truth, LoC);
@@ -87,11 +88,13 @@ module Scan : sig
 
   (** Build a request.  [jobs] defaults to
       {!Wap_engine.Pool.default_jobs}; omitting [cache] disables
-      caching; [fuse] defaults to {!Wap_engine.Scan.default_fuse}. *)
+      caching; [fuse] defaults to {!Wap_engine.Scan.default_fuse};
+      [ir] to {!Wap_engine.Scan.default_ir}. *)
   val request :
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
     ?fuse:bool ->
+    ?ir:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     ?package:Wap_corpus.Appgen.package ->
     (string * string) list ->
@@ -102,6 +105,7 @@ module Scan : sig
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
     ?fuse:bool ->
+    ?ir:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     Wap_corpus.Appgen.package ->
     request

@@ -4,17 +4,30 @@
 
     [fuse:false] (or [WAP_FUSE=0]) switches stage 2 back to the
     sequential one-pass-per-spec pipeline — the escape hatch used for
-    differential checking of the fused analyzer. *)
+    differential checking of the fused analyzer.
+
+    The fused top-level sweep (pass 3) runs on the three-address IR
+    ({!Wap_ir}): each file is lowered once and executed as flat
+    instruction arrays.  [ir:false] (or [WAP_IR=0]) keeps the AST
+    walker — the differential reference enforced byte-identical by the
+    [scan-ir-equiv] oracle. *)
 
 open Wap_php
 module Cat = Wap_catalog.Catalog
 module Trace = Wap_taint.Trace
 module Obs = Wap_obs.Trace
 
-let cache_format_version = "wap-engine-2"
+(* v3: the fused analyze-file entries gained the IR/AST mode in their
+   digest (and the IR path itself), so v2 entries must not be reused. *)
+let cache_format_version = "wap-engine-3"
 
 let default_fuse () =
   match Sys.getenv_opt "WAP_FUSE" with
+  | Some ("0" | "false" | "off") -> false
+  | _ -> true
+
+let default_ir () =
+  match Sys.getenv_opt "WAP_IR" with
   | Some ("0" | "false" | "off") -> false
   | _ -> true
 
@@ -39,13 +52,16 @@ type request = {
   fingerprint : string;
   interprocedural : bool;
   fuse : bool;
+  ir : bool;  (** fused pass 3 on the lowered IR (default) or the AST *)
   on_progress : (progress -> unit) option;
 }
 
 let request ?(jobs = Pool.default_jobs ()) ?cache ?(fingerprint = "")
-    ?(interprocedural = true) ?fuse ?on_progress ~specs files =
+    ?(interprocedural = true) ?fuse ?ir ?on_progress ~specs files =
   let fuse = match fuse with Some b -> b | None -> default_fuse () in
-  { files; specs; jobs; cache; fingerprint; interprocedural; fuse; on_progress }
+  let ir = match ir with Some b -> b | None -> default_ir () in
+  { files; specs; jobs; cache; fingerprint; interprocedural; fuse; ir;
+    on_progress }
 
 type file_report = {
   fr_path : string;
@@ -180,28 +196,40 @@ let run (req : request) : outcome =
        (summaries, include splicing), so the digest covers the whole
        source set and the full spec set: any edit, or a weapon
        added/removed, invalidates every entry *)
+    (* [ir] is part of the digest so the IR and AST modes never share
+       entries — a shared entry would mask exactly the divergences the
+       [scan-ir-equiv] differential oracle exists to catch *)
     let fuse_digest =
       Cache.key
         [ cache_format_version; project_digest;
           Cat.set_fingerprint req.specs;
-          string_of_bool req.interprocedural ]
+          string_of_bool req.interprocedural;
+          string_of_bool req.ir ]
     in
-    let file_key (u : Wap_taint.Analyzer.file_unit) =
+    (* per-file keys carry the file's own source digest, not just its
+       path: a request may legally repeat a path with different
+       contents (merged corpora do), and path-only keys would hand the
+       second file the first one's entry *)
+    let src_digests =
+      Array.of_list
+        (List.map (fun (_, src) -> Digest.to_hex (Digest.string src)) req.files)
+    in
+    let file_key i (u : Wap_taint.Analyzer.file_unit) =
       Cache.key
         [ cache_format_version; "analyze-file"; fuse_digest;
-          u.Wap_taint.Analyzer.path ]
+          u.Wap_taint.Analyzer.path; src_digests.(i) ]
     in
     (* all-or-nothing probe (every key is probed even after a miss, so
        hit/miss counts stay deterministic): assembling a partial set
        would not be cheaper — the passes are whole-project anyway *)
     let probed =
-      List.map
-        (fun u ->
+      List.mapi
+        (fun i u ->
           let entry :
               ((int * Trace.candidate) list * (int * Trace.candidate) list)
               option =
             match req.cache with
-            | Some c -> Cache.find c ~key:(file_key u)
+            | Some c -> Cache.find c ~key:(file_key i u)
             | None -> None
           in
           (u, entry))
@@ -228,19 +256,35 @@ let run (req : request) : outcome =
               Array.of_list
                 (List.map (Wap_taint.Analyzer.analyze_file_functions st) units))
         in
+        (* pass 3 per-file work item: lower once and sweep the flat
+           instruction arrays (default), or walk the AST ([ir:false]).
+           The memo key is [fuse_digest] (covers every spliced source
+           and the spec set) plus the file's own path AND source
+           digest — path alone is not enough, see [file_key] — so
+           rescans of an unchanged project skip lowering entirely *)
+        let unit_arr = Array.of_list units in
+        let toplevel_one =
+          if req.ir then fun i ->
+            let u = unit_arr.(i) in
+            Wap_ir.Exec.analyze_file_toplevel
+              ~memo_key:
+                (String.concat "\x01"
+                   [ fuse_digest; u.Wap_taint.Analyzer.path; src_digests.(i) ])
+              st ~units u
+          else fun i -> Wap_taint.Analyzer.analyze_file_toplevel st ~units unit_arr.(i)
+        in
         let pass3 =
           Obs.with_span ~cat:"engine" "fused.toplevel" (fun () ->
-              Pool.map ~jobs
-                (fun u -> Wap_taint.Analyzer.analyze_file_toplevel st ~units u)
-                (Array.of_list units))
+              Pool.map ~jobs toplevel_one
+                (Array.init (Array.length unit_arr) (fun i -> i)))
         in
         let per_file =
           List.mapi (fun i u -> (u, (pass2.(i), pass3.(i)))) units
         in
         (match req.cache with
         | Some c ->
-            List.iter
-              (fun (u, entry) -> Cache.store c ~key:(file_key u) entry)
+            List.iteri
+              (fun i (u, entry) -> Cache.store c ~key:(file_key i u) entry)
               per_file
         | None -> ());
         per_file

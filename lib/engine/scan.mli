@@ -34,6 +34,10 @@ val cache_format_version : string
     [0], [false] or [off]. *)
 val default_fuse : unit -> bool
 
+(** The default of {!request}'s [ir]: [false] iff [WAP_IR] is set to
+    [0], [false] or [off]. *)
+val default_ir : unit -> bool
+
 type progress =
   | File_parsed of { path : string; cached : bool }
   | Spec_analyzed of { spec : string; cached : bool }
@@ -53,19 +57,24 @@ type request = {
           entries *)
   interprocedural : bool;
   fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
+  ir : bool;
+      (** fused pass 3 runs over lowered three-address IR (default)
+          instead of the AST walker; both produce byte-identical merged
+          output, which is what the [scan-ir-equiv] fuzz oracle checks *)
   on_progress : (progress -> unit) option;
       (** invoked in the calling domain, once per finished work item *)
 }
 
 (** [request ~specs files] with defaults: [jobs = Pool.default_jobs ()],
     no cache, empty fingerprint, interprocedural on,
-    [fuse = default_fuse ()]. *)
+    [fuse = default_fuse ()], [ir = default_ir ()]. *)
 val request :
   ?jobs:int ->
   ?cache:Cache.t ->
   ?fingerprint:string ->
   ?interprocedural:bool ->
   ?fuse:bool ->
+  ?ir:bool ->
   ?on_progress:(progress -> unit) ->
   specs:Wap_catalog.Catalog.spec list ->
   (string * string) list ->

@@ -1,0 +1,23 @@
+(** Growable arenas of basic blocks: dense ids in completion order. *)
+
+type 'a t = { mutable blocks : 'a array array; mutable len : int }
+
+let create () = { blocks = [||]; len = 0 }
+
+let ensure t n =
+  if n > Array.length t.blocks then begin
+    let cap = max 8 (max n (2 * Array.length t.blocks)) in
+    let blocks = Array.make cap [||] in
+    Array.blit t.blocks 0 blocks 0 t.len;
+    t.blocks <- blocks
+  end
+
+let add t block =
+  ensure t (t.len + 1);
+  t.blocks.(t.len) <- block;
+  let id = t.len in
+  t.len <- id + 1;
+  id
+
+let num_blocks t = t.len
+let freeze t = Array.sub t.blocks 0 t.len

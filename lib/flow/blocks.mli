@@ -1,0 +1,20 @@
+(** Growable arenas of basic blocks.
+
+    A block is an immutable array of instructions of some IR; an arena
+    assigns each finished block a dense integer id, in completion order.
+    Structured IRs lowered from ASTs ({!Wap_ir}) reference sub-blocks by
+    id (a body, a ternary arm, a switch case) and freeze the arena into
+    a plain [array] once lowering is done, so the executor indexes
+    blocks with no indirection. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Append a finished block; returns its id (dense, starting at 0). *)
+val add : 'a t -> 'a array -> int
+
+val num_blocks : 'a t -> int
+
+(** Snapshot of all blocks added so far, indexed by id. *)
+val freeze : 'a t -> 'a array array

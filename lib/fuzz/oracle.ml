@@ -160,6 +160,24 @@ let scan_fused_equiv ctx case =
   else Fail "fused scan export differs from the per-spec scan export"
 
 (* ------------------------------------------------------------------ *)
+(* 4b. IR/AST equivalence: the fused pass over lowered three-address IR
+   and the original AST walker export byte-identical results.  This is
+   the differential check of the lowering + IR executor (Wap_ir): the
+   [ir:false] path runs the walker verbatim, so any divergence in
+   evaluation order, guard refinement, loop fixpoints or candidate
+   rendering shows up here. *)
+
+let scan_ir_equiv ctx case =
+  let tool = Lazy.force ctx.tool in
+  let export ~ir =
+    canon_export
+      (Wap_core.Scan.run tool
+         (Wap_core.Scan.request ~ir ~jobs:1 [ (file, case.source) ]))
+  in
+  if String.equal (export ~ir:true) (export ~ir:false) then Pass
+  else Fail "IR scan export differs from the AST-walker scan export"
+
+(* ------------------------------------------------------------------ *)
 (* 5. Sanitizer monotonicity: wrapping a tainted sink argument in a
    sanitizer of the candidate's class never *adds* candidates. *)
 
@@ -311,6 +329,9 @@ let all =
     { name = "scan-fused-equiv";
       describe = "fused multi-spec scan byte-identical to the per-spec pipeline";
       check = scan_fused_equiv };
+    { name = "scan-ir-equiv";
+      describe = "fused scan over lowered IR byte-identical to the AST walker";
+      check = scan_ir_equiv };
     { name = "sanitizer-monotonicity";
       describe = "sanitizing a tainted argument never adds candidates";
       check = sanitizer_monotonicity };

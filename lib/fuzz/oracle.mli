@@ -26,9 +26,9 @@ type t = {
   check : ctx -> case -> verdict;
 }
 
-(** The six oracles, in documentation order: [lexer-totality],
+(** The seven oracles, in documentation order: [lexer-totality],
     [printer-fixpoint], [scan-determinism], [scan-fused-equiv],
-    [sanitizer-monotonicity], [fixer-soundness]. *)
+    [scan-ir-equiv], [sanitizer-monotonicity], [fixer-soundness]. *)
 val all : t list
 
 val by_name : string -> t option

@@ -1,0 +1,359 @@
+(** IR renderings for [wap ir --dump]. *)
+
+open Wap_php
+module J = Wap_report.Json
+
+let ids l = "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let idset = function Ir.All -> "all" | Ir.Only l -> ids l
+
+let loc (l : Loc.t) = Printf.sprintf "%d:%d" l.Loc.line l.Loc.col
+
+let temp t = "t" ^ string_of_int t
+
+let temps ts = "[" ^ String.concat ", " (List.map temp ts) ^ "]"
+
+let pos_temps ts =
+  "["
+  ^ String.concat ", " (List.map (fun (i, t) -> Printf.sprintf "%d:%s" i (temp t)) ts)
+  ^ "]"
+
+let plan (p : Ir.plan) =
+  "["
+  ^ String.concat "; "
+      (List.map
+         (fun (g : Ir.guard) ->
+           g.Ir.g_name ^ "(" ^ String.concat "," g.Ir.g_keys ^ ")")
+         p)
+  ^ "]"
+
+let rec lvalue = function
+  | Ir.Lv_var { name; sg_ids } ->
+      "$" ^ name ^ (if sg_ids = [] then "" else " sg" ^ ids sg_ids)
+  | Ir.Lv_index (Some v) -> "$" ^ v ^ "[...]"
+  | Ir.Lv_index None -> "?[...]"
+  | Ir.Lv_prop (Some v) -> "$" ^ v ^ "->..."
+  | Ir.Lv_prop None -> "?->..."
+  | Ir.Lv_list es ->
+      "list("
+      ^ String.concat ", "
+          (List.map (function Some lv -> lvalue lv | None -> "_") es)
+      ^ ")"
+  | Ir.Lv_skip -> "<skip>"
+
+let special = function
+  | Ir.Fs_sprintf parts ->
+      Printf.sprintf "sprintf[%d parts]" (List.length parts)
+  | Ir.Fs_plain { clean_if_unknown } ->
+      if clean_if_unknown then "clean-if-unknown" else "plain"
+
+let target = function
+  | Ir.Ct_dynamic -> "dynamic"
+  | Ir.Ct_named { fname; through; ids } ->
+      Printf.sprintf "named %s through=%s ids=%s" fname through (idset ids)
+  | Ir.Ct_fn { lf; src; rest; special = sp } ->
+      Printf.sprintf "fn %s src=%s rest=%s %s" lf (ids src) (idset rest)
+        (special sp)
+
+let sink_targets ts =
+  "["
+  ^ String.concat "; "
+      (List.map
+         (fun (id, positions) ->
+           string_of_int id
+           ^ match positions with [] -> ":*" | ps -> ":" ^ ids ps)
+         ts)
+  ^ "]"
+
+let instr (i : Ir.instr) : string =
+  match i with
+  | Ir.Const { dst } -> temp dst ^ " <- const"
+  | Ir.Copy { dst; src } -> temp dst ^ " <- copy " ^ temp src
+  | Ir.Load_var { dst; name; sg_ids; loc = l } ->
+      Printf.sprintf "%s <- load $%s%s @%s" (temp dst) name
+        (if sg_ids = [] then "" else " source" ^ ids sg_ids)
+        (loc l)
+  | Ir.Read_rest { dst; name; sg_ids } ->
+      Printf.sprintf "%s <- rest $%s without%s" (temp dst) name (ids sg_ids)
+  | Ir.Sg_index { dst; rest; sg_ids; rendered; loc = l } ->
+      Printf.sprintf "%s <- sg-index %s source%s over %s @%s" (temp dst)
+        rendered (ids sg_ids) (temp rest) (loc l)
+  | Ir.Array_get { dst; base } -> temp dst ^ " <- array-get " ^ temp base
+  | Ir.Field_get { dst; base } -> temp dst ^ " <- field-get " ^ temp base
+  | Ir.Binop { dst; l; r; concat } ->
+      Printf.sprintf "%s <- %s %s %s" (temp dst)
+        (if concat then "concat" else "binop")
+        (temp l) (temp r)
+  | Ir.Join { dst; srcs; mark } ->
+      Printf.sprintf "%s <- join %s%s" (temp dst) (temps srcs)
+        (match mark with Some m -> " through=" ^ m | None -> "")
+  | Ir.Through { dst; src; name } ->
+      Printf.sprintf "%s <- through %s %s" (temp dst) name (temp src)
+  | Ir.Assign_val { dst; rhs; prev; concat; loc = l; _ } ->
+      Printf.sprintf "%s <- assign%s %s%s @%s" (temp dst)
+        (if concat then ".=" else "")
+        (temp rhs)
+        (match prev with Some p -> " prev=" ^ temp p | None -> "")
+        (loc l)
+  | Ir.Store_var { src; name; sg_ids } ->
+      Printf.sprintf "store $%s%s <- %s" name
+        (if sg_ids = [] then "" else " sg" ^ ids sg_ids)
+        (temp src)
+  | Ir.Array_set { src; base } ->
+      Printf.sprintf "array-set %s <- %s"
+        (match base with Some v -> "$" ^ v | None -> "?")
+        (temp src)
+  | Ir.Field_set { src; base } ->
+      Printf.sprintf "field-set %s <- %s"
+        (match base with Some v -> "$" ^ v | None -> "?")
+        (temp src)
+  | Ir.Store { src; lv } -> Printf.sprintf "store %s <- %s" (lvalue lv) (temp src)
+  | Ir.Sink { name; loc = l; taints; targets; _ } ->
+      Printf.sprintf "sink %s specs=%s taints=%s @%s" name
+        (sink_targets targets) (pos_temps taints) (loc l)
+  | Ir.Call { dst; loc = l; args; target = tg; _ } ->
+      Printf.sprintf "%s <- call %s args=%s @%s" (temp dst) (target tg)
+        (pos_temps args) (loc l)
+  | Ir.Closure { uses; body } ->
+      Printf.sprintf "closure uses=[%s] body=b%d" (String.concat "," uses) body
+  | Ir.Ternary { dst; plan_t; plan_f; t_blk; t_res; f_blk; f_res } ->
+      Printf.sprintf "%s <- ternary b%d:%s / b%d:%s plan_t=%s plan_f=%s"
+        (temp dst) t_blk (temp t_res) f_blk (temp f_res) (plan plan_t)
+        (plan plan_f)
+  | Ir.Run { blk } -> Printf.sprintf "run b%d" blk
+  | Ir.Loop { enter; body } ->
+      Printf.sprintf "loop b%d enter=%s" body (plan enter)
+  | Ir.If_s { arms; else_ } ->
+      "if "
+      ^ String.concat " elif "
+          (List.map
+             (fun (ar : Ir.arm) ->
+               Printf.sprintf "b%d%s%s plan_t=%s plan_f=%s" ar.Ir.ar_body
+                 (if ar.Ir.ar_terminates then " term" else "")
+                 (match ar.Ir.ar_exit_guards with
+                 | Some _ -> " exit-guards"
+                 | None -> "")
+                 (plan ar.Ir.ar_plan_true) (plan ar.Ir.ar_plan_false))
+             arms)
+      ^
+      (match else_ with
+      | Some (b, term) ->
+          Printf.sprintf " else b%d%s" b (if term then " term" else "")
+      | None -> "")
+  | Ir.Switch_s { cases } ->
+      "switch "
+      ^ String.concat " " (List.map (fun b -> Printf.sprintf "b%d" b) cases)
+  | Ir.Try_s { body; catches; fin } ->
+      Printf.sprintf "try b%d catch [%s]%s" body
+        (String.concat " "
+           (List.map (fun b -> Printf.sprintf "b%d" b) catches))
+        (match fin with Some b -> Printf.sprintf " finally b%d" b | None -> "")
+  | Ir.Foreach_bind { subject; value_lv; key_lv; loc = l; _ } ->
+      Printf.sprintf "foreach-bind %s -> %s%s @%s" (temp subject)
+        (lvalue value_lv)
+        (match key_lv with Some k -> ", key " ^ lvalue k | None -> "")
+        (loc l)
+  | Ir.Return_t { src } -> "return " ^ temp src
+  | Ir.Set_clean { names } ->
+      "set-clean [" ^ String.concat ", " (List.map (fun v -> "$" ^ v) names) ^ "]"
+  | Ir.Store_raw { name; src } ->
+      Printf.sprintf "store-raw $%s <- %s" name (temp src)
+  | Ir.Unset_vars { names } ->
+      "unset [" ^ String.concat ", " (List.map (fun v -> "$" ^ v) names) ^ "]"
+
+let to_string (body : Ir.body) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "entry b%d, %d blocks, %d temps\n" body.Ir.entry
+    (Array.length body.Ir.blocks)
+    body.Ir.ntemps;
+  Array.iteri
+    (fun bi instrs ->
+      Printf.bprintf b "b%d:%s\n" bi
+        (if bi = body.Ir.entry then "  ; entry" else "");
+      Array.iter (fun i -> Printf.bprintf b "  %s\n" (instr i)) instrs)
+    body.Ir.blocks;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON.                                                                *)
+
+let j_ids l = J.List (List.map (fun i -> J.Int i) l)
+let j_idset = function Ir.All -> J.Str "all" | Ir.Only l -> j_ids l
+let j_loc (l : Loc.t) = J.Obj [ ("line", J.Int l.Loc.line); ("col", J.Int l.Loc.col) ]
+
+let j_plan (p : Ir.plan) =
+  J.List
+    (List.map
+       (fun (g : Ir.guard) ->
+         J.Obj
+           [ ("guard", J.Str g.Ir.g_name);
+             ("keys", J.List (List.map (fun k -> J.Str k) g.Ir.g_keys)) ])
+       p)
+
+let rec j_lvalue = function
+  | Ir.Lv_var { name; sg_ids } ->
+      J.Obj [ ("var", J.Str name); ("sg_ids", j_ids sg_ids) ]
+  | Ir.Lv_index base ->
+      J.Obj [ ("index_base", match base with Some v -> J.Str v | None -> J.Null) ]
+  | Ir.Lv_prop base ->
+      J.Obj [ ("prop_base", match base with Some v -> J.Str v | None -> J.Null) ]
+  | Ir.Lv_list es ->
+      J.Obj
+        [ ( "list",
+            J.List
+              (List.map
+                 (function Some lv -> j_lvalue lv | None -> J.Null)
+                 es) ) ]
+  | Ir.Lv_skip -> J.Obj [ ("skip", J.Bool true) ]
+
+let j_pos_temps ts =
+  J.List (List.map (fun (i, t) -> J.List [ J.Int i; J.Int t ]) ts)
+
+let j_target = function
+  | Ir.Ct_dynamic -> J.Obj [ ("kind", J.Str "dynamic") ]
+  | Ir.Ct_named { fname; through; ids } ->
+      J.Obj
+        [ ("kind", J.Str "named"); ("fname", J.Str fname);
+          ("through", J.Str through); ("ids", j_idset ids) ]
+  | Ir.Ct_fn { lf; src; rest; special } ->
+      J.Obj
+        ([ ("kind", J.Str "fn"); ("name", J.Str lf); ("source_ids", j_ids src);
+           ("rest_ids", j_idset rest) ]
+        @
+        match special with
+        | Ir.Fs_sprintf parts ->
+            [ ("special", J.Str "sprintf"); ("parts", J.Int (List.length parts)) ]
+        | Ir.Fs_plain { clean_if_unknown } ->
+            [ ("clean_if_unknown", J.Bool clean_if_unknown) ])
+
+let j_instr (i : Ir.instr) : J.t =
+  let op name fields = J.Obj (("op", J.Str name) :: fields) in
+  match i with
+  | Ir.Const { dst } -> op "const" [ ("dst", J.Int dst) ]
+  | Ir.Copy { dst; src } -> op "copy" [ ("dst", J.Int dst); ("src", J.Int src) ]
+  | Ir.Load_var { dst; name; sg_ids; loc } ->
+      op "load_var"
+        [ ("dst", J.Int dst); ("name", J.Str name); ("source_ids", j_ids sg_ids);
+          ("loc", j_loc loc) ]
+  | Ir.Read_rest { dst; name; sg_ids } ->
+      op "read_rest"
+        [ ("dst", J.Int dst); ("name", J.Str name); ("sg_ids", j_ids sg_ids) ]
+  | Ir.Sg_index { dst; rest; sg_ids; rendered; loc } ->
+      op "sg_index"
+        [ ("dst", J.Int dst); ("rest", J.Int rest); ("source_ids", j_ids sg_ids);
+          ("rendered", J.Str rendered); ("loc", j_loc loc) ]
+  | Ir.Array_get { dst; base } ->
+      op "array_get" [ ("dst", J.Int dst); ("base", J.Int base) ]
+  | Ir.Field_get { dst; base } ->
+      op "field_get" [ ("dst", J.Int dst); ("base", J.Int base) ]
+  | Ir.Binop { dst; l; r; concat } ->
+      op "binop"
+        [ ("dst", J.Int dst); ("l", J.Int l); ("r", J.Int r);
+          ("concat", J.Bool concat) ]
+  | Ir.Join { dst; srcs; mark } ->
+      op "join"
+        [ ("dst", J.Int dst); ("srcs", j_ids srcs);
+          ("mark", match mark with Some m -> J.Str m | None -> J.Null) ]
+  | Ir.Through { dst; src; name } ->
+      op "through"
+        [ ("dst", J.Int dst); ("src", J.Int src); ("name", J.Str name) ]
+  | Ir.Assign_val { dst; rhs; prev; concat; loc; _ } ->
+      op "assign"
+        [ ("dst", J.Int dst); ("rhs", J.Int rhs);
+          ("prev", match prev with Some p -> J.Int p | None -> J.Null);
+          ("concat", J.Bool concat); ("loc", j_loc loc) ]
+  | Ir.Store_var { src; name; sg_ids } ->
+      op "store_var"
+        [ ("src", J.Int src); ("name", J.Str name); ("sg_ids", j_ids sg_ids) ]
+  | Ir.Array_set { src; base } ->
+      op "array_set"
+        [ ("src", J.Int src);
+          ("base", match base with Some v -> J.Str v | None -> J.Null) ]
+  | Ir.Field_set { src; base } ->
+      op "field_set"
+        [ ("src", J.Int src);
+          ("base", match base with Some v -> J.Str v | None -> J.Null) ]
+  | Ir.Store { src; lv } -> op "store" [ ("src", J.Int src); ("lv", j_lvalue lv) ]
+  | Ir.Sink { name; loc; taints; targets; _ } ->
+      op "sink"
+        [ ("name", J.Str name); ("loc", j_loc loc);
+          ("taints", j_pos_temps taints);
+          ( "targets",
+            J.List
+              (List.map
+                 (fun (id, positions) ->
+                   J.Obj
+                     [ ("spec", J.Int id); ("positions", j_ids positions) ])
+                 targets) ) ]
+  | Ir.Call { dst; loc; args; target; _ } ->
+      op "call"
+        [ ("dst", J.Int dst); ("loc", j_loc loc); ("args", j_pos_temps args);
+          ("target", j_target target) ]
+  | Ir.Closure { uses; body } ->
+      op "closure"
+        [ ("uses", J.List (List.map (fun v -> J.Str v) uses));
+          ("body", J.Int body) ]
+  | Ir.Ternary { dst; plan_t; plan_f; t_blk; t_res; f_blk; f_res } ->
+      op "ternary"
+        [ ("dst", J.Int dst); ("plan_true", j_plan plan_t);
+          ("plan_false", j_plan plan_f); ("t_blk", J.Int t_blk);
+          ("t_res", J.Int t_res); ("f_blk", J.Int f_blk);
+          ("f_res", J.Int f_res) ]
+  | Ir.Run { blk } -> op "run" [ ("blk", J.Int blk) ]
+  | Ir.Loop { enter; body } ->
+      op "loop" [ ("enter", j_plan enter); ("body", J.Int body) ]
+  | Ir.If_s { arms; else_ } ->
+      op "if"
+        [ ( "arms",
+            J.List
+              (List.map
+                 (fun (ar : Ir.arm) ->
+                   J.Obj
+                     [ ("plan_true", j_plan ar.Ir.ar_plan_true);
+                       ("plan_false", j_plan ar.Ir.ar_plan_false);
+                       ("body", J.Int ar.Ir.ar_body);
+                       ("terminates", J.Bool ar.Ir.ar_terminates);
+                       ( "exit_guards",
+                         match ar.Ir.ar_exit_guards with
+                         | Some keyss ->
+                             J.List
+                               (List.map
+                                  (fun keys ->
+                                    J.List (List.map (fun k -> J.Str k) keys))
+                                  keyss)
+                         | None -> J.Null ) ])
+                 arms) );
+          ( "else",
+            match else_ with
+            | Some (b, term) ->
+                J.Obj [ ("body", J.Int b); ("terminates", J.Bool term) ]
+            | None -> J.Null ) ]
+  | Ir.Switch_s { cases } -> op "switch" [ ("cases", j_ids cases) ]
+  | Ir.Try_s { body; catches; fin } ->
+      op "try"
+        [ ("body", J.Int body); ("catches", j_ids catches);
+          ("finally", match fin with Some b -> J.Int b | None -> J.Null) ]
+  | Ir.Foreach_bind { subject; value_lv; key_lv; loc; _ } ->
+      op "foreach_bind"
+        [ ("subject", J.Int subject); ("value", j_lvalue value_lv);
+          ("key", match key_lv with Some k -> j_lvalue k | None -> J.Null);
+          ("loc", j_loc loc) ]
+  | Ir.Return_t { src } -> op "return" [ ("src", J.Int src) ]
+  | Ir.Set_clean { names } ->
+      op "set_clean" [ ("names", J.List (List.map (fun v -> J.Str v) names)) ]
+  | Ir.Store_raw { name; src } ->
+      op "store_raw" [ ("name", J.Str name); ("src", J.Int src) ]
+  | Ir.Unset_vars { names } ->
+      op "unset" [ ("names", J.List (List.map (fun v -> J.Str v) names)) ]
+
+let to_json (body : Ir.body) : J.t =
+  J.Obj
+    [ ("entry", J.Int body.Ir.entry);
+      ("ntemps", J.Int body.Ir.ntemps);
+      ( "blocks",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun instrs ->
+                  J.List (Array.to_list (Array.map j_instr instrs)))
+                body.Ir.blocks)) ) ]

@@ -1,0 +1,10 @@
+(** Human- and tool-readable renderings of lowered IR, for the
+    [wap ir --dump] debug subcommand and the IR tests. *)
+
+(** Text rendering: one block per section, one instruction per line,
+    temporaries as [tN], taint annotations (source/sink/sanitizer spec
+    ids, guard plans) inline. *)
+val to_string : Ir.body -> string
+
+(** Structured rendering of the same information. *)
+val to_json : Ir.body -> Wap_report.Json.t
