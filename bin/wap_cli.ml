@@ -14,7 +14,10 @@
                     (block structure, temporaries, taint annotations);
     - [fuzz]        generate random PHP programs and check the pipeline
                     against differential oracles, shrinking and saving
-                    any violation as a reproducer. *)
+                    any violation as a reproducer;
+    - [serve]       run the LSP diagnostics daemon over stdio (or a
+                    socket), re-analyzing only what each edit touches
+                    via the session engine. *)
 
 open Cmdliner
 
@@ -42,7 +45,7 @@ let jobs_arg =
      recommended domain count; the WAP_JOBS environment variable overrides \
      the default)."
   in
-  Arg.(value & opt int (Wap_engine.Pool.default_jobs ())
+  Arg.(value & opt int (Wap_engine.Config.default_jobs ())
        & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let no_cache_arg =
@@ -103,7 +106,8 @@ let trace_out_arg =
        & info [ "trace-out" ] ~docv:"FILE"
            ~doc:"Record spans for the whole run and write them as Chrome \
                  trace-event JSON to $(docv) (open in chrome://tracing or \
-                 https://ui.perfetto.dev).")
+                 https://ui.perfetto.dev).  Defaults to the WAP_TRACE_OUT \
+                 environment variable; the flag wins when both are set.")
 
 let log_level_arg =
   Arg.(value & opt log_level_conv Wap_obs.Log.Info
@@ -122,7 +126,7 @@ let log_format_arg =
 let setup_obs trace_out log_level log_format =
   Wap_obs.Log.set_level log_level;
   Wap_obs.Log.set_format log_format;
-  match trace_out with
+  match Wap_engine.Config.trace_out trace_out with
   | None -> fun () -> ()
   | Some path ->
       let tracer = Wap_obs.Trace.create () in
@@ -833,6 +837,84 @@ let ir_cmd =
   Cmd.v (Cmd.info "ir" ~doc) Term.(ret (const run $ file $ dump $ json $ version))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let version =
+    Arg.(value & opt version_conv Wap_core.Version.Wape
+         & info [ "tool-version" ] ~docv:"V" ~doc:"Tool configuration: wape or v21.")
+  in
+  let weapons =
+    Arg.(value & opt_all string []
+         & info [ "weapon" ] ~docv:"NAME"
+             ~doc:"Activate a weapon: nosqli, hei, wpsqli, or a name stored under --weapon-dir.")
+  in
+  let weapon_dir =
+    Arg.(value & opt (some dir) None
+         & info [ "weapon-dir" ] ~docv:"DIR" ~doc:"Directory holding stored weapons.")
+  in
+  let sanitizers =
+    Arg.(value & opt_all string []
+         & info [ "sanitizer" ] ~docv:"FN"
+             ~doc:"Register a user sanitization function (applies to every detector).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdio.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N"
+             ~doc:"Listen on localhost TCP port $(docv) instead of stdio.")
+  in
+  let run version weapons weapon_dir sanitizers seed jobs socket port trace_out
+      log_level log_format =
+    let finish_obs = setup_obs trace_out log_level log_format in
+    let weapons =
+      List.map
+        (fun name ->
+          match name with
+          | "nosqli" -> Wap_weapon.Generator.nosqli ()
+          | "hei" -> Wap_weapon.Generator.hei ()
+          | "wpsqli" -> Wap_weapon.Generator.wpsqli ()
+          | name -> (
+              match weapon_dir with
+              | Some dir -> Wap_weapon.Store.load ~dir ~name
+              | None -> failwith ("unknown weapon " ^ name ^ " (no --weapon-dir)")))
+        weapons
+    in
+    let extra_sanitizers = List.map (fun fn -> (None, fn)) sanitizers in
+    match (socket, port) with
+    | Some _, Some _ ->
+        finish_obs ();
+        `Error (false, "--socket and --port are mutually exclusive")
+    | _ ->
+        let tool =
+          Wap_core.Tool.create ~seed ~weapons ~extra_sanitizers version
+        in
+        let server = Wap_serve.Server.create ~jobs tool in
+        (match (socket, port) with
+        | Some path, None -> Wap_serve.Server.run_unix_socket server ~path
+        | None, Some port -> Wap_serve.Server.run_tcp server ~port
+        | _ -> Wap_serve.Server.run_stdio server);
+        finish_obs ();
+        `Ok ()
+  in
+  let doc =
+    "Run the LSP diagnostics daemon: analyzes the documents an editor opens \
+     with the session engine, publishes findings as diagnostics after every \
+     change (re-analyzing only the edited file), and offers the fixer's \
+     sanitization/validation templates as quick fixes.  Speaks the Language \
+     Server Protocol over stdio by default (logs go to stderr); --socket or \
+     --port select a socket transport."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(ret (const run $ version $ weapons $ weapon_dir $ sanitizers
+               $ seed_arg $ jobs_arg $ socket $ port $ trace_out_arg
+               $ log_level_arg $ log_format_arg))
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
 let fuzz_cmd =
@@ -950,6 +1032,6 @@ let main =
   let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
   Cmd.group info
     [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd;
-      train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd ]
+      train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -43,7 +43,10 @@ header('Location: ' . $_GET['back']);
 let () =
   print_endline "=== dynamic confirmation of findings ===\n";
   let tool = Wap_core.Tool.create ~seed:2016 Wap_core.Version.Wape in
-  let result = Wap_core.Tool.analyze_source tool ~file:"app.php" app in
+  let result =
+    (Wap_core.Tool.Scan.run tool (Wap_core.Tool.Scan.request [ ("app.php", app) ]))
+      .Wap_core.Tool.Scan.result
+  in
   let program = Wap_php.Parser.parse_string ~file:"app.php" app in
   List.iter
     (fun (f : Wap_core.Tool.finding) ->

@@ -30,7 +30,11 @@ mysql_query("SELECT * FROM people WHERE city = '$city'");
 |php}
 
 let print_run label tool =
-  let result = Wap_core.Tool.analyze_source tool ~file:"vfront.php" app_source in
+  let result =
+    (Wap_core.Tool.Scan.run tool
+       (Wap_core.Tool.Scan.request [ ("vfront.php", app_source) ]))
+      .Wap_core.Tool.Scan.result
+  in
   Printf.printf "%s: %d reported\n" label (List.length result.Wap_core.Tool.reported);
   List.iter
     (fun (f : Wap_core.Tool.finding) ->

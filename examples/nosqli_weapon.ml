@@ -42,7 +42,11 @@ let () =
 
   (* activate it: the tool gains a 16th detector *)
   let tool = Wap_core.Tool.create ~seed:2016 ~weapons:[ weapon ] Wap_core.Version.Wape in
-  let result = Wap_core.Tool.analyze_source tool ~file:"mongo.php" mongo_app in
+  let result =
+    (Wap_core.Tool.Scan.run tool
+       (Wap_core.Tool.Scan.request [ ("mongo.php", mongo_app) ]))
+      .Wap_core.Tool.Scan.result
+  in
   List.iter
     (fun (f : Wap_core.Tool.finding) ->
       Printf.printf "%-5s %s\n"

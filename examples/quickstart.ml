@@ -33,7 +33,11 @@ let () =
   let tool = Wap_core.Tool.create ~seed:2016 Wap_core.Version.Wape in
 
   (* 2. run the code analyzer + predictor *)
-  let result = Wap_core.Tool.analyze_source tool ~file:"login.php" vulnerable_login in
+  let result =
+    (Wap_core.Tool.Scan.run tool
+       (Wap_core.Tool.Scan.request [ ("login.php", vulnerable_login) ]))
+      .Wap_core.Tool.Scan.result
+  in
   Printf.printf "candidates found by the taint analyzer: %d\n\n"
     (List.length result.Wap_core.Tool.candidates);
   List.iter

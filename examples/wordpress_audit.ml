@@ -45,7 +45,11 @@ let () =
   let tool = Wap_core.Tool.create ~seed:2016 ~weapons:[ weapon ] Wap_core.Version.Wape in
 
   print_endline "--- single plugin ---";
-  let result = Wap_core.Tool.analyze_source tool ~file:"tiny-shop.php" plugin_source in
+  let result =
+    (Wap_core.Tool.Scan.run tool
+       (Wap_core.Tool.Scan.request [ ("tiny-shop.php", plugin_source) ]))
+      .Wap_core.Tool.Scan.result
+  in
   List.iter
     (fun (f : Wap_core.Tool.finding) ->
       Printf.printf "%-5s %s   symptoms=[%s]\n"
@@ -60,7 +64,10 @@ let () =
   let total = ref 0 in
   List.iter
     (fun ((profile : Wap_corpus.Profiles.plugin_profile), pkg) ->
-      let r = Wap_core.Tool.analyze_package tool pkg in
+      let r =
+        (Wap_core.Tool.Scan.run tool (Wap_core.Tool.Scan.request_of_package pkg))
+          .Wap_core.Tool.Scan.result
+      in
       let score = Wap_core.Aggregate.score_package r in
       total := !total + score.Wap_core.Aggregate.real_reported;
       Printf.printf "%-42s %-8s %3d vulnerability(ies)\n"

@@ -498,7 +498,7 @@ let run_confirmation ?(seed = default_seed) ?(packages = 5) () : confirmation =
     (fun acc profile ->
       let pkg = Wap_corpus.Appgen.of_webapp_profile ~seed profile in
       let units = Tool.parse_package pkg in
-      let result = Tool.analyze_package tool pkg in
+      let result = (Tool.Scan.run tool (Tool.Scan.request_of_package pkg)).Tool.Scan.result in
       let rc, rr, ru =
         Wap_confirm.Confirm.confirm_batch units result.Tool.reported
       in
@@ -548,12 +548,12 @@ let escape_experiment ?(seed = default_seed) () : int * int =
   in
   let before =
     let tool = Tool.create ~seed Version.Wape in
-    (Tool.analyze_package tool pkg).Tool.reported
+    (Tool.Scan.run tool (Tool.Scan.request_of_package pkg)).Tool.Scan.result.Tool.reported
   in
   let after =
     let tool =
       Tool.create ~seed ~extra_sanitizers:[ (None, "escape") ] Version.Wape
     in
-    (Tool.analyze_package tool pkg).Tool.reported
+    (Tool.Scan.run tool (Tool.Scan.request_of_package pkg)).Tool.Scan.result.Tool.reported
   in
   (List.length before, List.length after)

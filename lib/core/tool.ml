@@ -133,15 +133,16 @@ module Scan = struct
             synthesized from [files] when absent *)
   }
 
-  let request ?(jobs = Wap_engine.Pool.default_jobs ()) ?cache ?fuse ?ir
-      ?on_progress ?package files =
-    let fuse =
-      match fuse with Some b -> b | None -> Wap_engine.Scan.default_fuse ()
-    in
-    let ir =
-      match ir with Some b -> b | None -> Wap_engine.Scan.default_ir ()
-    in
-    { files; jobs; cache; fuse; ir; on_progress; package }
+  let request ?jobs ?cache ?fuse ?ir ?on_progress ?package files =
+    {
+      files;
+      jobs = Wap_engine.Config.jobs jobs;
+      cache;
+      fuse = Wap_engine.Config.fuse fuse;
+      ir = Wap_engine.Config.ir ir;
+      on_progress;
+      package;
+    }
 
   let request_of_package ?jobs ?cache ?fuse ?ir ?on_progress
       (pkg : Wap_corpus.Appgen.package) =
@@ -246,30 +247,8 @@ module Scan = struct
     }
 end
 
-(* ------------------------------------------------------------------ *)
-(* Legacy entry points, kept as thin wrappers over {!Scan}.            *)
-
-(** Run the full pipeline over one package.
-    Deprecated: use {!Scan.run} with {!Scan.request_of_package}. *)
-let analyze_package (t : t) (pkg : Wap_corpus.Appgen.package) : package_result =
-  (Scan.run t (Scan.request_of_package pkg)).Scan.result
-
-(** Analyze a set of in-memory files as one application, parsing
-    tolerantly: malformed files contribute what parses plus recovered
-    errors instead of aborting the scan.
-    Deprecated: use {!Scan.run}, whose outcome also carries timings. *)
-let analyze_sources (t : t) (files : (string * string) list) :
-    package_result * (string * Wap_php.Parser.recovered_error list) list =
-  let o = Scan.run t (Scan.request files) in
-  (o.Scan.result, o.Scan.parse_errors)
-
-(** Analyze raw PHP source (used by the CLI and the examples).
-    Deprecated: use {!Scan.run} on a one-file request. *)
-let analyze_source (t : t) ~file (src : string) : package_result =
-  (Scan.run t (Scan.request [ (file, src) ])).Scan.result
-
 (** Correct the reported vulnerabilities of a single source file,
     returning the fixed PHP. *)
 let correct_source (t : t) ~file (src : string) : string * Wap_fixer.Corrector.report =
-  let result = analyze_source t ~file src in
+  let result = (Scan.run t (Scan.request [ (file, src) ])).Scan.result in
   Wap_fixer.Corrector.correct_source ~file src result.reported

@@ -65,14 +65,17 @@ exception Parse_failure of string * string
 val parse_package :
   Wap_corpus.Appgen.package -> Wap_taint.Analyzer.file_unit list
 
-(** The unified scan API.  Every entry point — CLI, experiments, bench,
-    and the deprecated wrappers below — routes through one
-    request/outcome pair executed on the parallel engine
-    ({!Wap_engine.Scan}): tolerant parsing fans out over [jobs] worker
-    domains, one fused taint pass covers all detector specs (per-file
-    fan-out in its top-level stage; [fuse:false] or [WAP_FUSE=0]
-    restores the per-spec pipeline), candidates merge deterministically,
-    and an optional digest-keyed cache skips unchanged work. *)
+(** The unified scan API.  Every entry point — CLI, experiments and
+    bench — routes through one request/outcome pair executed on the
+    parallel engine ({!Wap_engine.Scan}, a one-shot
+    {!Wap_engine.Session}): tolerant parsing fans out over [jobs]
+    worker domains, one fused taint pass covers all detector specs
+    (per-file fan-out in its top-level stage; [fuse:false] or
+    [WAP_FUSE=0] restores the per-spec pipeline), candidates merge
+    deterministically, and an optional digest-keyed cache skips
+    unchanged work.  Long-lived callers (the [wap serve] LSP daemon)
+    drive {!Wap_engine.Session} directly for incremental re-analysis
+    after edits. *)
 module Scan : sig
   type request = {
     files : (string * string) list;  (** [(path, source)], one app *)
@@ -86,10 +89,9 @@ module Scan : sig
             synthesized from [files] when absent *)
   }
 
-  (** Build a request.  [jobs] defaults to
-      {!Wap_engine.Pool.default_jobs}; omitting [cache] disables
-      caching; [fuse] defaults to {!Wap_engine.Scan.default_fuse};
-      [ir] to {!Wap_engine.Scan.default_ir}. *)
+  (** Build a request.  [jobs], [fuse] and [ir] resolve through
+      {!Wap_engine.Config} (environment gates [WAP_JOBS], [WAP_FUSE],
+      [WAP_IR], flag-beats-env); omitting [cache] disables caching. *)
   val request :
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
@@ -128,23 +130,6 @@ module Scan : sig
 
   val run : t -> request -> outcome
 end
-
-(** Run the full pipeline over one package.
-    Deprecated: use {!Scan.run} with {!Scan.request_of_package}. *)
-val analyze_package : t -> Wap_corpus.Appgen.package -> package_result
-
-(** Analyze a set of in-memory [(path, source)] files as one
-    application, parsing tolerantly: malformed files contribute what
-    parses, plus their recovered errors, instead of aborting the scan.
-    Deprecated: use {!Scan.run}, whose outcome also carries timings. *)
-val analyze_sources :
-  t ->
-  (string * string) list ->
-  package_result * (string * Wap_php.Parser.recovered_error list) list
-
-(** Analyze raw PHP source (used by the CLI and the examples).
-    Deprecated: use {!Scan.run} on a one-file request. *)
-val analyze_source : t -> file:string -> string -> package_result
 
 (** Correct the reported vulnerabilities of a single source file,
     returning the fixed PHP. *)

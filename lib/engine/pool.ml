@@ -8,14 +8,6 @@ let m_queue_wait = lazy (Wap_obs.Metrics.histogram "engine.pool.queue_wait_secon
 let m_task_run = lazy (Wap_obs.Metrics.histogram "engine.pool.task_run_seconds")
 let m_tasks = lazy (Wap_obs.Metrics.counter "engine.pool.tasks")
 
-let default_jobs () =
-  match Sys.getenv_opt "WAP_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
-
 (* ------------------------------------------------------------------ *)
 (* Mutex-protected deque of work-item indices.                         *)
 
@@ -49,7 +41,8 @@ let pop_front (d : deque) : int option =
 (* ------------------------------------------------------------------ *)
 (* Parallel map.                                                       *)
 
-let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+let map ?(jobs = Config.default_jobs ()) (f : 'a -> 'b) (xs : 'a array) :
+    'b array =
   let n = Array.length xs in
   let jobs = max 1 (min jobs n) in
   let t_start = Wap_obs.Clock.now_ns () in

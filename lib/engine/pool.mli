@@ -11,12 +11,8 @@
     {!Wap_obs.Metrics.global}, which the CLI's [--stats] summary
     reads. *)
 
-(** The worker count used when a caller does not pin one: the [WAP_JOBS]
-    environment variable if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
-val default_jobs : unit -> int
-
-(** [map ~jobs f xs] is [Array.map f xs] computed by [jobs] domains.
+(** [map ~jobs f xs] is [Array.map f xs] computed by [jobs] domains;
+    [jobs] defaults to {!Config.default_jobs}[ ()].
     [jobs] is clamped to [1 .. Array.length xs]; at [1] (or on singleton
     input) no domain is spawned and the map runs in the caller.
 

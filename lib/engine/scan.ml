@@ -1,85 +1,42 @@
-(** The parallel scan engine: parse fan-out per file, one fused taint
-    pass over all detector specs (analysis fan-out per file in its
-    parallel stage), deterministic merge, digest-keyed caching.
+(* The batch entry point, a thin wrapper over a one-shot {!Session}:
+   open the project, export it, drop the state.  All pipeline
+   machinery lives in [Session]; the type equations below keep the
+   historical [Scan.*] names working. *)
 
-    [fuse:false] (or [WAP_FUSE=0]) switches stage 2 back to the
-    sequential one-pass-per-spec pipeline — the escape hatch used for
-    differential checking of the fused analyzer.
-
-    The fused top-level sweep (pass 3) runs on the three-address IR
-    ({!Wap_ir}): each file is lowered once and executed as flat
-    instruction arrays.  [ir:false] (or [WAP_IR=0]) keeps the AST
-    walker — the differential reference enforced byte-identical by the
-    [scan-ir-equiv] oracle. *)
-
-open Wap_php
-module Cat = Wap_catalog.Catalog
-module Trace = Wap_taint.Trace
-module Obs = Wap_obs.Trace
-
-(* v3: the fused analyze-file entries gained the IR/AST mode in their
-   digest (and the IR path itself), so v2 entries must not be reused. *)
-let cache_format_version = "wap-engine-3"
-
-let default_fuse () =
-  match Sys.getenv_opt "WAP_FUSE" with
-  | Some ("0" | "false" | "off") -> false
-  | _ -> true
-
-let default_ir () =
-  match Sys.getenv_opt "WAP_IR" with
-  | Some ("0" | "false" | "off") -> false
-  | _ -> true
-
-let m_files_parsed = lazy (Wap_obs.Metrics.counter "engine.files_parsed")
-
-let m_parse_recoveries =
-  lazy (Wap_obs.Metrics.counter "engine.parse_error_recoveries")
-
-let m_candidates spec_label =
-  Wap_obs.Metrics.counter ("engine.candidates." ^ spec_label)
-
-type progress =
+type progress = Session.progress =
   | File_parsed of { path : string; cached : bool }
   | Spec_analyzed of { spec : string; cached : bool }
   | File_analyzed of { path : string; cached : bool }
 
-type request = {
+type request = Session.request = {
   files : (string * string) list;
-  specs : Cat.spec list;
+  specs : Wap_catalog.Catalog.spec list;
   jobs : int;
   cache : Cache.t option;
   fingerprint : string;
   interprocedural : bool;
   fuse : bool;
-  ir : bool;  (** fused pass 3 on the lowered IR (default) or the AST *)
+  ir : bool;
   on_progress : (progress -> unit) option;
 }
 
-let request ?(jobs = Pool.default_jobs ()) ?cache ?(fingerprint = "")
-    ?(interprocedural = true) ?fuse ?ir ?on_progress ~specs files =
-  let fuse = match fuse with Some b -> b | None -> default_fuse () in
-  let ir = match ir with Some b -> b | None -> default_ir () in
-  { files; specs; jobs; cache; fingerprint; interprocedural; fuse; ir;
-    on_progress }
-
-type file_report = {
+type file_report = Session.file_report = {
   fr_path : string;
   fr_seconds : float;
   fr_cached : bool;
-  fr_errors : Parser.recovered_error list;
+  fr_errors : Wap_php.Parser.recovered_error list;
 }
 
-type spec_report = {
+type spec_report = Session.spec_report = {
   sr_spec : string;
   sr_seconds : float;
   sr_cached : bool;
   sr_candidates : int;
 }
 
-type outcome = {
+type outcome = Session.outcome = {
   units : Wap_taint.Analyzer.file_unit list;
-  candidates : Trace.candidate list;
+  candidates : Wap_taint.Trace.candidate list;
   file_reports : file_report list;
   spec_reports : spec_report list;
   wall_seconds : float;
@@ -90,294 +47,7 @@ type outcome = {
   cache_misses : int;
 }
 
-let spec_label (s : Cat.spec) =
-  Wap_catalog.Submodule.name s.Cat.submodule
-  ^ "/"
-  ^ Wap_catalog.Vuln_class.acronym s.Cat.vclass
-
-(* Total order of the deterministic merge: sink file, then sink
-   location, then the spec's position in the active set, then discovery
-   order inside that spec.  The location-major order is what users see;
-   the two trailing components pin down ties (e.g. RFI and LFI both
-   firing on one include) so the later de-duplication keeps the same
-   representative as a sequential spec-by-spec run. *)
-let merge_compare (si, qi, (a : Trace.candidate)) (sj, qj, (b : Trace.candidate))
-    =
-  let c = String.compare a.Trace.file b.Trace.file in
-  if c <> 0 then c
-  else
-    let c =
-      compare a.Trace.sink_loc.Loc.line b.Trace.sink_loc.Loc.line
-    in
-    if c <> 0 then c
-    else
-      let c = compare a.Trace.sink_loc.Loc.col b.Trace.sink_loc.Loc.col in
-      if c <> 0 then c
-      else
-        let c = compare (si : int) sj in
-        if c <> 0 then c else compare (qi : int) qj
-
-(* [timed name f] runs [f] under a span and returns its result plus the
-   wall clock it took — the per-phase breakdown surfaced by [--stats]
-   and the JSON export. *)
-let timed name f =
-  let t0 = Wap_obs.Clock.now_ns () in
-  let v = Obs.with_span ~cat:"engine" name f in
-  (v, Wap_obs.Clock.ns_to_s (Wap_obs.Clock.elapsed_ns t0))
-
-let run (req : request) : outcome =
-  Obs.with_span ~cat:"engine" "scan"
-    ~args:[ ("files", string_of_int (List.length req.files));
-            ("specs", string_of_int (List.length req.specs));
-            ("jobs", string_of_int req.jobs) ]
-  @@ fun () ->
-  let t0_wall = Unix.gettimeofday () and t0_cpu = Sys.time () in
-  let jobs = max 1 req.jobs in
-  let hits0 = match req.cache with Some c -> Cache.hits c | None -> 0 in
-  let misses0 = match req.cache with Some c -> Cache.misses c | None -> 0 in
-  let progress ev =
-    match req.on_progress with Some f -> f ev | None -> ()
-  in
-  (* ---- stage 1: tolerant parse, one work item per file ------------- *)
-  let parse_one (path, src) =
-    Obs.with_span ~cat:"engine" "parse_file" ~args:[ ("file", path) ]
-    @@ fun () ->
-    let t0 = Unix.gettimeofday () in
-    let compute () = Parser.parse_string_tolerant ~file:path src in
-    let (program, errs), cached =
-      match req.cache with
-      | Some c ->
-          (* parsing depends only on the file itself, not on the active
-             spec set, so the key deliberately omits the fingerprint *)
-          let k =
-            Cache.key
-              [ cache_format_version; "parse"; path;
-                Digest.to_hex (Digest.string src) ]
-          in
-          Cache.memoize c ~key:k compute
-      | None -> (compute (), false)
-    in
-    Wap_obs.Metrics.incr (Lazy.force m_files_parsed);
-    if errs <> [] then
-      Wap_obs.Metrics.incr ~by:(List.length errs)
-        (Lazy.force m_parse_recoveries);
-    ( { Wap_taint.Analyzer.path; program },
-      { fr_path = path; fr_seconds = Unix.gettimeofday () -. t0;
-        fr_cached = cached; fr_errors = errs } )
-  in
-  let parsed, t_parse =
-    timed "phase.parse" (fun () ->
-        let parsed = Pool.map ~jobs parse_one (Array.of_list req.files) in
-        Array.iter
-          (fun (_, r) ->
-            progress (File_parsed { path = r.fr_path; cached = r.fr_cached }))
-          parsed;
-        parsed)
-  in
-  let units = Array.to_list (Array.map fst parsed) in
-  let file_reports = Array.to_list (Array.map snd parsed) in
-  (* The analysis of one file depends on every other file (shared
-     function summaries, include splicing), so analysis entries are
-     keyed by a digest of the whole source set: any edit invalidates
-     them all, which keeps caching sound. *)
-  let project_digest, t_digest =
-    timed "phase.digest" (fun () ->
-        Cache.key
-          (cache_format_version :: req.fingerprint
-          :: (List.map
-                (fun (p, src) -> p ^ "\x01" ^ Digest.to_hex (Digest.string src))
-                req.files
-             |> List.sort String.compare)))
-  in
-  (* ---- stage 2 (fused): one taint pass for all specs, one parallel
-     work item per FILE in the top-level sweep -------------------------- *)
-  let fused_stage () =
-    (* per-file entries still depend on every project-wide input
-       (summaries, include splicing), so the digest covers the whole
-       source set and the full spec set: any edit, or a weapon
-       added/removed, invalidates every entry *)
-    (* [ir] is part of the digest so the IR and AST modes never share
-       entries — a shared entry would mask exactly the divergences the
-       [scan-ir-equiv] differential oracle exists to catch *)
-    let fuse_digest =
-      Cache.key
-        [ cache_format_version; project_digest;
-          Cat.set_fingerprint req.specs;
-          string_of_bool req.interprocedural;
-          string_of_bool req.ir ]
-    in
-    (* per-file keys carry the file's own source digest, not just its
-       path: a request may legally repeat a path with different
-       contents (merged corpora do), and path-only keys would hand the
-       second file the first one's entry *)
-    let src_digests =
-      Array.of_list
-        (List.map (fun (_, src) -> Digest.to_hex (Digest.string src)) req.files)
-    in
-    let file_key i (u : Wap_taint.Analyzer.file_unit) =
-      Cache.key
-        [ cache_format_version; "analyze-file"; fuse_digest;
-          u.Wap_taint.Analyzer.path; src_digests.(i) ]
-    in
-    (* all-or-nothing probe (every key is probed even after a miss, so
-       hit/miss counts stay deterministic): assembling a partial set
-       would not be cheaper — the passes are whole-project anyway *)
-    let probed =
-      List.mapi
-        (fun i u ->
-          let entry :
-              ((int * Trace.candidate) list * (int * Trace.candidate) list)
-              option =
-            match req.cache with
-            | Some c -> Cache.find c ~key:(file_key i u)
-            | None -> None
-          in
-          (u, entry))
-        units
-    in
-    let all_hit =
-      units <> [] && List.for_all (fun (_, e) -> e <> None) probed
-    in
-    let per_file =
-      if all_hit then
-        List.map (fun (u, e) -> (u, Option.get e)) probed
-      else begin
-        let st =
-          Wap_taint.Analyzer.project_state
-            ~interprocedural:req.interprocedural ~specs:req.specs ()
-        in
-        (* passes 1 and 2 are sequential by design (summaries build up
-           across files); pass 3 is pure per file and fans out *)
-        if req.interprocedural then
-          Obs.with_span ~cat:"engine" "fused.summaries" (fun () ->
-              List.iter (Wap_taint.Analyzer.summarize_file st) units);
-        let pass2 =
-          Obs.with_span ~cat:"engine" "fused.functions" (fun () ->
-              Array.of_list
-                (List.map (Wap_taint.Analyzer.analyze_file_functions st) units))
-        in
-        (* pass 3 per-file work item: lower once and sweep the flat
-           instruction arrays (default), or walk the AST ([ir:false]).
-           The memo key is [fuse_digest] (covers every spliced source
-           and the spec set) plus the file's own path AND source
-           digest — path alone is not enough, see [file_key] — so
-           rescans of an unchanged project skip lowering entirely *)
-        let unit_arr = Array.of_list units in
-        let toplevel_one =
-          if req.ir then fun i ->
-            let u = unit_arr.(i) in
-            Wap_ir.Exec.analyze_file_toplevel
-              ~memo_key:
-                (String.concat "\x01"
-                   [ fuse_digest; u.Wap_taint.Analyzer.path; src_digests.(i) ])
-              st ~units u
-          else fun i -> Wap_taint.Analyzer.analyze_file_toplevel st ~units unit_arr.(i)
-        in
-        let pass3 =
-          Obs.with_span ~cat:"engine" "fused.toplevel" (fun () ->
-              Pool.map ~jobs toplevel_one
-                (Array.init (Array.length unit_arr) (fun i -> i)))
-        in
-        let per_file =
-          List.mapi (fun i u -> (u, (pass2.(i), pass3.(i)))) units
-        in
-        (match req.cache with
-        | Some c ->
-            List.iteri
-              (fun i (u, entry) -> Cache.store c ~key:(file_key i u) entry)
-              per_file
-        | None -> ());
-        per_file
-      end
-    in
-    List.iter
-      (fun (u, _) ->
-        progress
-          (File_analyzed
-             { path = u.Wap_taint.Analyzer.path; cached = all_hit }))
-      per_file;
-    let pass2 = List.concat_map (fun (_, (d, _)) -> d) per_file in
-    let pass3 = List.concat_map (fun (_, (_, t)) -> t) per_file in
-    let finalized = Wap_taint.Analyzer.finalize ~units (pass2 @ pass3) in
-    (* group per spec id (stable, preserving discovery order) *)
-    List.mapi
-      (fun si spec ->
-        let cands =
-          List.filter_map
-            (fun (j, c) -> if j = si then Some c else None)
-            finalized
-        in
-        let label = spec_label spec in
-        Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
-        ( si, cands,
-          { sr_spec = label; sr_seconds = 0.; sr_cached = all_hit;
-            sr_candidates = List.length cands } ))
-      req.specs
-  in
-  (* ---- stage 2 (per-spec escape hatch): one work item per spec ------ *)
-  let per_spec_stage () =
-    let analyze_one (idx, spec) =
-      let label = spec_label spec in
-      Obs.with_span ~cat:"engine" "analyze_spec" ~args:[ ("spec", label) ]
-      @@ fun () ->
-      let t0 = Unix.gettimeofday () in
-      let compute () =
-        Wap_taint.Analyzer.analyze_project
-          ~interprocedural:req.interprocedural ~spec units
-      in
-      let cands, cached =
-        match req.cache with
-        | Some c ->
-            let k =
-              Cache.key
-                [ cache_format_version; "analyze"; project_digest;
-                  Cat.show_spec spec;
-                  string_of_bool req.interprocedural ]
-            in
-            Cache.memoize c ~key:k compute
-        | None -> (compute (), false)
-      in
-      Wap_obs.Metrics.incr ~by:(List.length cands) (m_candidates label);
-      ( idx, cands,
-        { sr_spec = label; sr_seconds = Unix.gettimeofday () -. t0;
-          sr_cached = cached; sr_candidates = List.length cands } )
-    in
-    let analyzed =
-      Pool.map ~jobs analyze_one
-        (Array.of_list (List.mapi (fun i s -> (i, s)) req.specs))
-    in
-    Array.iter
-      (fun (_, _, r) ->
-        progress (Spec_analyzed { spec = r.sr_spec; cached = r.sr_cached }))
-      analyzed;
-    Array.to_list analyzed
-  in
-  let per_spec, t_analyze =
-    timed "phase.analyze" (fun () ->
-        if req.fuse then fused_stage () else per_spec_stage ())
-  in
-  let spec_reports = List.map (fun (_, _, r) -> r) per_spec in
-  (* ---- deterministic merge ----------------------------------------- *)
-  let candidates, t_merge =
-    timed "phase.merge" (fun () ->
-        per_spec
-        |> List.concat_map (fun (si, cands, _) ->
-               List.mapi (fun qi c -> (si, qi, c)) cands)
-        |> List.sort merge_compare
-        |> List.map (fun (_, _, c) -> c))
-  in
-  {
-    units;
-    candidates;
-    file_reports;
-    spec_reports;
-    wall_seconds = Unix.gettimeofday () -. t0_wall;
-    cpu_seconds = Sys.time () -. t0_cpu;
-    phases =
-      [ ("parse", t_parse); ("digest", t_digest); ("analyze", t_analyze);
-        ("merge", t_merge) ];
-    jobs_used = jobs;
-    cache_hits = (match req.cache with Some c -> Cache.hits c - hits0 | None -> 0);
-    cache_misses =
-      (match req.cache with Some c -> Cache.misses c - misses0 | None -> 0);
-  }
+let cache_format_version = Session.cache_format_version
+let request = Session.request
+let spec_label = Session.spec_label
+let run = Session.run

@@ -1,16 +1,13 @@
-(** The parallel scan engine.
+(** The batch scan entry point.
 
-    A scan fans two stages out over the {!Pool}: tolerant parsing (one
-    work item per file) and taint analysis.  By default the analysis is
-    {e fused}: one multi-pass project walk computes candidates for all
-    detector specs at once (per-spec taint vectors in the analyzer), and
-    the parallel fan-out of its top-level pass is one work item per
-    FILE.  [fuse:false] — or [WAP_FUSE=0] in the environment — restores
-    the previous pipeline, one self-contained project analysis per spec;
-    both produce byte-identical merged output, which is what the
-    [scan-fused-equiv] fuzz oracle checks.  Both stages consult the
-    optional {!Cache}, so a rescan of unchanged sources skips straight
-    to the merged result.
+    [run] opens a one-shot {!Session} and exports it: parse fan-out
+    over the {!Pool}, fused multi-spec taint analysis (or the per-spec
+    escape hatch behind [fuse:false]/[WAP_FUSE=0]), optional
+    digest-keyed {!Cache}, deterministic merge — see {!Session} for
+    the pipeline's semantics and {!Config} for the environment gates.
+    Long-lived callers that want incremental re-analysis after edits
+    use {!Session} directly; everything here is a type equation onto
+    it, so the two APIs interconvert freely.
 
     Candidates are merged in a deterministic order — sorted by sink
     file, then sink location, ties broken by spec order and discovery
@@ -30,15 +27,7 @@ open Wap_php
     part of every cache key. *)
 val cache_format_version : string
 
-(** The default of {!request}'s [fuse]: [false] iff [WAP_FUSE] is set to
-    [0], [false] or [off]. *)
-val default_fuse : unit -> bool
-
-(** The default of {!request}'s [ir]: [false] iff [WAP_IR] is set to
-    [0], [false] or [off]. *)
-val default_ir : unit -> bool
-
-type progress =
+type progress = Session.progress =
   | File_parsed of { path : string; cached : bool }
   | Spec_analyzed of { spec : string; cached : bool }
       (** per-spec pipeline only ([fuse:false]) *)
@@ -46,7 +35,7 @@ type progress =
       (** fused pipeline only: one per file once its analysis (or cache
           assembly) is done *)
 
-type request = {
+type request = Session.request = {
   files : (string * string) list;  (** [(path, source)], scanned as one app *)
   specs : Wap_catalog.Catalog.spec list;  (** active detectors *)
   jobs : int;  (** worker domains; clamped to at least 1 *)
@@ -65,9 +54,9 @@ type request = {
       (** invoked in the calling domain, once per finished work item *)
 }
 
-(** [request ~specs files] with defaults: [jobs = Pool.default_jobs ()],
-    no cache, empty fingerprint, interprocedural on,
-    [fuse = default_fuse ()], [ir = default_ir ()]. *)
+(** [request ~specs files] with defaults: [jobs], [fuse] and [ir]
+    resolved through {!Config} ([WAP_JOBS], [WAP_FUSE], [WAP_IR]), no
+    cache, empty fingerprint, interprocedural on. *)
 val request :
   ?jobs:int ->
   ?cache:Cache.t ->
@@ -80,14 +69,14 @@ val request :
   (string * string) list ->
   request
 
-type file_report = {
+type file_report = Session.file_report = {
   fr_path : string;
   fr_seconds : float;  (** wall clock spent parsing this file *)
   fr_cached : bool;
   fr_errors : Parser.recovered_error list;
 }
 
-type spec_report = {
+type spec_report = Session.spec_report = {
   sr_spec : string;  (** submodule/class label *)
   sr_seconds : float;
       (** wall clock spent on this detector; [0.] in the fused pipeline,
@@ -96,7 +85,7 @@ type spec_report = {
   sr_candidates : int;
 }
 
-type outcome = {
+type outcome = Session.outcome = {
   units : Wap_taint.Analyzer.file_unit list;  (** parsed files, input order *)
   candidates : Wap_taint.Trace.candidate list;
       (** merged (not yet de-duplicated), in the deterministic order
@@ -108,7 +97,8 @@ type outcome = {
   phases : (string * float) list;
       (** per-phase wall clock, in pipeline order: [parse] (stage-1 pool
           fan-out), [digest] (project cache-key digest), [analyze]
-          (stage-2 pool fan-out), [merge] (deterministic sort) *)
+          (stage-2 pool fan-out), [merge] (finalize + deterministic
+          sort) *)
   jobs_used : int;
   cache_hits : int;  (** cache lookups served from the cache, this scan *)
   cache_misses : int;

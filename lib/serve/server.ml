@@ -1,0 +1,513 @@
+(** The [wap serve] LSP diagnostics daemon.
+
+    A thin language-server shell around {!Wap_engine.Session}: the set
+    of open editor documents {e is} the project.  The first [didOpen]
+    opens a session; further opens/changes/closes map to
+    {!Session.add_file}/{!Session.update_file}/{!Session.remove_file},
+    so an edit re-analyzes only the touched file (and its include
+    dependents) while diagnostics for every open document stay
+    consistent.  Diagnostics are published per document and only when
+    they changed since the last publish; findings the false-positive
+    predictor flags are demoted to warnings.  [codeAction] offers the
+    fixer's templates (the class's stock fix, user sanitization, user
+    validation) as whole-document workspace edits.
+
+    {!handle} is a pure-ish message-in/messages-out step so tests can
+    drive the protocol in-process; {!serve_channels} and the
+    stdio/socket/TCP runners wrap it in a read loop. *)
+
+module Json = Wap_report.Json
+module Session = Wap_engine.Session
+module Trace = Wap_taint.Trace
+module Tool = Wap_core.Tool
+module Log = Wap_obs.Log
+
+type t = {
+  tool : Tool.t;
+  jobs : int;
+  mutable session : Session.t option;  (** created at the first [didOpen] *)
+  docs : (string, string) Hashtbl.t;  (** open documents: uri -> path *)
+  uris : (string, string) Hashtbl.t;  (** inverse: path -> uri *)
+  texts : (string, string) Hashtbl.t;  (** path -> current text *)
+  published : (string, string) Hashtbl.t;
+      (** uri -> serialized diagnostics last pushed, to skip no-op
+          publishes *)
+  mutable events_seen : int;
+  mutable stale_events : int;
+      (** session progress events tagged with a superseded generation
+          (see {!Session.event}) — counted and dropped *)
+  mutable shutdown_requested : bool;
+  mutable finished : bool;
+}
+
+let create ?jobs (tool : Tool.t) : t =
+  {
+    tool;
+    jobs = Wap_engine.Config.jobs jobs;
+    session = None;
+    docs = Hashtbl.create 16;
+    uris = Hashtbl.create 16;
+    texts = Hashtbl.create 16;
+    published = Hashtbl.create 16;
+    events_seen = 0;
+    stale_events = 0;
+    shutdown_requested = false;
+    finished = false;
+  }
+
+let finished t = t.finished
+
+(* ------------------------------------------------------------------ *)
+(* URIs.  Editors send file:// URIs with percent-encoding; the session
+   keys files by plain path.  Both mappings are kept so diagnostics go
+   back out under the exact URI the client opened. *)
+
+let percent_decode (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h * 16) + l));
+            go (i + 3)
+        | _ ->
+            Buffer.add_char buf s.[i];
+            go (i + 1)
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let path_of_uri (uri : string) : string =
+  let uri = percent_decode uri in
+  let prefix = "file://" in
+  let pn = String.length prefix in
+  if String.length uri >= pn && String.sub uri 0 pn = prefix then
+    String.sub uri pn (String.length uri - pn)
+  else uri
+
+(* ------------------------------------------------------------------ *)
+(* Session plumbing.                                                   *)
+
+let on_event t (current_generation : unit -> int) (ev : Session.event) =
+  t.events_seen <- t.events_seen + 1;
+  if ev.Session.generation < current_generation () then
+    (* A notification from a superseded edit: discard (the generation
+       counter exists exactly for this). *)
+    t.stale_events <- t.stale_events + 1
+  else if Log.enabled Log.Debug then
+    Log.debug
+      ~fields:[ ("generation", string_of_int ev.Session.generation) ]
+      "session progress"
+
+(* Route the document into the session, creating it on first use.
+   Returns the paths whose analysis re-ran (informational). *)
+let upsert t ~path text : string list =
+  Hashtbl.replace t.texts path text;
+  match t.session with
+  | Some s ->
+      if Session.mem s ~path then Session.update_file s ~path text
+      else Session.add_file s ~path text
+  | None ->
+      let session () =
+        match t.session with Some s -> Session.generation s | None -> 0
+      in
+      let req =
+        Session.request ~jobs:t.jobs
+          ~fingerprint:(Tool.Scan.fingerprint t.tool)
+          ~specs:t.tool.Tool.specs
+          [ (path, text) ]
+      in
+      let s = Session.open_project ~on_event:(on_event t session) req in
+      t.session <- Some s;
+      [ path ]
+
+let drop t ~path : string list =
+  Hashtbl.remove t.texts path;
+  match t.session with
+  | Some s -> Session.remove_file s ~path
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics.                                                        *)
+
+let position line character =
+  Json.Obj [ ("line", Json.Int line); ("character", Json.Int character) ]
+
+let range l0 c0 l1 c1 =
+  Json.Obj [ ("start", position l0 c0); ("end", position l1 c1) ]
+
+(* LSP lines are 0-based; {!Wap_php.Loc} lines are 1-based (columns are
+   0-based on both sides).  The reported span covers the sink name. *)
+let range_of_candidate (c : Trace.candidate) =
+  let line = max 0 (c.Trace.sink_loc.Wap_php.Loc.line - 1) in
+  let col = max 0 c.Trace.sink_loc.Wap_php.Loc.col in
+  range line col line (col + String.length c.Trace.sink_name)
+
+let diagnostic_of_candidate t (c : Trace.candidate) =
+  let predicted_fp =
+    Wap_mining.Predictor.is_false_positive t.tool.Tool.predictor c
+  in
+  let message =
+    if predicted_fp then Trace.summary c ^ " (predicted false positive)"
+    else Trace.summary c
+  in
+  Json.Obj
+    [
+      ("range", range_of_candidate c);
+      ("severity", Json.Int (if predicted_fp then 2 else 1));
+      ("code", Json.Str (Wap_catalog.Vuln_class.acronym c.Trace.vclass));
+      ("source", Json.Str "wap");
+      ("message", Json.Str message);
+    ]
+
+(* De-duplicated finalized candidates whose sink is in [path] — the
+   same collapse the batch pipeline applies before prediction (RFI and
+   LFI both firing on one include yield one diagnostic). *)
+let candidates_for t ~path : Trace.candidate list =
+  match t.session with
+  | None -> []
+  | Some s -> Tool.dedup_candidates (List.map snd (Session.diagnostics s ~path))
+
+let diagnostics_json t ~path =
+  Json.List (List.map (diagnostic_of_candidate t) (candidates_for t ~path))
+
+(* Publish diagnostics for every open document whose rendered
+   diagnostics differ from the last publish.  Deterministic (sorted by
+   URI) so the smoke test can rely on message order. *)
+let publish_changed t : Json.t list =
+  let open_uris =
+    List.sort compare (Hashtbl.fold (fun uri _ acc -> uri :: acc) t.docs [])
+  in
+  List.filter_map
+    (fun uri ->
+      let path = Hashtbl.find t.docs uri in
+      let diags = diagnostics_json t ~path in
+      let rendered = Json.to_string ~indent:false diags in
+      if Hashtbl.find_opt t.published uri = Some rendered then None
+      else begin
+        Hashtbl.replace t.published uri rendered;
+        Some
+          (Rpc.notification "textDocument/publishDiagnostics"
+             (Json.Obj [ ("uri", Json.Str uri); ("diagnostics", diags) ]))
+      end)
+    open_uris
+
+(* ------------------------------------------------------------------ *)
+(* Text-document notifications.                                        *)
+
+let text_document_uri params =
+  match Json.member "textDocument" params with
+  | Some td -> Rpc.str_member "uri" td
+  | None -> None
+
+let did_open t params : Json.t list =
+  let text =
+    match Json.member "textDocument" params with
+    | Some td -> Rpc.str_member "text" td
+    | None -> None
+  in
+  match (text_document_uri params, text) with
+  | Some uri, Some text ->
+      let path = path_of_uri uri in
+      Hashtbl.replace t.docs uri path;
+      Hashtbl.replace t.uris path uri;
+      let reran = upsert t ~path text in
+      Log.info
+        ~fields:
+          [ ("uri", uri); ("reanalyzed", string_of_int (List.length reran)) ]
+        "didOpen";
+      publish_changed t
+  | _ ->
+      Log.warn "didOpen without textDocument.uri/text";
+      []
+
+(* Full-document sync (capability [change: 1]): the last content change
+   carries the whole new text. *)
+let did_change t params : Json.t list =
+  let text =
+    match Json.member "contentChanges" params with
+    | Some changes -> (
+        match Json.to_list_opt changes with
+        | Some (_ :: _ as l) -> Rpc.str_member "text" (List.nth l (List.length l - 1))
+        | _ -> None)
+    | None -> None
+  in
+  match (text_document_uri params, text) with
+  | Some uri, Some text ->
+      let path = path_of_uri uri in
+      if not (Hashtbl.mem t.docs uri) then begin
+        Hashtbl.replace t.docs uri path;
+        Hashtbl.replace t.uris path uri
+      end;
+      let reran = upsert t ~path text in
+      Log.debug
+        ~fields:
+          [ ("uri", uri); ("reanalyzed", string_of_int (List.length reran)) ]
+        "didChange";
+      publish_changed t
+  | _ ->
+      Log.warn "didChange without textDocument.uri/contentChanges";
+      []
+
+let did_close t params : Json.t list =
+  match text_document_uri params with
+  | Some uri ->
+      let path =
+        match Hashtbl.find_opt t.docs uri with
+        | Some p -> p
+        | None -> path_of_uri uri
+      in
+      Hashtbl.remove t.docs uri;
+      Hashtbl.remove t.uris path;
+      ignore (drop t ~path);
+      let clear =
+        (* Closing a document always clears its diagnostics on the
+           client; skip only if we never published any. *)
+        match Hashtbl.find_opt t.published uri with
+        | None | Some "[]" ->
+            Hashtbl.remove t.published uri;
+            []
+        | Some _ ->
+            Hashtbl.remove t.published uri;
+            [
+              Rpc.notification "textDocument/publishDiagnostics"
+                (Json.Obj
+                   [ ("uri", Json.Str uri); ("diagnostics", Json.List []) ]);
+            ]
+      in
+      clear @ publish_changed t
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Code actions: the fixer's templates as whole-document edits.        *)
+
+let count_lines (s : string) : int =
+  1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+let default_malicious = [ '\''; '"'; '\\'; '<'; '>' ]
+
+(* The three automatic templates of {!Wap_fixer.Fix}: the class's stock
+   fix (a [Php_sanitization] for most classes), a [User_sanitization]
+   and a [User_validation] over the usual metacharacters. *)
+let fixes_for (c : Trace.candidate) : (string * Wap_fixer.Fix.t) list =
+  let acr =
+    String.lowercase_ascii (Wap_catalog.Vuln_class.acronym c.Trace.vclass)
+  in
+  let stock = Wap_fixer.Fix.stock c.Trace.vclass in
+  [
+    ( Printf.sprintf "Apply stock fix %s" stock.Wap_fixer.Fix.fix_name,
+      stock );
+    ( "Sanitize input (neutralize metacharacters)",
+      {
+        Wap_fixer.Fix.fix_name = "san_user_" ^ acr;
+        vclass = c.Trace.vclass;
+        template =
+          Wap_fixer.Fix.User_sanitization
+            { malicious = default_malicious; neutralizer = "" };
+      } );
+    ( "Validate input (reject metacharacters)",
+      {
+        Wap_fixer.Fix.fix_name = "val_user_" ^ acr;
+        vclass = c.Trace.vclass;
+        template = Wap_fixer.Fix.User_validation { malicious = default_malicious };
+      } );
+  ]
+
+let action_of t ~uri ~path ~text (c : Trace.candidate) (title, fix) :
+    Json.t option =
+  let program, _errors = Wap_php.Parser.parse_string_tolerant ~file:path text in
+  let fixed, report =
+    Wap_fixer.Corrector.correct_program program
+      [ { Wap_fixer.Corrector.candidate = c; fix } ]
+  in
+  match report.Wap_fixer.Corrector.applied with
+  | [] -> None
+  | _ ->
+      let new_text = Wap_php.Printer.program_to_string fixed in
+      let whole_doc = range 0 0 (count_lines text) 0 in
+      let edit =
+        Json.Obj
+          [
+            ( "changes",
+              Json.Obj
+                [
+                  ( uri,
+                    Json.List
+                      [
+                        Json.Obj
+                          [
+                            ("range", whole_doc);
+                            ("newText", Json.Str new_text);
+                          ];
+                      ] );
+                ] );
+          ]
+      in
+      Some
+        (Json.Obj
+           [
+             ("title", Json.Str title);
+             ("kind", Json.Str "quickfix");
+             ("diagnostics", Json.List [ diagnostic_of_candidate t c ]);
+             ("edit", edit);
+           ])
+
+let code_actions t params : Json.t =
+  match text_document_uri params with
+  | None -> Json.List []
+  | Some uri -> (
+      let path =
+        match Hashtbl.find_opt t.docs uri with
+        | Some p -> p
+        | None -> path_of_uri uri
+      in
+      match Hashtbl.find_opt t.texts path with
+      | None -> Json.List []
+      | Some text ->
+          let start_line, end_line =
+            match Json.member "range" params with
+            | Some r -> (
+                let line k =
+                  Option.bind (Json.member k r) (Rpc.int_member "line")
+                in
+                match (line "start", line "end") with
+                | Some s, Some e -> (s, e)
+                | Some s, None -> (s, s)
+                | _ -> (0, max_int))
+            | None -> (0, max_int)
+          in
+          let in_range (c : Trace.candidate) =
+            let l = c.Trace.sink_loc.Wap_php.Loc.line - 1 in
+            l >= start_line && l <= end_line
+          in
+          let actions =
+            candidates_for t ~path
+            |> List.filter in_range
+            |> List.concat_map (fun c ->
+                   List.filter_map
+                     (action_of t ~uri ~path ~text c)
+                     (fixes_for c))
+          in
+          Json.List actions)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+
+let initialize_result t =
+  Json.Obj
+    [
+      ( "capabilities",
+        Json.Obj
+          [
+            ( "textDocumentSync",
+              Json.Obj
+                [
+                  ("openClose", Json.Bool true);
+                  ("change", Json.Int 1) (* full-document sync *);
+                ] );
+            ("codeActionProvider", Json.Bool true);
+          ] );
+      ( "serverInfo",
+        Json.Obj
+          [
+            ("name", Json.Str "wap");
+            ("version", Json.Str (Wap_core.Version.name t.tool.Tool.version));
+          ] );
+    ]
+
+let handle (t : t) (msg : Json.t) : Json.t list =
+  let meth = Option.value (Rpc.meth msg) ~default:"" in
+  let params = Rpc.params msg in
+  match (meth, Rpc.id msg) with
+  | "initialize", Some id -> [ Rpc.response ~id (initialize_result t) ]
+  | "initialized", _ -> []
+  | "shutdown", Some id ->
+      t.shutdown_requested <- true;
+      [ Rpc.response ~id Json.Null ]
+  | "exit", _ ->
+      t.finished <- true;
+      []
+  | "textDocument/didOpen", _ -> did_open t params
+  | "textDocument/didChange", _ -> did_change t params
+  | "textDocument/didClose", _ -> did_close t params
+  | "textDocument/codeAction", Some id ->
+      [ Rpc.response ~id (code_actions t params) ]
+  | _, Some id ->
+      [ Rpc.error_response ~id ~code:(-32601) ("method not found: " ^ meth) ]
+  | _, None ->
+      Log.debug ~fields:[ ("method", meth) ] "ignoring notification";
+      []
+
+(* ------------------------------------------------------------------ *)
+(* Transports.                                                         *)
+
+let serve_channels (t : t) (ic : in_channel) (oc : out_channel) : unit =
+  let rec loop () =
+    if not t.finished then
+      match Rpc.read_message ic with
+      | None -> ()
+      | Some (Error e) ->
+          Log.warn ~fields:[ ("error", e) ] "malformed message";
+          loop ()
+      | Some (Ok msg) ->
+          List.iter (Rpc.write_message oc) (handle t msg);
+          loop ()
+  in
+  loop ()
+
+let run_stdio (t : t) : unit = serve_channels t stdin stdout
+
+let accept_loop t sock =
+  let rec loop () =
+    if not t.finished then begin
+      let fd, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try serve_channels t ic oc
+       with e ->
+         Log.warn ~fields:[ ("error", Printexc.to_string e) ] "client error");
+      (try close_out oc with _ -> ());
+      (try close_in ic with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let run_unix_socket (t : t) ~path : unit =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  Log.info ~fields:[ ("socket", path) ] "listening";
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with _ -> ());
+      try Unix.unlink path with _ -> ())
+    (fun () -> accept_loop t sock)
+
+let run_tcp (t : t) ~port : unit =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 1;
+  Log.info ~fields:[ ("port", string_of_int port) ] "listening";
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with _ -> ())
+    (fun () -> accept_loop t sock)
+
+(* Introspection for tests. *)
+let session t = t.session
+let stale_events t = t.stale_events

@@ -1,0 +1,56 @@
+(** The [wap serve] LSP diagnostics daemon: a language-server shell
+    around {!Wap_engine.Session}.
+
+    The set of open editor documents is the analyzed project.  The
+    first [textDocument/didOpen] opens a session; further
+    opens/changes/closes map to the session's incremental
+    [add_file]/[update_file]/[remove_file], so an edit re-analyzes only
+    the touched file (plus its include dependents).  Diagnostics are
+    pushed with [textDocument/publishDiagnostics], only when they
+    changed; predicted false positives are demoted to warnings (LSP
+    severity 2) and tagged in the message.  [textDocument/codeAction]
+    offers the fixer's templates — the class's stock fix, a user
+    sanitization and a user validation — as whole-document workspace
+    edits.
+
+    Supported messages: [initialize], [initialized], [shutdown],
+    [exit], [textDocument/didOpen|didChange|didClose|codeAction].
+    Unknown requests get a [-32601] error; unknown notifications are
+    ignored.  Text synchronization is full-document ([change: 1]). *)
+
+type t
+
+(** [create tool] — a fresh server around an assembled WAP tool.
+    [jobs] resolves through {!Wap_engine.Config} ([WAP_JOBS]). *)
+val create : ?jobs:int -> Wap_core.Tool.t -> t
+
+(** Process one decoded client message; returns the messages to send
+    back (the response if it was a request, plus any publish
+    notifications), in order.  This is the whole protocol state
+    machine — tests drive it in-process without a transport. *)
+val handle : t -> Wap_report.Json.t -> Wap_report.Json.t list
+
+(** True once the [exit] notification was received. *)
+val finished : t -> bool
+
+(** Read framed messages from the channel, {!handle} them, write the
+    output messages back, until [exit] or end of input. *)
+val serve_channels : t -> in_channel -> out_channel -> unit
+
+(** Serve one client over stdin/stdout (logs go to stderr). *)
+val run_stdio : t -> unit
+
+(** Listen on a Unix-domain socket at [path] (created, removed on
+    shutdown), serving clients sequentially until [exit]. *)
+val run_unix_socket : t -> path:string -> unit
+
+(** Listen on localhost TCP [port], serving clients sequentially until
+    [exit]. *)
+val run_tcp : t -> port:int -> unit
+
+(** The underlying session, once the first document was opened. *)
+val session : t -> Wap_engine.Session.t option
+
+(** Progress events discarded because their generation tag was
+    superseded by a newer edit (see {!Wap_engine.Session.event}). *)
+val stale_events : t -> int

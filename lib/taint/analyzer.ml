@@ -1267,12 +1267,25 @@ let analyze_file_toplevel st ~(units : file_unit list) (u : file_unit) :
   ignore (exec_stmts ctx Env.empty program);
   List.rev ctx.candidates
 
+(* Base names a file's top-level includes resolve against — the exact
+   matching [splice_includes] performs, exposed so an incremental
+   caller (the session engine) can compute which files would re-splice
+   an edited one.  Only top-level statements count, like the splice. *)
+let include_basenames (prog : Ast.program) : string list =
+  List.filter_map
+    (fun (s : Ast.stmt) ->
+      match s.Ast.s with
+      | Ast.Expr_stmt { e = Ast.Include (_, arg); _ } ->
+          Option.map Filename.basename (literal_path arg)
+      | _ -> None)
+    prog
+
 (** Cross-file/cross-pass de-duplication sweep (first emission wins,
     exactly like one shared context), then the dead-sink filter:
     candidates whose sink control flow provably never reaches (after an
     unconditional exit/die/return/throw) are not vulnerabilities. *)
-let finalize ~(units : file_unit list) (cands : (int * Trace.candidate) list) :
-    (int * Trace.candidate) list =
+let finalize_with ~(is_dead : Loc.t -> bool)
+    (cands : (int * Trace.candidate) list) : (int * Trace.candidate) list =
   let seen = Hashtbl.create 64 in
   let deduped =
     List.filter
@@ -1286,12 +1299,15 @@ let finalize ~(units : file_unit list) (cands : (int * Trace.candidate) list) :
       cands
   in
   Wap_obs.Trace.with_span ~cat:"taint" "dead_sink_filter" @@ fun () ->
+  List.filter
+    (fun (_, (c : Trace.candidate)) -> not (is_dead c.Trace.sink_loc))
+    deduped
+
+let finalize ~(units : file_unit list) (cands : (int * Trace.candidate) list) :
+    (int * Trace.candidate) list =
   let dead = Wap_flow.Reach.create () in
   List.iter (fun u -> Wap_flow.Reach.add_program dead u.program) units;
-  List.filter
-    (fun (_, (c : Trace.candidate)) ->
-      not (Wap_flow.Reach.is_dead dead c.Trace.sink_loc))
-    deduped
+  finalize_with ~is_dead:(Wap_flow.Reach.is_dead dead) cands
 
 (* Read-only views of a project state, for the IR path (Wap_ir) that
    replays pass 3 over lowered instruction arrays. *)

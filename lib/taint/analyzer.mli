@@ -127,11 +127,26 @@ val state_specs : project_state -> Wap_catalog.Catalog.spec array
 val state_lookup : project_state -> Wap_catalog.Catalog.Lookup.t
 val state_summaries : project_state -> Summary.table
 
+(** The base names a program's top-level literal includes resolve
+    against — exactly the matching {!splice_includes} performs.  An
+    incremental caller uses this to find the files that re-splice an
+    edited one. *)
+val include_basenames : Ast.program -> string list
+
 (** Cross-file/cross-pass de-duplication (first emission wins) followed
     by the dead-sink filter.  Feed it pass-2 results (in file order)
     followed by pass-3 results (in file order). *)
 val finalize :
   units:file_unit list ->
+  (int * Trace.candidate) list ->
+  (int * Trace.candidate) list
+
+(** {!finalize} with a caller-supplied dead-sink predicate in place of
+    the one built from [units] — byte-identical to [finalize] when
+    [is_dead] is {!Wap_flow.Reach.is_dead} over the union of the
+    units' dead sets (the session engine keeps that union per file). *)
+val finalize_with :
+  is_dead:(Loc.t -> bool) ->
   (int * Trace.candidate) list ->
   (int * Trace.candidate) list
 

@@ -59,10 +59,18 @@ let acp () =
   Wap_corpus.Appgen.of_webapp_profile ~seed
     (List.nth Wap_corpus.Profiles.vulnerable_webapps 0)
 
+(* the retired [analyze_package]/[analyze_source] wrappers, spelled as
+   [Scan] requests *)
+let scan_package tool pkg =
+  (T.Scan.run tool (T.Scan.request_of_package pkg)).T.Scan.result
+
+let scan_source tool ~file src =
+  (T.Scan.run tool (T.Scan.request [ (file, src) ])).T.Scan.result
+
 let test_pipeline_acp () =
   (* Admin Control Panel Lite 2: 9 SQLI + 72 XSS, 8 easy FPs *)
   let tool = Lazy.force wape in
-  let result = T.analyze_package tool (acp ()) in
+  let result = scan_package tool (acp ()) in
   let score = A.score_package result in
   Alcotest.(check int) "all reals found" 81
     (score.A.real_reported + score.A.real_missed);
@@ -83,9 +91,9 @@ let test_pipeline_v21_misses_new_classes () =
       ~vulns:[ (VC.Hi, 2); (VC.Ldapi, 1); (VC.Sf, 1) ]
       ~fp_easy:0 ~fp_hard:0 ~sanitized:0 ()
   in
-  let r21 = T.analyze_package (Lazy.force v21) pkg in
+  let r21 = scan_package (Lazy.force v21) pkg in
   Alcotest.(check int) "v2.1 sees nothing" 0 (List.length r21.T.candidates);
-  let re = T.analyze_package (Lazy.force wape) pkg in
+  let re = scan_package (Lazy.force wape) pkg in
   Alcotest.(check int) "WAPe sees all four" 4 (List.length re.T.reported)
 
 let test_pipeline_wpsqli_weapon_needed () =
@@ -97,14 +105,14 @@ let test_pipeline_wpsqli_weapon_needed () =
          Wap_corpus.Profiles.vulnerable_plugins)
   in
   (* without the weapon, $wpdb flows are invisible *)
-  let without = T.analyze_package (Lazy.force wape) pkg in
+  let without = scan_package (Lazy.force wape) pkg in
   Alcotest.(check int) "no weapon, no findings" 0 (List.length without.T.reported);
   let armed = T.create ~seed ~weapons:[ Wap_weapon.Generator.wpsqli () ] V.Wape in
-  let with_w = T.analyze_package armed pkg in
+  let with_w = scan_package armed pkg in
   Alcotest.(check int) "18 with the weapon" 18 (List.length with_w.T.reported)
 
 let test_analysis_time_measured () =
-  let result = T.analyze_package (Lazy.force wape) (acp ()) in
+  let result = scan_package (Lazy.force wape) (acp ()) in
   Alcotest.(check bool) "time recorded" true (result.T.analysis_seconds >= 0.0);
   Alcotest.(check bool) "loc counted" true (result.T.loc > 500)
 
@@ -118,14 +126,14 @@ let test_analyze_source_and_correct () =
   let fixed, report = T.correct_source tool ~file:"one.php" src in
   Alcotest.(check int) "one fix" 1 (List.length report.Wap_fixer.Corrector.applied);
   (* the corrected file no longer alarms *)
-  let result = T.analyze_source tool ~file:"one.php" fixed in
+  let result = scan_source tool ~file:"one.php" fixed in
   Alcotest.(check int) "fixed is clean" 0 (List.length result.T.reported)
 
 let test_dedup_across_specs () =
   (* an include sink is flagged by both RFI and LFI detectors but must be
      reported once *)
   let tool = Lazy.force wape in
-  let result = T.analyze_source tool ~file:"i.php" "<?php\ninclude($_GET['p']);\n" in
+  let result = scan_source tool ~file:"i.php" "<?php\ninclude($_GET['p']);\n" in
   Alcotest.(check int) "deduplicated" 1 (List.length result.T.candidates)
 
 (* ------------------------------------------------------------------ *)

@@ -10,11 +10,13 @@ module Cache = Wap_engine.Cache
 let seed = 2016
 let wape = lazy (T.create ~seed Wap_core.Version.Wape)
 
+let acp =
+  lazy
+    (Wap_corpus.Appgen.of_webapp_profile ~seed
+       (List.nth Wap_corpus.Profiles.vulnerable_webapps 0))
+
 let acp_files () =
-  let pkg =
-    Wap_corpus.Appgen.of_webapp_profile ~seed
-      (List.nth Wap_corpus.Profiles.vulnerable_webapps 0)
-  in
+  let pkg = Lazy.force acp in
   List.map
     (fun (f : Wap_corpus.Appgen.file) ->
       (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
@@ -51,14 +53,17 @@ let test_pool_deterministic_failure () =
       [ 1; 2; 4 ]
   done
 
-let test_pool_default_jobs () =
+let test_config_default_jobs () =
   let original = Sys.getenv_opt "WAP_JOBS" in
   Unix.putenv "WAP_JOBS" "3";
-  Alcotest.(check int) "WAP_JOBS honoured" 3 (Pool.default_jobs ());
+  Alcotest.(check int) "WAP_JOBS honoured" 3 (Wap_engine.Config.default_jobs ());
+  Alcotest.(check int) "flag beats env" 5 (Wap_engine.Config.jobs (Some 5));
   Unix.putenv "WAP_JOBS" "bogus";
-  Alcotest.(check bool) "bogus falls back to >= 1" true (Pool.default_jobs () >= 1);
+  Alcotest.(check bool) "bogus falls back to >= 1" true
+    (Wap_engine.Config.default_jobs () >= 1);
   Unix.putenv "WAP_JOBS" (Option.value original ~default:"");
-  Alcotest.(check bool) "restored >= 1" true (Pool.default_jobs () >= 1)
+  Alcotest.(check bool) "restored >= 1" true
+    (Wap_engine.Config.default_jobs () >= 1)
 
 let test_pool_map_list_empty () =
   Alcotest.(check (list int)) "empty in, empty out" []
@@ -122,15 +127,24 @@ let test_engine_merge_order () =
   in
   Alcotest.(check (list string)) "merge order jobs=4 = jobs=1" (run 1) (run 4)
 
-let test_scan_matches_legacy_wrappers () =
+let test_scan_matches_package_request () =
+  (* a package request and a plain file-list request over the same
+     sources route through the same engine: identical findings (the
+     exports differ only in the package header the former carries) *)
   let tool = Lazy.force wape in
   let files = acp_files () in
-  let via_scan = (Scan.run tool (Scan.request ~jobs:2 files)).Scan.result in
-  let via_wrapper, errs = T.analyze_sources tool files in
-  Alcotest.(check int) "no recovered errors" 0 (List.length errs);
-  Alcotest.(check string) "wrapper and Scan agree"
-    (Wap_core.Export.result_to_string (zero_timings via_wrapper))
-    (Wap_core.Export.result_to_string (zero_timings via_scan))
+  let via_files = Scan.run tool (Scan.request ~jobs:2 files) in
+  let via_pkg =
+    (Scan.run tool (Scan.request_of_package (Lazy.force acp))).Scan.result
+  in
+  Alcotest.(check int) "no recovered errors" 0
+    (List.length via_files.Scan.parse_errors);
+  Alcotest.(check (list string)) "file and package requests agree"
+    (List.map Wap_taint.Trace.summary via_pkg.T.candidates)
+    (List.map Wap_taint.Trace.summary via_files.Scan.result.T.candidates);
+  Alcotest.(check int) "reported agree"
+    (List.length via_pkg.T.reported)
+    (List.length via_files.Scan.result.T.reported)
 
 (* ------------------------------------------------------------------ *)
 (* Cache.                                                              *)
@@ -348,7 +362,7 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_pool_order;
           Alcotest.test_case "deterministic failure" `Quick
             test_pool_deterministic_failure;
-          Alcotest.test_case "WAP_JOBS default" `Quick test_pool_default_jobs;
+          Alcotest.test_case "WAP_JOBS default" `Quick test_config_default_jobs;
           Alcotest.test_case "empty map_list" `Quick test_pool_map_list_empty;
         ] );
       ( "determinism",
@@ -359,8 +373,8 @@ let () =
             test_fused_equals_per_spec;
           Alcotest.test_case "engine merge order stable" `Slow
             test_engine_merge_order;
-          Alcotest.test_case "legacy wrappers route through Scan" `Slow
-            test_scan_matches_legacy_wrappers;
+          Alcotest.test_case "package request routes through Scan" `Slow
+            test_scan_matches_package_request;
         ] );
       ( "cache",
         [

@@ -41,7 +41,9 @@ let pair_list = Alcotest.(list (pair string string))
 let analyze ?(wp = false) name files =
   let wape, wp_tool = Lazy.force tools in
   let tool = if wp then wp_tool else wape in
-  Wap_core.Tool.analyze_package tool (package name files)
+  (Wap_core.Tool.Scan.run tool
+     (Wap_core.Tool.Scan.request_of_package (package name files)))
+    .Wap_core.Tool.Scan.result
 
 let check_findings name files ~expected_vulns ~expected_fps ?(wp = false) () =
   let result = analyze ~wp name files in
@@ -139,7 +141,11 @@ let test_blog_correction () =
       (fun (n, src) -> if n = "post.php" then (n, fixed) else (n, src))
       Fixtures.blog
   in
-  let again = Wap_core.Tool.analyze_package wape (package "blog" fixed_blog) in
+  let again =
+    (Wap_core.Tool.Scan.run wape
+       (Wap_core.Tool.Scan.request_of_package (package "blog" fixed_blog)))
+      .Wap_core.Tool.Scan.result
+  in
   let in_post =
     List.filter
       (fun (c : Wap_taint.Trace.candidate) -> c.Wap_taint.Trace.file = "post.php")

@@ -170,17 +170,17 @@ let test_default_ir_env () =
   let original = Sys.getenv_opt "WAP_IR" in
   let set v = Unix.putenv "WAP_IR" v in
   set "0";
-  Alcotest.(check bool) "WAP_IR=0 disables" false (Wap_engine.Scan.default_ir ());
+  Alcotest.(check bool) "WAP_IR=0 disables" false (Wap_engine.Config.default_ir ());
   set "false";
   Alcotest.(check bool) "WAP_IR=false disables" false
-    (Wap_engine.Scan.default_ir ());
+    (Wap_engine.Config.default_ir ());
   set "off";
   Alcotest.(check bool) "WAP_IR=off disables" false
-    (Wap_engine.Scan.default_ir ());
+    (Wap_engine.Config.default_ir ());
   set "1";
-  Alcotest.(check bool) "WAP_IR=1 enables" true (Wap_engine.Scan.default_ir ());
+  Alcotest.(check bool) "WAP_IR=1 enables" true (Wap_engine.Config.default_ir ());
   set "";
-  Alcotest.(check bool) "empty enables" true (Wap_engine.Scan.default_ir ());
+  Alcotest.(check bool) "empty enables" true (Wap_engine.Config.default_ir ());
   set (Option.value original ~default:"")
 
 let test_request_defaults () =

@@ -185,11 +185,14 @@ let test_html_escape () =
 let test_tolerant_analysis () =
   (* a broken file does not abort the scan and still yields its findings *)
   let tool = Wap_core.Tool.create ~seed:2016 Wap_core.Version.Wape in
-  let result, errors =
-    Wap_core.Tool.analyze_sources tool
-      [ ("ok.php", "<?php\necho $_GET['m'];\n");
-        ("broken.php", "<?php\n$x = ;\nmysql_query('SELECT * FROM t WHERE c = ' . $_GET['c']);\n") ]
+  let o =
+    Wap_core.Tool.Scan.run tool
+      (Wap_core.Tool.Scan.request
+         [ ("ok.php", "<?php\necho $_GET['m'];\n");
+           ("broken.php", "<?php\n$x = ;\nmysql_query('SELECT * FROM t WHERE c = ' . $_GET['c']);\n") ])
   in
+  let result = o.Wap_core.Tool.Scan.result
+  and errors = o.Wap_core.Tool.Scan.parse_errors in
   Alcotest.(check int) "errors from one file" 1 (List.length errors);
   Alcotest.(check int) "both findings present" 2
     (List.length result.Wap_core.Tool.candidates)
@@ -197,7 +200,10 @@ let test_tolerant_analysis () =
 let test_export_shape () =
   let tool = Wap_core.Tool.create ~seed:2016 Wap_core.Version.Wape in
   let src = "<?php\nmysql_query('SELECT * FROM t WHERE c = ' . $_GET['c']);\n" in
-  let result = Wap_core.Tool.analyze_source tool ~file:"x.php" src in
+  let result =
+    (Wap_core.Tool.Scan.run tool (Wap_core.Tool.Scan.request [ ("x.php", src) ]))
+      .Wap_core.Tool.Scan.result
+  in
   let s = Wap_core.Export.result_to_string result in
   List.iter
     (fun needle -> Alcotest.(check bool) needle true (contains s needle))
