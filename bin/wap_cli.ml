@@ -17,7 +17,9 @@
                     any violation as a reproducer;
     - [serve]       run the LSP diagnostics daemon over stdio (or a
                     socket), re-analyzing only what each edit touches
-                    via the session engine. *)
+                    via the session engine;
+    - [top]         live terminal view of a running daemon, polling its
+                    admin plane ([/status] + [/metrics]). *)
 
 open Cmdliner
 
@@ -236,7 +238,36 @@ let print_scan_stats (outcome : Wap_core.Scan.outcome) =
       ~header:[ "detector"; "candidates"; "seconds"; "cached" ]
       spec_rows
   in
-  Printf.eprintf "%s\n%s\n%s%!" (Tbl.render t1) (Tbl.render t2) (Tbl.render t3)
+  (* every latency histogram in the registry, with interpolated
+     quantiles — the same estimate Prometheus's histogram_quantile
+     would compute from the exposed buckets *)
+  let q_ms h q =
+    let v = Wap_obs.Metrics.quantile_of_snapshot h q in
+    if Float.is_nan v then "n/a" else Printf.sprintf "%.3f" (1e3 *. v)
+  in
+  let hist_rows =
+    List.filter_map
+      (fun (name, (h : Wap_obs.Metrics.hist_snapshot)) ->
+        if h.Wap_obs.Metrics.h_count = 0 then None
+        else
+          Some
+            [
+              name;
+              string_of_int h.Wap_obs.Metrics.h_count;
+              mean_ms (Some h);
+              q_ms h 0.5;
+              q_ms h 0.95;
+            ])
+      snap.Wap_obs.Metrics.histograms
+  in
+  let t4 =
+    Tbl.make ~title:"latency histograms (ms)"
+      ~header:[ "histogram"; "count"; "mean"; "p50"; "p95" ]
+      hist_rows
+  in
+  Printf.eprintf "%s\n%s\n%s%s%!" (Tbl.render t1) (Tbl.render t2)
+    (Tbl.render t3)
+    (if hist_rows = [] then "" else "\n" ^ Tbl.render t4)
 
 (* expand directories to their .php files, recursively; explicitly named
    files pass through regardless of extension *)
@@ -868,8 +899,35 @@ let serve_cmd =
          & info [ "port" ] ~docv:"N"
              ~doc:"Listen on localhost TCP port $(docv) instead of stdio.")
   in
-  let run version weapons weapon_dir sanitizers seed jobs socket port trace_out
-      log_level log_format =
+  let admin_port =
+    Arg.(value & opt (some int) None
+         & info [ "admin-port" ] ~docv:"N"
+             ~doc:"Serve the admin plane (GET /metrics, /healthz, /readyz, \
+                   /status, /trace) on localhost TCP port $(docv), from a \
+                   dedicated domain so scrapes never wait on LSP traffic.")
+  in
+  let admin_socket =
+    Arg.(value & opt (some string) None
+         & info [ "admin-socket" ] ~docv:"PATH"
+             ~doc:"Serve the admin plane on a Unix-domain socket at $(docv).")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log a warning for any request slower than $(docv) \
+                   milliseconds.")
+  in
+  let trace_ring =
+    Arg.(value & opt int 4096
+         & info [ "trace-ring" ] ~docv:"N"
+             ~doc:"Capacity (events per domain) of the bounded trace ring \
+                   GET /trace drains; 0 disables ring tracing.  Only \
+                   consulted when the admin plane is on and --trace-out is \
+                   not (a batch trace file takes precedence).")
+  in
+  let run version weapons weapon_dir sanitizers seed jobs socket port
+      admin_port admin_socket slow_ms trace_ring trace_out log_level
+      log_format =
     let finish_obs = setup_obs trace_out log_level log_format in
     let weapons =
       List.map
@@ -885,19 +943,62 @@ let serve_cmd =
         weapons
     in
     let extra_sanitizers = List.map (fun fn -> (None, fn)) sanitizers in
-    match (socket, port) with
-    | Some _, Some _ ->
+    match (socket, port, admin_port, admin_socket) with
+    | Some _, Some _, _, _ ->
         finish_obs ();
         `Error (false, "--socket and --port are mutually exclusive")
+    | _, _, Some _, Some _ ->
+        finish_obs ();
+        `Error (false, "--admin-port and --admin-socket are mutually exclusive")
     | _ ->
+        (* a peer (LSP client or admin scraper) dropping its connection
+           mid-write must surface as EPIPE, not kill the daemon *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        let admin_on = admin_port <> None || admin_socket <> None in
+        if admin_on then begin
+          (* daemon logs carry wall-clock timestamps so they correlate
+             with scrapes and traces *)
+          Wap_obs.Log.set_timestamps true;
+          (* without a batch --trace-out, trace into the bounded ring
+             GET /trace drains *)
+          if Wap_obs.Trace.global () = None && trace_ring > 0 then
+            Wap_obs.Trace.set_global
+              (Some (Wap_obs.Trace.create ~ring_capacity:trace_ring ()))
+        end;
         let tool =
           Wap_core.Tool.create ~seed ~weapons ~extra_sanitizers version
         in
-        let server = Wap_serve.Server.create ~jobs tool in
+        let server = Wap_serve.Server.create ~jobs ?slow_ms tool in
+        let admin_cleanup =
+          if not admin_on then fun () -> ()
+          else begin
+            let src = Wap_serve.Server.admin_source server in
+            match (admin_port, admin_socket) with
+            | Some p, None ->
+                let sock = Wap_serve.Admin.listen_tcp ~port:p in
+                Wap_serve.Admin.spawn src sock;
+                Wap_obs.Log.info
+                  ~fields:[ ("admin_port", string_of_int p) ]
+                  "admin plane listening";
+                fun () -> (try Unix.close sock with _ -> ())
+            | None, Some path ->
+                let sock = Wap_serve.Admin.listen_unix ~path in
+                Wap_serve.Admin.spawn src sock;
+                Wap_obs.Log.info
+                  ~fields:[ ("admin_socket", path) ]
+                  "admin plane listening";
+                fun () ->
+                  (try Unix.close sock with _ -> ());
+                  (try Unix.unlink path with _ -> ())
+            | _ -> fun () -> ()
+          end
+        in
         (match (socket, port) with
         | Some path, None -> Wap_serve.Server.run_unix_socket server ~path
         | None, Some port -> Wap_serve.Server.run_tcp server ~port
         | _ -> Wap_serve.Server.run_stdio server);
+        admin_cleanup ();
         finish_obs ();
         `Ok ()
   in
@@ -907,12 +1008,304 @@ let serve_cmd =
      change (re-analyzing only the edited file), and offers the fixer's \
      sanitization/validation templates as quick fixes.  Speaks the Language \
      Server Protocol over stdio by default (logs go to stderr); --socket or \
-     --port select a socket transport."
+     --port select a socket transport.  --admin-port/--admin-socket add an \
+     HTTP admin plane (Prometheus /metrics, /healthz, /readyz, /status and a \
+     draining Chrome-trace /trace) served from a dedicated domain; wap top \
+     renders it as a live terminal view."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(ret (const run $ version $ weapons $ weapon_dir $ sanitizers
-               $ seed_arg $ jobs_arg $ socket $ port $ trace_out_arg
+               $ seed_arg $ jobs_arg $ socket $ port $ admin_port
+               $ admin_socket $ slow_ms $ trace_ring $ trace_out_arg
                $ log_level_arg $ log_format_arg))
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+
+(* A one-shot HTTP GET against the daemon's admin plane (loopback TCP
+   or Unix socket).  Hand-rolled on purpose: the admin server speaks
+   Connection: close, so "read to EOF after the blank line" is the
+   whole client. *)
+let admin_get ~(connect : unit -> Unix.file_descr) (path : string) :
+    (int * string, string) result =
+  match connect () with
+  | exception e -> Error (Printexc.to_string e)
+  | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let finally () =
+        (try close_out_noerr oc with _ -> ());
+        (try close_in_noerr ic with _ -> ());
+        try Unix.close fd with _ -> ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      Printf.fprintf oc "GET %s HTTP/1.1\r\nHost: wap\r\nConnection: close\r\n\r\n"
+        path;
+      flush oc;
+      match input_line ic with
+      | exception End_of_file -> Error "empty response"
+      | status_line -> (
+          match String.split_on_char ' ' (String.trim status_line) with
+          | _http :: code :: _ -> (
+              match int_of_string_opt code with
+              | None -> Error ("malformed status line: " ^ status_line)
+              | Some code ->
+                  (* skip headers *)
+                  let rec headers () =
+                    match input_line ic with
+                    | exception End_of_file -> ()
+                    | "" | "\r" -> ()
+                    | _ -> headers ()
+                  in
+                  headers ();
+                  let body = Buffer.create 4096 in
+                  (try
+                     while true do
+                       Buffer.add_channel body ic 1
+                     done
+                   with End_of_file -> ());
+                  Ok (code, Buffer.contents body))
+          | _ -> Error ("malformed status line: " ^ status_line)))
+
+(* Rebuild per-method histogram snapshots from scraped
+   wap_serve_request_seconds_* samples, so quantiles are computed
+   client-side from the same buckets Prometheus would use. *)
+let hists_of_samples (samples : Wap_obs.Expo.sample list) ~(base : string) :
+    (string * Wap_obs.Metrics.hist_snapshot) list =
+  let tbl : (string, (float * float) list ref * float ref * int ref) Hashtbl.t
+      =
+    Hashtbl.create 8
+  in
+  let entry m =
+    match Hashtbl.find_opt tbl m with
+    | Some e -> e
+    | None ->
+        let e = (ref [], ref 0., ref 0) in
+        Hashtbl.add tbl m e;
+        e
+  in
+  List.iter
+    (fun (s : Wap_obs.Expo.sample) ->
+      let meth =
+        Option.value
+          (List.assoc_opt "method" s.Wap_obs.Expo.s_labels)
+          ~default:""
+      in
+      let buckets, sum, count = entry meth in
+      if s.Wap_obs.Expo.s_name = base ^ "_bucket" then (
+        match List.assoc_opt "le" s.Wap_obs.Expo.s_labels with
+        | Some "+Inf" | None -> ()
+        | Some le -> (
+            match float_of_string_opt le with
+            | Some b -> buckets := (b, s.Wap_obs.Expo.s_value) :: !buckets
+            | None -> ()))
+      else if s.Wap_obs.Expo.s_name = base ^ "_sum" then
+        sum := s.Wap_obs.Expo.s_value
+      else if s.Wap_obs.Expo.s_name = base ^ "_count" then
+        count := int_of_float s.Wap_obs.Expo.s_value)
+    samples;
+  Hashtbl.fold
+    (fun meth (buckets, sum, count) acc ->
+      if !count = 0 then acc
+      else begin
+        let sorted = List.sort compare !buckets in
+        let bounds = Array.of_list (List.map fst sorted) in
+        (* cumulative scrape counts back to per-bucket counts, plus the
+           overflow slot *)
+        let counts = Array.make (Array.length bounds + 1) 0 in
+        let prev = ref 0 in
+        List.iteri
+          (fun i (_, cum) ->
+            let cum = int_of_float cum in
+            counts.(i) <- max 0 (cum - !prev);
+            prev := cum)
+          sorted;
+        counts.(Array.length bounds) <- max 0 (!count - !prev);
+        ( meth,
+          {
+            Wap_obs.Metrics.h_buckets = bounds;
+            h_counts = counts;
+            h_count = !count;
+            h_sum = !sum;
+          } )
+        :: acc
+      end)
+    tbl []
+  |> List.sort compare
+
+let top_cmd =
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N"
+             ~doc:"Admin port of the daemon (its --admin-port).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Admin Unix socket of the daemon (its --admin-socket).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between polls.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Poll once, print the view without clearing the screen, \
+                   and exit (what the smoke test runs).")
+  in
+  let run port socket interval once =
+    let connect =
+      match (port, socket) with
+      | Some n, None ->
+          Ok
+            (fun () ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, n));
+              fd)
+      | None, Some path ->
+          Ok
+            (fun () ->
+              let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              fd)
+      | _ -> Error "exactly one of --port or --socket is required"
+    in
+    match connect with
+    | Error e -> `Error (false, e)
+    | Ok connect ->
+        let module Tbl = Wap_report.Table in
+        let module Json = Wap_report.Json in
+        (* previous poll's (time, per-method request totals), for rates *)
+        let prev : (float * (string * float) list) option ref = ref None in
+        let render () =
+          match (admin_get ~connect "/status", admin_get ~connect "/metrics")
+          with
+          | Error e, _ | _, Error e -> Error e
+          | Ok (sc, _), Ok (mc, _) when sc <> 200 || mc <> 200 ->
+              Error (Printf.sprintf "admin plane answered %d/%d" sc mc)
+          | Ok (_, status_body), Ok (_, metrics_body) -> (
+              match
+                (Json.of_string status_body, Wap_obs.Expo.parse_text metrics_body)
+              with
+              | Error e, _ -> Error ("bad /status JSON: " ^ e)
+              | _, Error e -> Error ("bad /metrics document: " ^ e)
+              | Ok status, Ok parsed ->
+                  let now = Unix.gettimeofday () in
+                  let samples = parsed.Wap_obs.Expo.p_samples in
+                  let int_field k =
+                    match Json.member k status with
+                    | Some (Json.Int n) -> string_of_int n
+                    | _ -> "n/a"
+                  in
+                  let float_field k =
+                    match Json.member k status with
+                    | Some (Json.Float f) -> f
+                    | Some (Json.Int n) -> float_of_int n
+                    | _ -> nan
+                  in
+                  let requests_by_method =
+                    List.filter_map
+                      (fun (s : Wap_obs.Expo.sample) ->
+                        if s.Wap_obs.Expo.s_name = "wap_serve_requests_total"
+                        then
+                          Some
+                            ( Option.value
+                                (List.assoc_opt "method"
+                                   s.Wap_obs.Expo.s_labels)
+                                ~default:"",
+                              s.Wap_obs.Expo.s_value )
+                        else None)
+                      samples
+                  in
+                  let total l = List.fold_left (fun a (_, v) -> a +. v) 0. l in
+                  let rate =
+                    match !prev with
+                    | Some (t0, prev_reqs) when now > t0 ->
+                        Printf.sprintf "%.1f"
+                          ((total requests_by_method -. total prev_reqs)
+                          /. (now -. t0))
+                    | _ -> "n/a"
+                  in
+                  prev := Some (now, requests_by_method);
+                  let ratio =
+                    let r = float_field "cache_hit_ratio" in
+                    if Float.is_nan r then "n/a" else Tbl.pctf r
+                  in
+                  let uptime =
+                    let u = float_field "uptime_seconds" in
+                    if Float.is_nan u then "n/a"
+                    else Printf.sprintf "%.0fs" u
+                  in
+                  let overview =
+                    Tbl.make ~title:"wap serve"
+                      ~header:[ "fact"; "value" ]
+                      [
+                        [ "uptime"; uptime ];
+                        [ "requests/s"; rate ];
+                        [ "requests"; int_field "requests" ];
+                        [ "errors"; int_field "errors" ];
+                        [ "open documents"; int_field "open_documents" ];
+                        [ "session files"; int_field "session_files" ];
+                        [ "candidates"; int_field "session_candidates" ];
+                        [ "generation"; int_field "generation" ];
+                        [ "last edit reanalyzed"; int_field "last_reanalyzed" ];
+                        [ "cache hit ratio"; ratio ];
+                        [ "stale events"; int_field "stale_events" ];
+                        [ "rss bytes"; int_field "rss_bytes" ];
+                      ]
+                  in
+                  let q_ms h q =
+                    let v = Wap_obs.Metrics.quantile_of_snapshot h q in
+                    if Float.is_nan v then "n/a"
+                    else Printf.sprintf "%.3f" (1e3 *. v)
+                  in
+                  let lat_rows =
+                    hists_of_samples samples ~base:"wap_serve_request_seconds"
+                    |> List.map (fun (meth, h) ->
+                           [
+                             (if meth = "" then "(all)" else meth);
+                             string_of_int h.Wap_obs.Metrics.h_count;
+                             q_ms h 0.5;
+                             q_ms h 0.95;
+                           ])
+                  in
+                  let latency =
+                    Tbl.make ~title:"request latency (ms)"
+                      ~header:[ "method"; "count"; "p50"; "p95" ]
+                      lat_rows
+                  in
+                  Ok (Tbl.render overview ^ "\n" ^ Tbl.render latency))
+        in
+        let rec loop () =
+          match render () with
+          | Error e -> `Error (false, e)
+          | Ok view ->
+              if once then begin
+                print_string view;
+                `Ok ()
+              end
+              else begin
+                (* clear + home, then the fresh frame *)
+                print_string "\027[2J\027[H";
+                print_string view;
+                flush stdout;
+                Unix.sleepf interval;
+                loop ()
+              end
+        in
+        loop ()
+  in
+  let doc =
+    "Live terminal view of a running wap serve daemon: polls its admin \
+     plane (/status and /metrics) and renders requests/s, per-method p50/p95 \
+     latency, cache hit ratio and last-edit reanalysis counts.  Point it at \
+     the daemon's --admin-port or --admin-socket; --once prints a single \
+     frame for scripting."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(ret (const run $ port $ socket $ interval $ once))
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -1032,6 +1425,6 @@ let main =
   let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
   Cmd.group info
     [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd;
-      train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd; serve_cmd ]
+      train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd; serve_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -49,7 +49,7 @@ let map ?(jobs = Config.default_jobs ()) (f : 'a -> 'b) (xs : 'a array) :
   let timed_apply x =
     let t0 = Wap_obs.Clock.now_ns () in
     Wap_obs.Metrics.observe (Lazy.force m_queue_wait)
-      (Wap_obs.Clock.ns_to_s (Int64.sub t0 t_start));
+      (Wap_obs.Clock.ns_to_s (t0 - t_start));
     let y = f x in
     Wap_obs.Metrics.observe (Lazy.force m_task_run)
       (Wap_obs.Clock.ns_to_s (Wap_obs.Clock.elapsed_ns t0));

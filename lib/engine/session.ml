@@ -205,8 +205,8 @@ let dead_of (program : Ast.program) =
      d)
 
 let parse_file t path src =
-  Obs.with_span ~cat:"engine" "parse_file" ~args:[ ("file", path) ]
-  @@ fun () ->
+  (* no span of its own: the nested php "parse" span already covers this
+     per-file work at the same granularity *)
   let t0 = Unix.gettimeofday () in
   let compute () = Parser.parse_string_tolerant ~file:path src in
   let (program, errs), cached =
@@ -638,6 +638,29 @@ let merged_indexed t : (int * Trace.candidate) list =
   |> List.map (fun (si, _, c) -> (si, c))
 
 let all_diagnostics t = merged_indexed t
+
+type stats = {
+  st_generation : int;
+  st_files : int;
+  st_candidates : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+}
+
+(* Cheap between edits: the candidate count reads the per-generation
+   memoized finalize, and the cache deltas are two counter reads. *)
+let stats t : stats =
+  {
+    st_generation = t.s_generation;
+    st_files = List.length t.s_entries;
+    st_candidates = List.length (merged_indexed t);
+    st_cache_hits =
+      (match t.s_cache with Some c -> Cache.hits c - t.s_hits0 | None -> 0);
+    st_cache_misses =
+      (match t.s_cache with
+      | Some c -> Cache.misses c - t.s_misses0
+      | None -> 0);
+  }
 
 let diagnostics t ~path =
   List.filter (fun (_, c) -> c.Trace.file = path) (merged_indexed t)

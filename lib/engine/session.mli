@@ -187,6 +187,19 @@ val all_diagnostics : t -> (int * Wap_taint.Trace.candidate) list
     [path]. *)
 val diagnostics : t -> path:string -> (int * Wap_taint.Trace.candidate) list
 
+(** Cheap live counters for monitoring surfaces ([wap serve]'s
+    [/status]): unlike {!export}, reading them does no merge work
+    beyond the per-generation memoized finalize. *)
+type stats = {
+  st_generation : int;
+  st_files : int;  (** files currently in the project *)
+  st_candidates : int;  (** finalized candidates at this generation *)
+  st_cache_hits : int;  (** cache hits attributed to this session *)
+  st_cache_misses : int;
+}
+
+val stats : t -> stats
+
 (** The full outcome over the current project state — byte-identical
     to a fresh {!Scan.run} over the same sources, whatever mutations
     led here. *)

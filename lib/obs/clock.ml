@@ -1,12 +1,12 @@
 (** Monotonic nanosecond clock: wall clock plus a global high-water mark
     shared by all domains, so readings never decrease. *)
 
-let high_water : int64 Atomic.t = Atomic.make 0L
+let high_water : int Atomic.t = Atomic.make 0
 
-let now_ns () : int64 =
-  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+let now_ns () : int =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
   let prev = Atomic.get high_water in
-  if Int64.compare t prev >= 0 then begin
+  if t >= prev then begin
     (* a lost race just means another domain advanced the mark further;
        [t] is still >= the mark we read, so monotonicity holds *)
     ignore (Atomic.compare_and_set high_water prev t);
@@ -14,6 +14,11 @@ let now_ns () : int64 =
   end
   else prev
 
-let elapsed_ns since = Int64.sub (now_ns ()) since
-let ns_to_us ns = Int64.to_float ns /. 1e3
-let ns_to_s ns = Int64.to_float ns /. 1e9
+let elapsed_ns since = now_ns () - since
+let ns_to_us ns = float_of_int ns /. 1e3
+let ns_to_s ns = float_of_int ns /. 1e9
+
+(* Raw reading without the high-water exchange: for per-event call
+   sites that maintain their own (domain-local) monotonic floor and
+   must not touch a shared cache line on every event. *)
+let raw_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)

@@ -3,13 +3,24 @@
     Built on [Unix.gettimeofday] guarded by a global high-water mark, so
     successive readings never decrease even if the system clock steps
     backwards — the property Chrome trace events need ([ts + dur] of a
-    child must stay inside its parent). *)
+    child must stay inside its parent).
+
+    Readings are native [int] nanoseconds: 63 bits hold ~292 years of
+    nanoseconds, and keeping the value immediate (unboxed) makes a clock
+    read allocation-free aside from the [gettimeofday] float — which
+    matters because every traced span reads the clock twice. *)
 
 (** Nanoseconds since an arbitrary epoch; never decreases. *)
-val now_ns : unit -> int64
+val now_ns : unit -> int
 
 (** [elapsed_ns since] is [now_ns () - since]. *)
-val elapsed_ns : int64 -> int64
+val elapsed_ns : int -> int
 
-val ns_to_us : int64 -> float
-val ns_to_s : int64 -> float
+val ns_to_us : int -> float
+val ns_to_s : int -> float
+
+(** [raw_ns ()] reads the wall clock with no monotonicity guarantee and
+    no shared state — a plain [gettimeofday].  For hot paths that keep
+    their own per-domain floor (see [Trace]); everything else should use
+    {!now_ns}. *)
+val raw_ns : unit -> int

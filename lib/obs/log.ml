@@ -52,6 +52,37 @@ let reset_writer () = Atomic.set writer default_writer
 
 let enabled l = severity l >= severity (Atomic.get cur_level) && l <> Quiet
 
+(* Wall-clock timestamps: off by default (the interactive formats stay
+   short), turned on by daemons so log lines correlate with traces and
+   scrapes.  Text lines gain a full ISO-8601 UTC date-time; JSONL
+   lines gain a ["time"] field beside the epoch ["ts"]. *)
+let cur_timestamps = Atomic.make false
+let set_timestamps b = Atomic.set cur_timestamps b
+let timestamps () = Atomic.get cur_timestamps
+
+let iso8601 now =
+  let tm = Unix.gmtime now in
+  let millis = int_of_float (Float.rem now 1.0 *. 1000.0) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec millis
+
+(* Ambient context: per-domain (key, value) fields appended to every
+   line emitted inside [with_context] — how a request id reaches the
+   log lines of everything a request triggers without threading it
+   through each call site.  Domain-local, so worker domains never see
+   (or race on) the serving domain's context. *)
+let dls_context : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let context () = !(Domain.DLS.get dls_context)
+
+let with_context fields f =
+  let r = Domain.DLS.get dls_context in
+  let saved = !r in
+  r := saved @ fields;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
 let json_escape s =
   let b = Buffer.create (String.length s + 2) in
   String.iter
@@ -73,10 +104,15 @@ let emit_lock = Mutex.create ()
 let render_text l fields msg =
   let b = Buffer.create 80 in
   let now = Unix.gettimeofday () in
-  let tm = Unix.localtime now in
+  let clock =
+    if Atomic.get cur_timestamps then iso8601 now
+    else
+      let tm = Unix.localtime now in
+      Printf.sprintf "%02d:%02d:%02d" tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+  in
   Buffer.add_string b
-    (Printf.sprintf "wap %02d:%02d:%02d [%-5s] %s" tm.Unix.tm_hour
-       tm.Unix.tm_min tm.Unix.tm_sec (level_name l) msg);
+    (Printf.sprintf "wap %s [%-5s] %s" clock (level_name l) msg);
   if fields <> [] then begin
     Buffer.add_string b " (";
     List.iteri
@@ -93,9 +129,12 @@ let render_text l fields msg =
 
 let render_json l fields msg =
   let b = Buffer.create 120 in
+  let now = Unix.gettimeofday () in
   Buffer.add_string b
-    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"msg\":\"%s\""
-       (Unix.gettimeofday ()) (level_name l) (json_escape msg));
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"msg\":\"%s\"" now
+       (level_name l) (json_escape msg));
+  if Atomic.get cur_timestamps then
+    Buffer.add_string b (Printf.sprintf ",\"time\":\"%s\"" (iso8601 now));
   List.iter
     (fun (k, v) ->
       Buffer.add_string b
@@ -106,6 +145,7 @@ let render_json l fields msg =
 
 let log l ?(fields = []) msg =
   if enabled l then begin
+    let fields = fields @ context () in
     let line =
       match Atomic.get cur_format with
       | Text -> render_text l fields msg

@@ -40,6 +40,25 @@ val reset_writer : unit -> unit
     construction at call sites. *)
 val enabled : level -> bool
 
+(** With timestamps on (daemon mode; default off), text lines carry a
+    full ISO-8601 UTC date-time instead of the short local clock, and
+    JSONL lines gain a ["time"] ISO-8601 field beside the epoch
+    ["ts"] — so daemon logs correlate with traces and scrapes across
+    days. *)
+val set_timestamps : bool -> unit
+
+val timestamps : unit -> bool
+
+(** [with_context fields f] appends [fields] to every line logged while
+    [f] runs in this domain (nests; restored even on raise).  The
+    server wraps each request in
+    [with_context [("rid", ...); ("method", ...)]] so every log line it
+    triggers is attributable without plumbing. *)
+val with_context : (string * string) list -> (unit -> 'a) -> 'a
+
+(** The current domain's ambient context fields. *)
+val context : unit -> (string * string) list
+
 val debug : ?fields:(string * string) list -> string -> unit
 val info : ?fields:(string * string) list -> string -> unit
 val warn : ?fields:(string * string) list -> string -> unit

@@ -10,6 +10,11 @@ let shard_index () = (Domain.self () :> int) land (shards - 1)
 
 type counter = { c_name : string; c_cells : int Atomic.t array }
 
+(* Gauges are last-writer-wins, not accumulating, so one atomic cell is
+   enough: striping would only complicate the merge (which cell holds
+   the latest value?). *)
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
 (* Histogram sums are kept in integer microunits (1e-6 of the observed
    value) so they can use the same lock-free fetch-and-add as counts;
    63-bit ints leave ~292k years of headroom for second-valued
@@ -24,6 +29,7 @@ type histogram = {
 type registry = {
   r_lock : Mutex.t;
   r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
   r_histograms : (string, histogram) Hashtbl.t;
 }
 
@@ -31,6 +37,7 @@ let create_registry () =
   {
     r_lock = Mutex.create ();
     r_counters = Hashtbl.create 16;
+    r_gauges = Hashtbl.create 16;
     r_histograms = Hashtbl.create 16;
   }
 
@@ -56,6 +63,18 @@ let incr ?(by = 1) (c : counter) =
 
 let value (c : counter) =
   Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let gauge ?(registry = global) name : gauge =
+  locked registry (fun () ->
+      match Hashtbl.find_opt registry.r_gauges name with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_cell = Atomic.make 0.0 } in
+          Hashtbl.add registry.r_gauges name g;
+          g)
+
+let set (g : gauge) v = Atomic.set g.g_cell v
+let gauge_value (g : gauge) = Atomic.get g.g_cell
 
 let default_buckets =
   [| 1e-4; 1e-3; 5e-3; 0.025; 0.1; 0.5; 1.0; 5.0; 30.0 |]
@@ -114,21 +133,63 @@ let hist_snapshot (h : histogram) : hist_snapshot =
     h_sum = float_of_int sum_micro /. 1e6;
   }
 
+(* Interpolated quantile from the bucket counts, the way Prometheus's
+   [histogram_quantile] reads the same data: find the bucket holding
+   the q-th observation, then interpolate linearly inside it (the lower
+   edge of the first bucket is 0, of the overflow bucket the last
+   bound).  The overflow bucket has no upper edge, so its answer clamps
+   to the last finite bound — the resolution limit of the chosen
+   buckets, like Prometheus. *)
+let quantile_of_snapshot (s : hist_snapshot) (q : float) : float =
+  if s.h_count = 0 then nan
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int s.h_count in
+    let nlimits = Array.length s.h_buckets in
+    let rec find i cum =
+      if i >= nlimits then nlimits
+      else
+        let cum = cum + s.h_counts.(i) in
+        if float_of_int cum >= rank && s.h_counts.(i) > 0 then i
+        else find (i + 1) cum
+    in
+    let i = find 0 0 in
+    if i >= nlimits then if nlimits = 0 then nan else s.h_buckets.(nlimits - 1)
+    else
+      let lo = if i = 0 then 0.0 else s.h_buckets.(i - 1) in
+      let hi = s.h_buckets.(i) in
+      let below = ref 0 in
+      for j = 0 to i - 1 do
+        below := !below + s.h_counts.(j)
+      done;
+      let inside = s.h_counts.(i) in
+      if inside = 0 then hi
+      else
+        let frac = (rank -. float_of_int !below) /. float_of_int inside in
+        lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 frac))
+
+let quantile (h : histogram) (q : float) : float =
+  quantile_of_snapshot (hist_snapshot h) q
+
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * float) list;
   histograms : (string * hist_snapshot) list;
 }
 
 let snapshot (r : registry) : snapshot =
-  let counters, histograms =
+  let counters, gauges, histograms =
     locked r (fun () ->
         ( Hashtbl.fold (fun k c acc -> (k, c) :: acc) r.r_counters [],
+          Hashtbl.fold (fun k g acc -> (k, g) :: acc) r.r_gauges [],
           Hashtbl.fold (fun k h acc -> (k, h) :: acc) r.r_histograms [] ))
   in
   let by_name (a, _) (b, _) = String.compare a b in
   {
     counters =
       List.sort by_name (List.map (fun (k, c) -> (k, value c)) counters);
+    gauges =
+      List.sort by_name (List.map (fun (k, g) -> (k, gauge_value g)) gauges);
     histograms =
       List.sort by_name
         (List.map (fun (k, h) -> (k, hist_snapshot h)) histograms);
@@ -139,6 +200,7 @@ let reset (r : registry) =
       Hashtbl.iter
         (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells)
         r.r_counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.g_cell 0.0) r.r_gauges;
       Hashtbl.iter
         (fun _ h ->
           Array.iter (Array.iter (fun cell -> Atomic.set cell 0)) h.h_cells;

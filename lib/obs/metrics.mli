@@ -32,6 +32,19 @@ val incr : ?by:int -> counter -> unit
 (** Merged value over all per-domain cells. *)
 val value : counter -> int
 
+(** {2 Gauges} *)
+
+(** A last-writer-wins instantaneous value (open documents, RSS,
+    generation counter) — unlike counters it can go down, so reads
+    return the latest {!set}, not a merge. *)
+type gauge
+
+(** Find or create the named gauge (initial value [0.]). *)
+val gauge : ?registry:registry -> string -> gauge
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
 (** {2 Histograms} *)
 
 type histogram
@@ -56,10 +69,23 @@ type hist_snapshot = {
 
 val hist_snapshot : histogram -> hist_snapshot
 
+(** [quantile h q] estimates the [q]-quantile ([0.5] = median, [0.95] =
+    p95) of the observed values by linear interpolation inside the
+    bucket that holds the q-th observation — exactly how Prometheus's
+    [histogram_quantile] reads the same buckets.  Clamps to the last
+    finite bound when the quantile falls in the overflow bucket; [nan]
+    on an empty histogram. *)
+val quantile : histogram -> float -> float
+
+(** {!quantile} over an already-taken snapshot (used by consumers that
+    only have exposition data, e.g. [wap top]). *)
+val quantile_of_snapshot : hist_snapshot -> float -> float
+
 (** {2 Registry-wide views} *)
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name *)
   histograms : (string * hist_snapshot) list;  (** sorted by name *)
 }
 

@@ -16,8 +16,8 @@
 type event = {
   ev_name : string;
   ev_cat : string;  (** category: [engine], [taint], [php], ... *)
-  ev_ts_ns : int64;  (** start, relative to the tracer's epoch *)
-  ev_dur_ns : int64;  (** duration; [0L] and {!is_instant} for instants *)
+  ev_ts_ns : int;  (** start, relative to the tracer's epoch *)
+  ev_dur_ns : int;  (** duration; [0] and {!is_instant} for instants *)
   ev_tid : int;  (** emitting domain's id *)
   ev_depth : int;  (** span-stack depth at emission, 0 = top level *)
   ev_args : (string * string) list;
@@ -27,8 +27,17 @@ type event = {
 type t
 
 (** A fresh tracer; its epoch (trace time zero) is the creation
-    instant. *)
-val create : unit -> t
+    instant.  Without [ring_capacity] every event is retained until the
+    tracer is dropped (the batch [--trace-out] mode).  With
+    [ring_capacity] each domain keeps a bounded circular buffer of that
+    many events and overwrites its {e oldest} event on overflow — the
+    daemon mode, where {!drain} serves the recent window on demand and
+    memory stays constant however long the process runs.  A
+    non-positive capacity means unbounded. *)
+val create : ?ring_capacity:int -> unit -> t
+
+(** The per-domain ring capacity, if the tracer is bounded. *)
+val ring_capacity : t -> int option
 
 (** Install [Some t] to start recording process-wide, [None] to stop. *)
 val set_global : t option -> unit
@@ -52,12 +61,28 @@ val instant : ?args:(string * string) list -> cat:string -> string -> unit
     domains joined). *)
 val events : t -> event list
 
+(** Remove and return the buffered events (sorted like {!events}),
+    leaving every buffer empty — what [GET /trace] serves from a live
+    daemon, so each poll sees only what happened since the last one.
+    Span depths and the {!dropped} tally are preserved.  Safe to call
+    while other domains trace; an event pushed concurrently with the
+    drain may land in either poll. *)
+val drain : t -> event list
+
 val event_count : t -> int
+
+(** Events evicted by ring overflow since creation (0 when
+    unbounded). *)
+val dropped : t -> int
 
 (** The trace as a Chrome trace-event JSON document
     ([{"traceEvents": [...]}]); timestamps in microseconds.  [pid]
     defaults to the current process id. *)
 val to_chrome_json : ?pid:int -> t -> string
+
+(** Render an explicit event list (e.g. a {!drain} batch) as Chrome
+    trace-event JSON. *)
+val events_to_chrome_json : ?pid:int -> event list -> string
 
 (** Write {!to_chrome_json} to [file]. *)
 val write : ?pid:int -> t -> file:string -> unit

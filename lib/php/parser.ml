@@ -1286,10 +1286,7 @@ and parse_class p loc : Ast.stmt =
 
 (** Parse a full PHP source string (HTML + [<?php ... ?>] segments). *)
 let parse_string ~file src : Ast.program =
-  let toks =
-    Wap_obs.Trace.with_span ~cat:"php" "lex" ~args:[ ("file", file) ]
-      (fun () -> Lexer.tokenize ~file src)
-  in
+  let toks = Lexer.tokenize ~file src in
   Wap_obs.Trace.with_span ~cat:"php" "parse" ~args:[ ("file", file) ]
   @@ fun () ->
   let p = make toks in
@@ -1343,10 +1340,7 @@ let rec skip_to_boundary p depth =
     plus the list of recovered errors — a scanner must not die on the
     one malformed file of an 8,000-file application. *)
 let parse_string_tolerant ~file src : Ast.program * recovered_error list =
-  match
-    Wap_obs.Trace.with_span ~cat:"php" "lex" ~args:[ ("file", file) ]
-      (fun () -> Lexer.tokenize ~file src)
-  with
+  match Lexer.tokenize ~file src with
   | exception Lexer.Error (msg, loc) -> ([], [ { err_msg = msg; err_loc = loc } ])
   | toks ->
       Wap_obs.Trace.with_span ~cat:"php" "parse" ~args:[ ("file", file) ]

@@ -1,0 +1,47 @@
+(** The daemon's admin plane.
+
+    A tiny HTTP/1.1 listener ([--admin-port]/[--admin-socket]) served
+    from its own domain, so scrapes never contend with LSP traffic:
+
+    - [GET /metrics] — the metrics registry in Prometheus text format
+      ({!Wap_obs.Expo.prometheus});
+    - [GET /healthz] — liveness: [200 ok] whenever the process can
+      answer at all;
+    - [GET /readyz] — readiness: [200] once a session is open (the
+      first [didOpen] arrived), [503] before;
+    - [GET /status] — one JSON document of operational facts (uptime,
+      generation, open documents, session file/candidate counts, cache
+      hit ratio, stale events, RSS);
+    - [GET /trace] — {e drains} the bounded trace ring as Chrome
+      trace-event JSON: each poll returns the window since the last.
+
+    The admin plane is read-only by construction: it never mutates the
+    session or the documents, so scan results cannot depend on whether
+    anyone is scraping. *)
+
+type source = {
+  ready : unit -> bool;  (** [/readyz] predicate *)
+  status : unit -> Wap_report.Json.t;  (** [/status] document *)
+  registry : Wap_obs.Metrics.registry;  (** scraped by [/metrics] *)
+  tracer : unit -> Wap_obs.Trace.t option;  (** drained by [/trace] *)
+}
+
+type response = { code : int; content_type : string; body : string }
+
+(** Route one (query-stripped) path — pure, so tests can hit every
+    endpoint without a socket.  Unknown paths get [404]. *)
+val handle_path : source -> string -> response
+
+(** Bound + listening admin sockets (loopback TCP / Unix domain). *)
+val listen_tcp : port:int -> Unix.file_descr
+
+val listen_unix : path:string -> Unix.file_descr
+
+(** Serve requests on an accepted-socket loop until the socket errors
+    (i.e. is closed); one request per connection. *)
+val accept_loop : source -> Unix.file_descr -> unit
+
+(** {!accept_loop} in a fresh background domain.  The domain is never
+    joined: it blocks in [accept] until process exit tears it down,
+    which is safe because the admin plane only reads. *)
+val spawn : source -> Unix.file_descr -> unit

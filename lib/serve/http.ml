@@ -1,0 +1,76 @@
+(** Minimal HTTP/1.1 for the admin plane: enough to serve a scraper
+    and [curl], nothing more.  One request per connection
+    ([Connection: close]); bodies are never read (the admin surface is
+    GET-only). *)
+
+type request = {
+  rq_meth : string;
+  rq_path : string;  (** as sent, query string included *)
+  rq_headers : (string * string) list;  (** names lowercased *)
+}
+
+(* A path like /metrics?x=1 → /metrics. *)
+let strip_query (path : string) : string =
+  match String.index_opt path '?' with
+  | Some i -> String.sub path 0 i
+  | None -> path
+
+let read_line_crlf ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line ->
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then Some (String.sub line 0 (n - 1))
+      else Some line
+
+(* Cap header count so a misbehaving client can't grow memory. *)
+let max_headers = 100
+
+let read_request (ic : in_channel) : (request, string) result option =
+  match read_line_crlf ic with
+  | None -> None
+  | Some request_line -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; path; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+          let rec headers acc n =
+            if n > max_headers then Error "too many headers"
+            else
+              match read_line_crlf ic with
+              | None -> Error "eof in headers"
+              | Some "" -> Ok (List.rev acc)
+              | Some line -> (
+                  match String.index_opt line ':' with
+                  | None -> Error (Printf.sprintf "malformed header %S" line)
+                  | Some i ->
+                      let k =
+                        String.lowercase_ascii (String.sub line 0 i)
+                      in
+                      let v =
+                        String.trim
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                      in
+                      headers ((k, v) :: acc) (n + 1))
+          in
+          Some
+            (Result.map
+               (fun hs ->
+                 { rq_meth = meth; rq_path = path; rq_headers = hs })
+               (headers [] 0))
+      | _ -> Some (Error (Printf.sprintf "malformed request line %S" request_line)))
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let write_response (oc : out_channel) ~code ~content_type (body : string) :
+    unit =
+  Printf.fprintf oc
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+    code (reason code) content_type (String.length body);
+  output_string oc body;
+  flush oc

@@ -1,0 +1,23 @@
+(** Minimal HTTP/1.1 reader/writer for the admin plane.
+
+    Deliberately tiny: request line + headers in, status line + body
+    out, one request per connection ([Connection: close]).  The admin
+    surface is GET-only, so request bodies are never read. *)
+
+type request = {
+  rq_meth : string;
+  rq_path : string;  (** as sent, query string included *)
+  rq_headers : (string * string) list;  (** names lowercased *)
+}
+
+(** [rq_path] without its query string. *)
+val strip_query : string -> string
+
+(** Read one request head.  [None] at end of input before a request
+    line; [Some (Error _)] on a malformed request line or headers. *)
+val read_request : in_channel -> (request, string) result option
+
+(** Write a complete response ([Content-Length] + [Connection: close])
+    and flush. *)
+val write_response :
+  out_channel -> code:int -> content_type:string -> string -> unit

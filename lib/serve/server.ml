@@ -21,10 +21,16 @@ module Session = Wap_engine.Session
 module Trace = Wap_taint.Trace
 module Tool = Wap_core.Tool
 module Log = Wap_obs.Log
+module Metrics = Wap_obs.Metrics
+module Span = Wap_obs.Trace
 
 type t = {
   tool : Tool.t;
   jobs : int;
+  slow_s : float;
+      (** requests slower than this (seconds) log a warning; [infinity]
+          disables *)
+  start_time : float;
   mutable session : Session.t option;  (** created at the first [didOpen] *)
   docs : (string, string) Hashtbl.t;  (** open documents: uri -> path *)
   uris : (string, string) Hashtbl.t;  (** inverse: path -> uri *)
@@ -38,12 +44,36 @@ type t = {
           (see {!Session.event}) — counted and dropped *)
   mutable shutdown_requested : bool;
   mutable finished : bool;
+  mutable next_rid : int;  (** request ids, for the ambient log context *)
+  (* Monitoring mirrors: written only by the serving domain (after each
+     message), read by the admin domain.  All word-sized, so the
+     cross-domain reads are tear-free; the admin plane never touches
+     the session itself. *)
+  mutable m_requests : int;
+  mutable m_errors : int;
+  mutable m_ready : bool;
+  mutable m_open_docs : int;
+  mutable m_generation : int;
+  mutable m_files : int;
+  mutable m_candidates : int;
+  mutable m_cache_hits : int;
+  mutable m_cache_misses : int;
+  mutable m_last_reanalyzed : int;
+      (** files the most recent document mutation re-analyzed *)
 }
 
-let create ?jobs (tool : Tool.t) : t =
+let create ?jobs ?slow_ms (tool : Tool.t) : t =
+  (* registered (at zero) up front so a scrape before the first request
+     already sees the serve families *)
+  Metrics.set (Metrics.gauge "serve.open_documents") 0.;
+  ignore (Metrics.counter "serve.connections");
+  ignore (Metrics.counter "serve.rejected_frames");
   {
     tool;
     jobs = Wap_engine.Config.jobs jobs;
+    slow_s =
+      (match slow_ms with Some ms when ms > 0. -> ms /. 1000. | _ -> infinity);
+    start_time = Unix.gettimeofday ();
     session = None;
     docs = Hashtbl.create 16;
     uris = Hashtbl.create 16;
@@ -53,6 +83,17 @@ let create ?jobs (tool : Tool.t) : t =
     stale_events = 0;
     shutdown_requested = false;
     finished = false;
+    next_rid = 0;
+    m_requests = 0;
+    m_errors = 0;
+    m_ready = false;
+    m_open_docs = 0;
+    m_generation = 0;
+    m_files = 0;
+    m_candidates = 0;
+    m_cache_hits = 0;
+    m_cache_misses = 0;
+    m_last_reanalyzed = 0;
   }
 
 let finished t = t.finished
@@ -116,29 +157,33 @@ let on_event t (current_generation : unit -> int) (ev : Session.event) =
    Returns the paths whose analysis re-ran (informational). *)
 let upsert t ~path text : string list =
   Hashtbl.replace t.texts path text;
-  match t.session with
-  | Some s ->
-      if Session.mem s ~path then Session.update_file s ~path text
-      else Session.add_file s ~path text
-  | None ->
-      let session () =
-        match t.session with Some s -> Session.generation s | None -> 0
-      in
-      let req =
-        Session.request ~jobs:t.jobs
-          ~fingerprint:(Tool.Scan.fingerprint t.tool)
-          ~specs:t.tool.Tool.specs
-          [ (path, text) ]
-      in
-      let s = Session.open_project ~on_event:(on_event t session) req in
-      t.session <- Some s;
-      [ path ]
+  Span.with_span ~cat:"serve" ~args:[ ("path", path) ] "session.upsert"
+    (fun () ->
+      match t.session with
+      | Some s ->
+          if Session.mem s ~path then Session.update_file s ~path text
+          else Session.add_file s ~path text
+      | None ->
+          let session () =
+            match t.session with Some s -> Session.generation s | None -> 0
+          in
+          let req =
+            Session.request ~jobs:t.jobs
+              ~fingerprint:(Tool.Scan.fingerprint t.tool)
+              ~specs:t.tool.Tool.specs
+              [ (path, text) ]
+          in
+          let s = Session.open_project ~on_event:(on_event t session) req in
+          t.session <- Some s;
+          [ path ])
 
 let drop t ~path : string list =
   Hashtbl.remove t.texts path;
-  match t.session with
-  | Some s -> Session.remove_file s ~path
-  | None -> []
+  Span.with_span ~cat:"serve" ~args:[ ("path", path) ] "session.drop"
+    (fun () ->
+      match t.session with
+      | Some s -> Session.remove_file s ~path
+      | None -> [])
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostics.                                                        *)
@@ -188,6 +233,7 @@ let diagnostics_json t ~path =
    diagnostics differ from the last publish.  Deterministic (sorted by
    URI) so the smoke test can rely on message order. *)
 let publish_changed t : Json.t list =
+  Span.with_span ~cat:"serve" "publish" @@ fun () ->
   let open_uris =
     List.sort compare (Hashtbl.fold (fun uri _ acc -> uri :: acc) t.docs [])
   in
@@ -225,6 +271,7 @@ let did_open t params : Json.t list =
       Hashtbl.replace t.docs uri path;
       Hashtbl.replace t.uris path uri;
       let reran = upsert t ~path text in
+      t.m_last_reanalyzed <- List.length reran;
       Log.info
         ~fields:
           [ ("uri", uri); ("reanalyzed", string_of_int (List.length reran)) ]
@@ -253,6 +300,7 @@ let did_change t params : Json.t list =
         Hashtbl.replace t.uris path uri
       end;
       let reran = upsert t ~path text in
+      t.m_last_reanalyzed <- List.length reran;
       Log.debug
         ~fields:
           [ ("uri", uri); ("reanalyzed", string_of_int (List.length reran)) ]
@@ -272,7 +320,7 @@ let did_close t params : Json.t list =
       in
       Hashtbl.remove t.docs uri;
       Hashtbl.remove t.uris path;
-      ignore (drop t ~path);
+      t.m_last_reanalyzed <- List.length (drop t ~path);
       let clear =
         (* Closing a document always clears its diagnostics on the
            client; skip only if we never published any. *)
@@ -428,7 +476,7 @@ let initialize_result t =
           ] );
     ]
 
-let handle (t : t) (msg : Json.t) : Json.t list =
+let dispatch (t : t) (msg : Json.t) : Json.t list =
   let meth = Option.value (Rpc.meth msg) ~default:"" in
   let params = Rpc.params msg in
   match (meth, Rpc.id msg) with
@@ -452,14 +500,94 @@ let handle (t : t) (msg : Json.t) : Json.t list =
       []
 
 (* ------------------------------------------------------------------ *)
+(* Request instrumentation.  [handle] = [dispatch] wrapped in a request
+   id (ambient in the log context), a span, a per-method latency
+   histogram and error counter, and the slow-request warning.  None of
+   it touches what [dispatch] computes — telemetry observes the session,
+   it never feeds back into it. *)
+
+(* The per-method metric label set is closed over the protocol we
+   actually speak; anything else folds into "other" so a misbehaving
+   client can't inflate the registry. *)
+let metric_method = function
+  | ( "initialize" | "initialized" | "shutdown" | "exit"
+    | "textDocument/didOpen" | "textDocument/didChange"
+    | "textDocument/didClose" | "textDocument/codeAction" ) as m ->
+      m
+  | _ -> "other"
+
+let is_error_msg = function
+  | Json.Obj fields -> List.mem_assoc "error" fields
+  | _ -> false
+
+(* Refresh the admin plane's mirror fields and gauges — called in the
+   serving domain after every message, so the admin domain only ever
+   reads plain word-sized values. *)
+let refresh_mirrors t =
+  t.m_ready <- t.session <> None;
+  t.m_open_docs <- Hashtbl.length t.docs;
+  Metrics.set
+    (Metrics.gauge "serve.open_documents")
+    (float_of_int t.m_open_docs);
+  match t.session with
+  | None -> ()
+  | Some s ->
+      let st = Session.stats s in
+      t.m_generation <- st.Session.st_generation;
+      t.m_files <- st.Session.st_files;
+      t.m_candidates <- st.Session.st_candidates;
+      t.m_cache_hits <- st.Session.st_cache_hits;
+      t.m_cache_misses <- st.Session.st_cache_misses;
+      Metrics.set
+        (Metrics.gauge "serve.session_generation")
+        (float_of_int st.Session.st_generation);
+      Metrics.set
+        (Metrics.gauge "serve.session_files")
+        (float_of_int st.Session.st_files);
+      Metrics.set
+        (Metrics.gauge "serve.session_candidates")
+        (float_of_int st.Session.st_candidates)
+
+let handle (t : t) (msg : Json.t) : Json.t list =
+  let meth = Option.value (Rpc.meth msg) ~default:"(none)" in
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  t.m_requests <- t.m_requests + 1;
+  Log.with_context [ ("rid", string_of_int rid) ] (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let out =
+        Span.with_span ~cat:"serve" ~args:[ ("rid", string_of_int rid) ] meth
+          (fun () -> dispatch t msg)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let m = metric_method meth in
+      Metrics.incr (Metrics.counter ("serve.requests." ^ m));
+      Metrics.observe (Metrics.histogram ("serve.request_seconds." ^ m)) dt;
+      let errors = List.length (List.filter is_error_msg out) in
+      if errors > 0 then begin
+        t.m_errors <- t.m_errors + errors;
+        Metrics.incr ~by:errors (Metrics.counter ("serve.errors." ^ m))
+      end;
+      if dt > t.slow_s then
+        Log.warn
+          ~fields:
+            [ ("method", meth); ("ms", Printf.sprintf "%.1f" (dt *. 1000.)) ]
+          "slow request";
+      refresh_mirrors t;
+      out)
+
+(* ------------------------------------------------------------------ *)
 (* Transports.                                                         *)
 
 let serve_channels (t : t) (ic : in_channel) (oc : out_channel) : unit =
   let rec loop () =
     if not t.finished then
-      match Rpc.read_message ic with
+      (* the decode span includes the wait for the client's next frame,
+         so gaps between requests are visible in the trace as such *)
+      match Span.with_span ~cat:"serve" "decode" (fun () -> Rpc.read_message ic) with
       | None -> ()
       | Some (Error e) ->
+          Metrics.incr (Metrics.counter "serve.rejected_frames");
           Log.warn ~fields:[ ("error", e) ] "malformed message";
           loop ()
       | Some (Ok msg) ->
@@ -470,15 +598,34 @@ let serve_channels (t : t) (ic : in_channel) (oc : out_channel) : unit =
 
 let run_stdio (t : t) : unit = serve_channels t stdin stdout
 
+let peer_string fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) ->
+      Unix.string_of_inet_addr a ^ ":" ^ string_of_int p
+  | exception _ -> "unknown"
+
 let accept_loop t sock =
   let rec loop () =
     if not t.finished then begin
       let fd, _ = Unix.accept sock in
+      let peer = peer_string fd in
+      Metrics.incr (Metrics.counter "serve.connections");
+      Log.info ~fields:[ ("peer", peer) ] "client connected";
+      let t0 = Unix.gettimeofday () in
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
       (try serve_channels t ic oc
        with e ->
          Log.warn ~fields:[ ("error", Printexc.to_string e) ] "client error");
+      Metrics.incr (Metrics.counter "serve.disconnects");
+      Log.info
+        ~fields:
+          [
+            ("peer", peer);
+            ("seconds", Printf.sprintf "%.3f" (Unix.gettimeofday () -. t0));
+          ]
+        "client disconnected";
       (try close_out oc with _ -> ());
       (try close_in ic with _ -> ());
       loop ()
@@ -511,3 +658,58 @@ let run_tcp (t : t) ~port : unit =
 (* Introspection for tests. *)
 let session t = t.session
 let stale_events t = t.stale_events
+
+(* ------------------------------------------------------------------ *)
+(* Admin plane surface.  Everything here reads mirror fields the
+   serving domain refreshed after its last message — safe from any
+   domain, never touching the session. *)
+
+let ready t = t.m_ready
+
+let status_json t : Json.t =
+  let hits = t.m_cache_hits and misses = t.m_cache_misses in
+  let ratio =
+    let total = hits + misses in
+    if total = 0 then 0. else float_of_int hits /. float_of_int total
+  in
+  let tracer_fields =
+    match Span.global () with
+    | Some tr ->
+        [
+          ("trace_events", Json.Int (Span.event_count tr));
+          ("trace_dropped", Json.Int (Span.dropped tr));
+        ]
+    | None -> []
+  in
+  let rss_fields =
+    match Wap_obs.Expo.rss_bytes () with
+    | Some b -> [ ("rss_bytes", Json.Int b) ]
+    | None -> []
+  in
+  Json.Obj
+    ([
+       ("service", Json.Str "wap serve");
+       ("version", Json.Str (Wap_core.Version.name t.tool.Tool.version));
+       ("uptime_seconds", Json.Float (Unix.gettimeofday () -. t.start_time));
+       ("ready", Json.Bool t.m_ready);
+       ("generation", Json.Int t.m_generation);
+       ("open_documents", Json.Int t.m_open_docs);
+       ("session_files", Json.Int t.m_files);
+       ("session_candidates", Json.Int t.m_candidates);
+       ("cache_hits", Json.Int hits);
+       ("cache_misses", Json.Int misses);
+       ("cache_hit_ratio", Json.Float ratio);
+       ("requests", Json.Int t.m_requests);
+       ("errors", Json.Int t.m_errors);
+       ("stale_events", Json.Int t.stale_events);
+       ("last_reanalyzed", Json.Int t.m_last_reanalyzed);
+     ]
+    @ tracer_fields @ rss_fields)
+
+let admin_source t : Admin.source =
+  {
+    Admin.ready = (fun () -> ready t);
+    status = (fun () -> status_json t);
+    registry = Metrics.global;
+    tracer = (fun () -> Span.global ());
+  }

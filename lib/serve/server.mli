@@ -21,8 +21,10 @@
 type t
 
 (** [create tool] — a fresh server around an assembled WAP tool.
-    [jobs] resolves through {!Wap_engine.Config} ([WAP_JOBS]). *)
-val create : ?jobs:int -> Wap_core.Tool.t -> t
+    [jobs] resolves through {!Wap_engine.Config} ([WAP_JOBS]).
+    Requests slower than [slow_ms] milliseconds log a warning
+    (disabled when absent or non-positive). *)
+val create : ?jobs:int -> ?slow_ms:float -> Wap_core.Tool.t -> t
 
 (** Process one decoded client message; returns the messages to send
     back (the response if it was a request, plus any publish
@@ -54,3 +56,19 @@ val session : t -> Wap_engine.Session.t option
 (** Progress events discarded because their generation tag was
     superseded by a newer edit (see {!Wap_engine.Session.event}). *)
 val stale_events : t -> int
+
+(** Has a session been opened (the first [didOpen] arrived)?  The
+    [/readyz] predicate; reads a mirror field, safe from any domain. *)
+val ready : t -> bool
+
+(** The [/status] document: uptime, readiness, generation, open
+    document / session file / candidate counts, cache hit ratio,
+    request and error totals, stale events, trace-ring occupancy and
+    RSS.  Reads only mirror fields the serving domain refreshes after
+    each message, so the admin domain can call it concurrently with
+    LSP traffic. *)
+val status_json : t -> Wap_report.Json.t
+
+(** The {!Admin.source} for this server: {!ready}, {!status_json}, the
+    global metrics registry and the global tracer. *)
+val admin_source : t -> Admin.source

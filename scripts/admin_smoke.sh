@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the `wap serve` admin plane.
+#
+# Starts the daemon with an LSP stdio transport fed through a FIFO and
+# an admin HTTP listener, drives real LSP traffic (didOpen a vulnerable
+# file), and asserts against the live admin endpoints:
+#   /healthz  -> 200 ok, before and after the session opens
+#   /readyz   -> 503 before the first didOpen, 200 after
+#   /metrics  -> well-formed Prometheus text (TYPE lines, request
+#                histogram with +Inf bucket and consistent _count)
+#   /status   -> JSON with ready:true and an open document
+#   /trace    -> well-formed Chrome trace JSON (traceEvents array),
+#                and a second drain succeeds while traffic continues
+#   wap top --once renders the same plane as a terminal view
+#
+# Usage: scripts/admin_smoke.sh  (WAP overrides the binary under test)
+set -euo pipefail
+
+WAP=${WAP:-_build/default/bin/wap_cli.exe}
+PORT=${ADMIN_PORT:-9377}
+DIR=$(mktemp -d)
+FIFO="$DIR/lsp.in"
+OUT="$DIR/lsp.out"
+LOG="$DIR/serve.log"
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+if [ ! -x "$WAP" ]; then
+  echo "admin_smoke: $WAP not found (run 'dune build bin/wap_cli.exe' first)" >&2
+  exit 2
+fi
+
+fail() {
+  echo "admin_smoke FAIL: $1" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+# GET a path; prints "<http-code>" and writes the body to $2
+get() {
+  curl -sS -m 10 -o "$2" -w '%{http_code}' "http://127.0.0.1:$PORT$1"
+}
+
+frame() {
+  local body=$1
+  printf 'Content-Length: %d\r\n\r\n%s' "${#body}" "$body"
+}
+
+mkfifo "$FIFO"
+"$WAP" serve --jobs 1 --log-level info --admin-port "$PORT" --slow-ms 5000 \
+  < "$FIFO" > "$OUT" 2> "$LOG" &
+SRV_PID=$!
+
+# keep the FIFO writable for the whole test; messages are appended below
+exec 3> "$FIFO"
+
+# wait for the admin plane to come up
+for _ in $(seq 1 50); do
+  if CODE=$(get /healthz "$DIR/healthz" 2>/dev/null) && [ "$CODE" = 200 ]; then
+    break
+  fi
+  sleep 0.2
+done
+[ "${CODE:-}" = 200 ] || fail "/healthz never answered 200"
+grep -q ok "$DIR/healthz" || fail "/healthz body is not ok"
+
+# before any didOpen the daemon must be alive but not ready
+CODE=$(get /readyz "$DIR/readyz")
+[ "$CODE" = 503 ] || fail "/readyz should be 503 before a session opens (got $CODE)"
+
+# open a vulnerable document over LSP
+VULN='<?php $id = $_GET[\"id\"]; $r = mysql_query(\"SELECT * FROM t WHERE id = \" . $id); ?>'
+frame '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}' >&3
+frame "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":{\"textDocument\":{\"uri\":\"file:///smoke/a.php\",\"text\":\"$VULN\"}}}" >&3
+
+# readiness must flip once the session is open
+READY=""
+for _ in $(seq 1 50); do
+  if CODE=$(get /readyz "$DIR/readyz") && [ "$CODE" = 200 ]; then
+    READY=yes
+    break
+  fi
+  sleep 0.2
+done
+[ "$READY" = yes ] || fail "/readyz never flipped to 200 after didOpen"
+
+# /status: ready, one open document
+CODE=$(get /status "$DIR/status")
+[ "$CODE" = 200 ] || fail "/status answered $CODE"
+grep -q '"ready": *true' "$DIR/status" || fail "/status does not report ready:true"
+grep -q '"open_documents": *1' "$DIR/status" || fail "/status does not report 1 open document"
+
+# /metrics: well-formed Prometheus text
+CODE=$(get /metrics "$DIR/metrics")
+[ "$CODE" = 200 ] || fail "/metrics answered $CODE"
+grep -q '^# TYPE wap_serve_requests_total counter$' "$DIR/metrics" \
+  || fail "/metrics missing the request counter TYPE line"
+grep -q '^# TYPE wap_serve_request_seconds histogram$' "$DIR/metrics" \
+  || fail "/metrics missing the request histogram TYPE line"
+grep -q 'wap_serve_request_seconds_bucket{method="textDocument/didOpen",le="+Inf"}' "$DIR/metrics" \
+  || fail "/metrics missing the didOpen +Inf bucket"
+# the +Inf bucket must equal _count for the same label set
+INF=$(sed -n 's/^wap_serve_request_seconds_bucket{method="textDocument\/didOpen",le="+Inf"} //p' "$DIR/metrics")
+CNT=$(sed -n 's/^wap_serve_request_seconds_count{method="textDocument\/didOpen"} //p' "$DIR/metrics")
+[ -n "$INF" ] && [ "$INF" = "$CNT" ] \
+  || fail "didOpen +Inf bucket ($INF) != _count ($CNT)"
+# no malformed sample lines: every non-comment line is name{...} value
+BAD=$(grep -v '^#' "$DIR/metrics" | grep -cEv '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+$' || true)
+[ "$BAD" = 0 ] || fail "$BAD malformed sample line(s) in /metrics"
+
+# /trace: well-formed Chrome trace JSON, twice, while traffic continues
+CODE=$(get /trace "$DIR/trace1")
+[ "$CODE" = 200 ] || fail "/trace answered $CODE"
+grep -q '"traceEvents":\[' "$DIR/trace1" || fail "/trace is not a Chrome trace document"
+frame "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didChange\",\"params\":{\"textDocument\":{\"uri\":\"file:///smoke/a.php\"},\"contentChanges\":[{\"text\":\"$VULN\"}]}}" >&3
+sleep 0.5
+CODE=$(get /trace "$DIR/trace2")
+[ "$CODE" = 200 ] || fail "second /trace drain answered $CODE"
+grep -q '"traceEvents":\[' "$DIR/trace2" || fail "second /trace drain is not a Chrome trace document"
+
+# unknown paths 404
+CODE=$(get /nope "$DIR/nope")
+[ "$CODE" = 404 ] || fail "unknown admin path answered $CODE, not 404"
+
+# wap top renders the same plane
+"$WAP" top --port "$PORT" --once > "$DIR/top" || fail "wap top --once failed"
+grep -q 'wap serve' "$DIR/top" || fail "wap top output missing the overview table"
+grep -q 'textDocument/didOpen' "$DIR/top" || fail "wap top output missing per-method latency"
+
+# clean shutdown
+frame '{"jsonrpc":"2.0","id":9,"method":"shutdown","params":{}}' >&3
+frame '{"jsonrpc":"2.0","method":"exit"}' >&3
+exec 3>&-
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "admin_smoke OK: healthz/readyz transition, Prometheus metrics, trace drain, wap top"

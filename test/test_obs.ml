@@ -15,17 +15,17 @@ let test_clock_monotonic () =
   let prev = ref (Clock.now_ns ()) in
   for _ = 1 to 10_000 do
     let t = Clock.now_ns () in
-    if Int64.compare t !prev < 0 then
-      Alcotest.failf "clock went backwards: %Ld after %Ld" t !prev;
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %d after %d" t !prev;
     prev := t
   done;
   let t0 = Clock.now_ns () in
   Alcotest.(check bool) "elapsed is non-negative" true
-    (Int64.compare (Clock.elapsed_ns t0) 0L >= 0)
+    (Clock.elapsed_ns t0 >= 0)
 
 let test_clock_units () =
-  Alcotest.(check (float 1e-9)) "1.5us" 1.5 (Clock.ns_to_us 1_500L);
-  Alcotest.(check (float 1e-9)) "2.5s" 2.5 (Clock.ns_to_s 2_500_000_000L)
+  Alcotest.(check (float 1e-9)) "1.5us" 1.5 (Clock.ns_to_us 1_500);
+  Alcotest.(check (float 1e-9)) "2.5s" 2.5 (Clock.ns_to_s 2_500_000_000)
 
 (* ------------------------------------------------------------------ *)
 (* Logger.                                                             *)
@@ -153,11 +153,11 @@ let test_span_nesting () =
   Alcotest.(check int) "inner at depth 1" 1 inner.Trace.ev_depth;
   Alcotest.(check bool) "tick is an instant" true tick.Trace.ev_instant;
   Alcotest.(check bool) "span is not an instant" false outer.Trace.ev_instant;
-  let ends (e : Trace.event) = Int64.add e.Trace.ev_ts_ns e.Trace.ev_dur_ns in
+  let ends (e : Trace.event) = e.Trace.ev_ts_ns + e.Trace.ev_dur_ns in
   Alcotest.(check bool) "child starts inside parent" true
-    (Int64.compare inner.Trace.ev_ts_ns outer.Trace.ev_ts_ns >= 0);
+    (inner.Trace.ev_ts_ns >= outer.Trace.ev_ts_ns);
   Alcotest.(check bool) "child ends inside parent" true
-    (Int64.compare (ends inner) (ends outer) <= 0);
+    (ends inner <= ends outer);
   Alcotest.(check (list (pair string string))) "args recorded"
     [ ("k", "v") ] inner.Trace.ev_args
 
@@ -260,6 +260,30 @@ let test_trace_multi_domain () =
   in
   Alcotest.(check int) "four distinct tids" 4 (List.length tids)
 
+let test_ring_overflow_eviction () =
+  let t = Trace.create ~ring_capacity:4 () in
+  Trace.set_global (Some t);
+  Fun.protect ~finally:(fun () -> Trace.set_global None) @@ fun () ->
+  for i = 1 to 10 do
+    Trace.instant ~cat:"test" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check (option int)) "capacity reported" (Some 4)
+    (Trace.ring_capacity t);
+  Alcotest.(check int) "every record counted, dropped included" 10
+    (Trace.event_count t);
+  Alcotest.(check int) "overflow counted as drops" 6 (Trace.dropped t);
+  let names = List.map (fun e -> e.Trace.ev_name) (Trace.events t) in
+  Alcotest.(check (list string)) "oldest evicted first, order kept"
+    [ "e7"; "e8"; "e9"; "e10" ] names;
+  (* draining resets the window but keeps the drop counter *)
+  ignore (Trace.drain t);
+  Alcotest.(check int) "drained ring is empty" 0
+    (List.length (Trace.events t));
+  Trace.instant ~cat:"test" "after";
+  Alcotest.(check (list string)) "ring records again after a drain"
+    [ "after" ]
+    (List.map (fun e -> e.Trace.ev_name) (Trace.events t))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics.                                                            *)
 
@@ -334,6 +358,132 @@ let test_registry_snapshot_and_reset () =
   Alcotest.(check (list (pair string int))) "reset zeroes, keeps registration"
     [ ("a.first", 0); ("b.second", 0) ]
     s.Metrics.counters
+
+let test_gauge_basic () =
+  let r = Metrics.create_registry () in
+  let g = Metrics.gauge ~registry:r "test.g" in
+  Alcotest.(check (float 0.)) "starts at zero" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 3.5;
+  Metrics.set g 2.0;
+  Alcotest.(check (float 0.)) "last write wins" 2.0 (Metrics.gauge_value g);
+  let g' = Metrics.gauge ~registry:r "test.g" in
+  Metrics.set g' 7.0;
+  Alcotest.(check (float 0.)) "find-or-create shares state" 7.0
+    (Metrics.gauge_value g)
+
+let test_quantile () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.histogram ~registry:r ~buckets:[| 0.01; 0.1; 1.0 |] "test.q" in
+  Alcotest.(check bool) "empty histogram has no quantile" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  for _ = 1 to 100 do
+    Metrics.observe h 0.05
+  done;
+  (* all mass in (0.01, 0.1]: the quantile interpolates inside that bucket *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates inside the bucket" 0.055
+    (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p95 interpolates inside the bucket" 0.0955
+    (Metrics.quantile h 0.95);
+  Metrics.observe h 5.0;
+  Alcotest.(check (float 1e-9)) "overflow mass clamps to the top bound" 1.0
+    (Metrics.quantile h 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition.                                              *)
+
+module Expo = Wap_obs.Expo
+
+let test_prometheus_golden () =
+  let r = Metrics.create_registry () in
+  Metrics.incr ~by:3 (Metrics.counter ~registry:r "scan.files");
+  Metrics.set (Metrics.gauge ~registry:r "serve.open_documents") 2.;
+  Metrics.incr ~by:5
+    (Metrics.counter ~registry:r "scan.candidates.sqli first-order");
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[| 0.1; 1.0 |]
+      "serve.request_seconds.textDocument/didOpen"
+  in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 2.0 ];
+  let expected =
+    "# HELP wap_scan_candidates_sqli_first_order_total wap metric \
+     wap_scan_candidates_sqli_first_order_total\n\
+     # TYPE wap_scan_candidates_sqli_first_order_total counter\n\
+     wap_scan_candidates_sqli_first_order_total 5\n\
+     # HELP wap_scan_files_total wap metric wap_scan_files_total\n\
+     # TYPE wap_scan_files_total counter\n\
+     wap_scan_files_total 3\n\
+     # HELP wap_serve_open_documents wap metric wap_serve_open_documents\n\
+     # TYPE wap_serve_open_documents gauge\n\
+     wap_serve_open_documents 2\n\
+     # HELP wap_serve_request_seconds wap metric wap_serve_request_seconds\n\
+     # TYPE wap_serve_request_seconds histogram\n\
+     wap_serve_request_seconds_bucket{method=\"textDocument/didOpen\",le=\"0.1\"} 1\n\
+     wap_serve_request_seconds_bucket{method=\"textDocument/didOpen\",le=\"1\"} 2\n\
+     wap_serve_request_seconds_bucket{method=\"textDocument/didOpen\",le=\"+Inf\"} 3\n\
+     wap_serve_request_seconds_sum{method=\"textDocument/didOpen\"} 2.55\n\
+     wap_serve_request_seconds_count{method=\"textDocument/didOpen\"} 3\n"
+  in
+  Alcotest.(check string) "golden document" expected (Expo.prometheus r)
+
+let test_prometheus_roundtrip () =
+  let r = Metrics.create_registry () in
+  (* a method name exercising all three label escapes: quote, backslash,
+     newline *)
+  let weird = "he said \"hi\\there\"\nand left" in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[| 0.1; 1.0 |]
+      ("serve.request_seconds." ^ weird)
+  in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 0.7; 2.0 ];
+  Metrics.incr ~by:7 (Metrics.counter ~registry:r ("serve.requests." ^ weird));
+  let doc = Expo.prometheus r in
+  match Expo.parse_text doc with
+  | Error e -> Alcotest.failf "strict parse rejected our own exposition: %s" e
+  | Ok p ->
+      let samples name =
+        List.filter (fun s -> s.Expo.s_name = name) p.Expo.p_samples
+      in
+      (* label escaping round-trips to the original value *)
+      let methods =
+        List.filter_map
+          (fun s -> List.assoc_opt "method" s.Expo.s_labels)
+          p.Expo.p_samples
+      in
+      Alcotest.(check bool) "escaped label value round-trips" true
+        (List.mem weird methods);
+      (* buckets are cumulative and closed by +Inf = _count *)
+      let buckets = samples "wap_serve_request_seconds_bucket" in
+      let vals = List.map (fun s -> s.Expo.s_value) buckets in
+      Alcotest.(check (list (float 0.))) "buckets are cumulative"
+        (List.sort compare vals) vals;
+      let inf =
+        List.find_opt
+          (fun s -> List.assoc_opt "le" s.Expo.s_labels = Some "+Inf")
+          buckets
+      in
+      let count = samples "wap_serve_request_seconds_count" in
+      (match (inf, count) with
+      | Some i, [ c ] ->
+          Alcotest.(check (float 0.)) "+Inf bucket equals _count" c.Expo.s_value
+            i.Expo.s_value
+      | _ -> Alcotest.fail "missing +Inf bucket or _count sample");
+      (match samples "wap_serve_request_seconds_sum" with
+      | [ s ] ->
+          Alcotest.(check (float 1e-9)) "_sum is the sum of observations" 3.25
+            s.Expo.s_value
+      | l -> Alcotest.failf "expected one _sum sample, got %d" (List.length l));
+      (match samples "wap_serve_requests_total" with
+      | [ s ] ->
+          Alcotest.(check (float 0.)) "counter value survives" 7.0
+            s.Expo.s_value
+      | l ->
+          Alcotest.failf "expected one requests_total sample, got %d"
+            (List.length l));
+      (* TYPE lines cover every family *)
+      Alcotest.(check (option string)) "histogram TYPE line" (Some "histogram")
+        (List.assoc_opt "wap_serve_request_seconds" p.Expo.p_types);
+      Alcotest.(check (option string)) "counter TYPE line" (Some "counter")
+        (List.assoc_opt "wap_serve_requests_total" p.Expo.p_types)
 
 (* ------------------------------------------------------------------ *)
 (* Cache eviction (the [max_entries] cap added with the atomic
@@ -419,6 +569,8 @@ let () =
             test_chrome_json_well_formed;
           Alcotest.test_case "write to file" `Quick test_trace_write_file;
           Alcotest.test_case "per-domain buffers" `Quick test_trace_multi_domain;
+          Alcotest.test_case "ring overflow evicts oldest" `Quick
+            test_ring_overflow_eviction;
         ] );
       ( "metrics",
         [
@@ -430,6 +582,15 @@ let () =
             test_histogram_merge_4_domains;
           Alcotest.test_case "snapshot + reset" `Quick
             test_registry_snapshot_and_reset;
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basic;
+          Alcotest.test_case "histogram quantiles" `Quick test_quantile;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "prometheus golden document" `Quick
+            test_prometheus_golden;
+          Alcotest.test_case "strict parser round-trip" `Quick
+            test_prometheus_roundtrip;
         ] );
       ( "cache",
         [ Alcotest.test_case "max_entries eviction" `Quick test_cache_eviction ] );

@@ -284,6 +284,67 @@ let test_framing_errors () =
   | None -> ()
   | _ -> Alcotest.fail "expected clean EOF"
 
+(* ------------------------------------------------------------------ *)
+(* Admin plane: routed through {!Admin.handle_path} directly, so every
+   endpoint is exercised without a socket.                             *)
+
+module Admin = Wap_serve.Admin
+module Metrics = Wap_obs.Metrics
+module Expo = Wap_obs.Expo
+
+let test_admin_plane () =
+  Metrics.reset Metrics.global;
+  let t = server () in
+  let src = Server.admin_source t in
+  let get path = Admin.handle_path src path in
+  (* liveness is unconditional; readiness needs an open session *)
+  Alcotest.(check int) "/healthz answers 200" 200 (get "/healthz").Admin.code;
+  Alcotest.(check int) "/readyz is 503 before a session opens" 503
+    (get "/readyz").Admin.code;
+  Alcotest.(check int) "unknown path answers 404" 404 (get "/nope").Admin.code;
+  ignore (Server.handle t (req 1 "initialize" (J.Obj [])));
+  ignore (Server.handle t (did_open ~text:vuln_php));
+  Alcotest.(check int) "/readyz flips to 200 after didOpen" 200
+    (get "/readyz").Admin.code;
+  (* /status: one JSON document of operational facts *)
+  let st = get "/status" in
+  Alcotest.(check string) "/status is JSON" "application/json"
+    st.Admin.content_type;
+  (match J.of_string st.Admin.body with
+  | Error e -> Alcotest.failf "/status does not parse: %s" e
+  | Ok doc ->
+      Alcotest.(check bool) "ready:true" true
+        (J.member "ready" doc = Some (J.Bool true));
+      Alcotest.(check (option int)) "one open document" (Some 1)
+        (Rpc.int_member "open_documents" doc));
+  (* /metrics: survives our own strict parser and shows the request *)
+  let m = get "/metrics" in
+  Alcotest.(check int) "/metrics answers 200" 200 m.Admin.code;
+  (match Expo.parse_text m.Admin.body with
+  | Error e -> Alcotest.failf "/metrics fails the strict parser: %s" e
+  | Ok p ->
+      let did_open_count =
+        List.find_opt
+          (fun s ->
+            s.Expo.s_name = "wap_serve_request_seconds_count"
+            && List.assoc_opt "method" s.Expo.s_labels
+               = Some "textDocument/didOpen")
+          p.Expo.p_samples
+      in
+      match did_open_count with
+      | Some s ->
+          Alcotest.(check (float 0.)) "one didOpen latency observed" 1.0
+            s.Expo.s_value
+      | None -> Alcotest.fail "didOpen latency histogram not exported");
+  (* /trace: a well-formed Chrome document even with no tracer installed *)
+  let tr = get "/trace" in
+  Alcotest.(check int) "/trace answers 200" 200 tr.Admin.code;
+  match J.of_string tr.Admin.body with
+  | Error e -> Alcotest.failf "/trace does not parse: %s" e
+  | Ok doc ->
+      Alcotest.(check bool) "traceEvents array present" true
+        (Option.bind (J.member "traceEvents" doc) J.to_list_opt <> None)
+
 let () =
   Alcotest.run "serve"
     [
@@ -302,4 +363,6 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_framing_roundtrip;
           Alcotest.test_case "errors" `Quick test_framing_errors;
         ] );
+      ( "admin",
+        [ Alcotest.test_case "handle_path endpoints" `Slow test_admin_plane ] );
     ]
