@@ -392,6 +392,139 @@ let run_scan_engine ?(check_fused = false) ?(check_ir = false)
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet kernel: multi-project sharding vs a single process.           *)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let write_projects dir projects =
+  List.iter
+    (fun (name, (pkg : Wap_corpus.Appgen.package)) ->
+      List.iter
+        (fun (f : Wap_corpus.Appgen.file) ->
+          let path =
+            Filename.concat (Filename.concat dir name)
+              f.Wap_corpus.Appgen.f_name
+          in
+          mkdir_p (Filename.dirname path);
+          let oc = open_out_bin path in
+          output_string oc f.Wap_corpus.Appgen.f_source;
+          close_out oc)
+        pkg.Wap_corpus.Appgen.pkg_files)
+    projects
+
+let run_fleet ?(check_fleet = false) () =
+  let n_projects = 10 and project_files = 240 in
+  let root = "_bench_fleet_corpus" in
+  let cache_1 = "_bench_fleet_cache1" and cache_2 = "_bench_fleet_cache2" in
+  let scratch = [ root; cache_1; cache_2 ] in
+  List.iter (fun d -> if Sys.file_exists d then rm_rf d) scratch;
+  write_projects root
+    (Wap_corpus.Corpus.generated_projects ~seed ~files:project_files
+       ~count:n_projects ());
+  let dirs = Wap_fleet.Coordinator.discover [ root ] in
+  let total_files =
+    List.fold_left
+      (fun n dir -> n + List.length (Wap_fleet.Worker.php_files dir))
+      0 dirs
+  in
+  print_string "== Fleet (lib/fleet) ==\n";
+  Printf.printf
+    "corpus: %d projects, %d files, sharing a %d-file framework layer\n"
+    (List.length dirs) total_files
+    (List.length (Wap_corpus.Corpus.shared_layer ~seed ()));
+  (* each run gets its own fresh cache directory: neither side may
+     inherit the other's warm disk cache *)
+  let fleet_run ~cache_dir workers =
+    Wap_fleet.Coordinator.run
+      {
+        Wap_fleet.Coordinator.fc_workers = workers;
+        fc_worker_jobs = 1;
+        fc_cache_dir = Some cache_dir;
+        fc_summary_store = true;
+      }
+      ~dirs
+  in
+  let rp1 = (fleet_run ~cache_dir:cache_1 1).Wap_fleet.Coordinator.report in
+  let rp = (fleet_run ~cache_dir:cache_2 2).Wap_fleet.Coordinator.report in
+  let w_single = rp1.Wap_fleet.Coordinator.rp_wall_seconds in
+  let w_fleet = rp.Wap_fleet.Coordinator.rp_wall_seconds in
+  let cores = Domain.recommended_domain_count () in
+  let fleet_speedup = if w_fleet > 0. then w_single /. w_fleet else 0. in
+  Printf.printf "fleet, 1 worker (single scanning process): %6.2fs wall\n"
+    w_single;
+  Printf.printf
+    "fleet, 2 workers: %6.2fs wall — speedup %.2fx, %.1f projects/s, %.1f \
+     files/s, dedup hit ratio %.2f\n"
+    w_fleet fleet_speedup rp.Wap_fleet.Coordinator.rp_projects_per_second
+    rp.Wap_fleet.Coordinator.rp_files_per_second
+    rp.Wap_fleet.Coordinator.rp_dedup_hit_ratio;
+  (* fold the fleet numbers into the engine kernel's CI document *)
+  let module J = Wap_report.Json in
+  let fleet_fields =
+    [ ("fleet_projects", J.Int rp.Wap_fleet.Coordinator.rp_projects);
+      ("fleet_single_process_wall_seconds", J.Float w_single);
+      ("fleet_wall_seconds", J.Float w_fleet);
+      ("fleet_speedup", J.Float fleet_speedup);
+      ( "fleet_projects_per_second",
+        J.Float rp.Wap_fleet.Coordinator.rp_projects_per_second );
+      ( "fleet_files_per_second",
+        J.Float rp.Wap_fleet.Coordinator.rp_files_per_second );
+      ( "fleet_dedup_hit_ratio",
+        J.Float rp.Wap_fleet.Coordinator.rp_dedup_hit_ratio ) ]
+  in
+  (match
+     let ic = open_in_bin "BENCH_scan.json" in
+     let s = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     J.of_string s
+   with
+  | Ok (J.Obj fields) ->
+      let oc = open_out "BENCH_scan.json" in
+      output_string oc (J.to_string (J.Obj (fields @ fleet_fields)));
+      output_char oc '\n';
+      close_out oc;
+      print_string "updated BENCH_scan.json with fleet metrics\n"
+  | Ok _ | Error _ | (exception Sys_error _) ->
+      print_string "BENCH_scan.json not found; fleet metrics not recorded\n");
+  print_newline ();
+  List.iter rm_rf scratch;
+  if check_fleet then begin
+    let failed =
+      rp1.Wap_fleet.Coordinator.rp_failed @ rp.Wap_fleet.Coordinator.rp_failed
+    in
+    if failed <> [] then begin
+      Printf.eprintf "FAIL: fleet projects failed: %s\n"
+        (String.concat ", " failed);
+      exit 1
+    end;
+    if not (rp.Wap_fleet.Coordinator.rp_dedup_hit_ratio > 0.) then begin
+      Printf.eprintf
+        "FAIL: fleet dedup hit ratio is 0 on the shared-layer corpus\n";
+      exit 1
+    end;
+    (* a 2-worker fleet can only beat one process when there are at
+       least two cores to run the workers on *)
+    if cores >= 2 && fleet_speedup < 1.0 then begin
+      Printf.eprintf
+        "FAIL: 2-worker fleet slower than a single process (speedup %.2fx < \
+         1.0)\n"
+        fleet_speedup;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let sample_php =
@@ -554,6 +687,10 @@ let run_bechamel () =
     rows;
   print_newline ()
 
+(* the bench binary doubles as the fleet worker when the fleet kernel
+   spawns it — must run before cmdline parsing *)
+let () = Wap_fleet.Worker.maybe_main ()
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -563,9 +700,14 @@ let () =
   let check_fused = List.mem "--check-fused" args in
   let check_ir = List.mem "--check-ir" args in
   let check_obs = List.mem "--check-obs" args in
-  if engine_only then run_scan_engine ~check_fused ~check_ir ~check_obs ()
+  let check_fleet = List.mem "--check-fleet" args in
+  if engine_only then begin
+    run_scan_engine ~check_fused ~check_ir ~check_obs ();
+    run_fleet ~check_fleet ()
+  end
   else begin
     if not bench_only then print_tables ~quick ();
     run_scan_engine ~check_fused ~check_ir ~check_obs ();
+    run_fleet ~check_fleet ();
     if not tables_only then run_bechamel ()
   end

@@ -19,7 +19,11 @@
                     socket), re-analyzing only what each edit touches
                     via the session engine;
     - [top]         live terminal view of a running daemon, polling its
-                    admin plane ([/status] + [/metrics]). *)
+                    admin plane ([/status] + [/metrics]);
+    - [fleet]       shard a directory of projects across spawned worker
+                    processes (this binary re-executed in a hidden
+                    worker mode) and merge the per-project reports
+                    deterministically. *)
 
 open Cmdliner
 
@@ -692,16 +696,30 @@ let corpus_gen_cmd =
   let plugins =
     Arg.(value & flag & info [ "plugins" ] ~doc:"Also write the 115 WordPress plugins.")
   in
-  let run out plugins seed =
+  let projects =
+    Arg.(value & opt int 0
+         & info [ "projects" ] ~docv:"N"
+             ~doc:"Also write $(docv) fleet projects sharing one framework \
+                   layer (under $(b,projects/), for $(b,wap fleet)).")
+  in
+  let run out plugins projects seed =
     let ( / ) = Filename.concat in
     let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
-    mkdir out;
+    let rec mkdir_p d =
+      if not (Sys.file_exists d) then begin
+        mkdir_p (Filename.dirname d);
+        mkdir d
+      end
+    in
+    mkdir_p out;
     let write_pkg dir (pkg : Wap_corpus.Appgen.package) =
       let pdir = dir / (pkg.Wap_corpus.Appgen.pkg_name ^ "-" ^ pkg.Wap_corpus.Appgen.pkg_version) in
       mkdir pdir;
       List.iter
         (fun (f : Wap_corpus.Appgen.file) ->
-          write_file (pdir / f.Wap_corpus.Appgen.f_name) f.Wap_corpus.Appgen.f_source)
+          let path = pdir / f.Wap_corpus.Appgen.f_name in
+          mkdir_p (Filename.dirname path);
+          write_file path f.Wap_corpus.Appgen.f_source)
         pkg.Wap_corpus.Appgen.pkg_files
     in
     let apps = Wap_corpus.Corpus.webapps ~seed () in
@@ -720,10 +738,139 @@ let corpus_gen_cmd =
           [ ("count", string_of_int (List.length ps));
             ("dir", Filename.concat out "plugins") ]
     end;
+    if projects > 0 then begin
+      let ps = Wap_corpus.Corpus.generated_projects ~seed ~count:projects () in
+      mkdir (out / "projects");
+      List.iter (fun (_, pkg) -> write_pkg (out / "projects") pkg) ps;
+      Wap_obs.Log.info "wrote fleet projects"
+        ~fields:
+          [ ("count", string_of_int (List.length ps));
+            ("dir", Filename.concat out "projects") ]
+    end;
     `Ok ()
   in
   let doc = "Materialize the synthetic evaluation corpus on disk." in
-  Cmd.v (Cmd.info "corpus-gen" ~doc) Term.(ret (const run $ out $ plugins $ seed_arg))
+  Cmd.v (Cmd.info "corpus-gen" ~doc)
+    Term.(ret (const run $ out $ plugins $ projects $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* fleet                                                               *)
+
+let fleet_cmd =
+  let roots =
+    Arg.(non_empty & pos_all dir []
+         & info [] ~docv:"DIR"
+             ~doc:"Fleet root: a directory whose subdirectories are the \
+                   projects to shard across workers (a directory without \
+                   subdirectories is itself a single project).")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker processes to spawn.")
+  in
+  let worker_jobs =
+    Arg.(value & opt int 1
+         & info [ "worker-jobs" ] ~docv:"N"
+             ~doc:"Analysis domains inside each worker (the fleet \
+                   parallelizes across processes; keep this low).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the merged NDJSON report to $(docv) instead of \
+                   stdout.")
+  in
+  let summary =
+    Arg.(value & opt (some string) None
+         & info [ "summary" ] ~docv:"FILE"
+             ~doc:"Also write the fleet summary (throughput, cache traffic, \
+                   retries) as JSON to $(docv).")
+  in
+  let no_summary_store =
+    Arg.(value & flag
+         & info [ "no-summary-store" ]
+             ~doc:"Disable the content-addressed cross-project summary \
+                   store (files shared between projects are then \
+                   re-summarized per project).")
+  in
+  let run roots workers worker_jobs out summary no_cache cache_dir
+      no_summary_store log_level log_format =
+    Wap_obs.Log.set_level log_level;
+    Wap_obs.Log.set_format log_format;
+    let dirs = Wap_fleet.Coordinator.discover roots in
+    let cfg =
+      {
+        Wap_fleet.Coordinator.fc_workers = workers;
+        fc_worker_jobs = worker_jobs;
+        fc_cache_dir = (if no_cache then None else cache_dir);
+        fc_summary_store = (not no_summary_store) && not no_cache;
+      }
+    in
+    let on_result (r : Wap_fleet.Proto.result) =
+      if r.Wap_fleet.Proto.res_ok then
+        Wap_obs.Log.info "project scanned"
+          ~fields:
+            [ ("project", r.Wap_fleet.Proto.res_project);
+              ("files", string_of_int r.Wap_fleet.Proto.res_files);
+              ("reported", string_of_int r.Wap_fleet.Proto.res_reported);
+              ( "seconds",
+                Printf.sprintf "%.3f" r.Wap_fleet.Proto.res_seconds ) ]
+      else
+        Wap_obs.Log.error "project failed"
+          ~fields:
+            [ ("project", r.Wap_fleet.Proto.res_project);
+              ("error", r.Wap_fleet.Proto.res_error) ]
+    in
+    Wap_obs.Log.info "fleet starting"
+      ~fields:
+        [ ("projects", string_of_int (List.length dirs));
+          ("workers", string_of_int workers) ];
+    let o = Wap_fleet.Coordinator.run ~on_result cfg ~dirs in
+    let merged =
+      String.concat ""
+        (List.map (fun l -> l ^ "\n") (Wap_fleet.Coordinator.merged_lines o))
+    in
+    (match out with
+    | Some f -> write_file f merged
+    | None -> print_string merged);
+    let rp = o.Wap_fleet.Coordinator.report in
+    (match summary with
+    | Some f ->
+        write_file f
+          (Wap_report.Json.to_string
+             (Wap_fleet.Coordinator.report_json rp)
+          ^ "\n")
+    | None -> ());
+    Wap_obs.Log.info "fleet done"
+      ~fields:
+        [ ("projects", string_of_int rp.Wap_fleet.Coordinator.rp_projects);
+          ("files", string_of_int rp.Wap_fleet.Coordinator.rp_files);
+          ( "wall",
+            Printf.sprintf "%.3fs" rp.Wap_fleet.Coordinator.rp_wall_seconds );
+          ( "projects/s",
+            Printf.sprintf "%.2f"
+              rp.Wap_fleet.Coordinator.rp_projects_per_second );
+          ( "dedup_hit_ratio",
+            Printf.sprintf "%.2f" rp.Wap_fleet.Coordinator.rp_dedup_hit_ratio
+          );
+          ("retried", string_of_int rp.Wap_fleet.Coordinator.rp_retried) ];
+    match rp.Wap_fleet.Coordinator.rp_failed with
+    | [] -> `Ok ()
+    | failed ->
+        `Error
+          ( false,
+            Printf.sprintf "%d project(s) failed after retry: %s"
+              (List.length failed)
+              (String.concat ", " failed) )
+  in
+  let doc =
+    "Shard a directory of projects across worker processes and merge the \
+     per-project scan reports deterministically."
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(ret (const run $ roots $ workers $ worker_jobs $ out $ summary
+               $ no_cache_arg $ cache_dir_arg $ no_summary_store
+               $ log_level_arg $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
@@ -1424,7 +1571,12 @@ let main =
   let doc = "modular, extensible static analysis for PHP web applications" in
   let info = Cmd.info "wap" ~version:"3.0-repro" ~doc in
   Cmd.group info
-    [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; experiments_cmd;
-      train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd; serve_cmd; top_cmd ]
+    [ analyze_cmd; lint_cmd; weapon_gen_cmd; corpus_gen_cmd; fleet_cmd;
+      experiments_cmd; train_cmd; symptoms_cmd; ir_cmd; fuzz_cmd; serve_cmd;
+      top_cmd ]
 
+(* hidden fleet-worker mode: when spawned by the coordinator as
+   [wap __fleet-worker], run the worker loop and exit before cmdliner
+   ever sees the argv *)
+let () = Wap_fleet.Worker.maybe_main ()
 let () = exit (Cmd.eval main)

@@ -127,26 +127,31 @@ module Scan = struct
     cache : Wap_engine.Cache.t option;
     fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
     ir : bool;  (** fused pass 3 over lowered IR (default) vs AST walker *)
+    summary_store : bool;
+        (** content-addressed cross-project summary store (fleet
+            workers); see {!Wap_engine.Scan.request} *)
     on_progress : (Wap_engine.Scan.progress -> unit) option;
     package : Wap_corpus.Appgen.package option;
         (** corpus package the files came from (ground truth, LoC);
             synthesized from [files] when absent *)
   }
 
-  let request ?jobs ?cache ?fuse ?ir ?on_progress ?package files =
+  let request ?jobs ?cache ?fuse ?ir ?(summary_store = false) ?on_progress
+      ?package files =
     {
       files;
       jobs = Wap_engine.Config.jobs jobs;
       cache;
       fuse = Wap_engine.Config.fuse fuse;
       ir = Wap_engine.Config.ir ir;
+      summary_store;
       on_progress;
       package;
     }
 
-  let request_of_package ?jobs ?cache ?fuse ?ir ?on_progress
+  let request_of_package ?jobs ?cache ?fuse ?ir ?summary_store ?on_progress
       (pkg : Wap_corpus.Appgen.package) =
-    request ?jobs ?cache ?fuse ?ir ?on_progress ~package:pkg
+    request ?jobs ?cache ?fuse ?ir ?summary_store ?on_progress ~package:pkg
       (List.map
          (fun (f : Wap_corpus.Appgen.file) ->
            (f.Wap_corpus.Appgen.f_name, f.Wap_corpus.Appgen.f_source))
@@ -192,7 +197,8 @@ module Scan = struct
       Wap_engine.Scan.run
         (Wap_engine.Scan.request ~jobs:req.jobs ?cache:req.cache
            ~fingerprint:(fingerprint t) ~fuse:req.fuse ~ir:req.ir
-           ?on_progress:req.on_progress ~specs:t.specs req.files)
+           ~summary_store:req.summary_store ?on_progress:req.on_progress
+           ~specs:t.specs req.files)
     in
     let t0_predict = Unix.gettimeofday () in
     let candidates, findings =

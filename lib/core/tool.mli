@@ -83,6 +83,12 @@ module Scan : sig
     cache : Wap_engine.Cache.t option;
     fuse : bool;  (** fused multi-spec analysis (default) vs per-spec *)
     ir : bool;  (** fused pass 3 over lowered IR (default) vs AST walker *)
+    summary_store : bool;
+        (** persist pass-1 summary deltas in the cache under
+            content-addressed chained prefix keys, shared across
+            projects through a common cache directory; off by default,
+            enabled by the fleet workers — see
+            {!Wap_engine.Scan.request} *)
     on_progress : (Wap_engine.Scan.progress -> unit) option;
     package : Wap_corpus.Appgen.package option;
         (** corpus package the files came from (ground truth, LoC);
@@ -91,12 +97,14 @@ module Scan : sig
 
   (** Build a request.  [jobs], [fuse] and [ir] resolve through
       {!Wap_engine.Config} (environment gates [WAP_JOBS], [WAP_FUSE],
-      [WAP_IR], flag-beats-env); omitting [cache] disables caching. *)
+      [WAP_IR], flag-beats-env); omitting [cache] disables caching;
+      [summary_store] defaults to off. *)
   val request :
     ?jobs:int ->
     ?cache:Wap_engine.Cache.t ->
     ?fuse:bool ->
     ?ir:bool ->
+    ?summary_store:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     ?package:Wap_corpus.Appgen.package ->
     (string * string) list ->
@@ -108,6 +116,7 @@ module Scan : sig
     ?cache:Wap_engine.Cache.t ->
     ?fuse:bool ->
     ?ir:bool ->
+    ?summary_store:bool ->
     ?on_progress:(Wap_engine.Scan.progress -> unit) ->
     Wap_corpus.Appgen.package ->
     request

@@ -35,6 +35,47 @@ let vulnerable_plugins ?(seed = default_seed) () =
     Profiles.vulnerable_plugins
 
 (* ------------------------------------------------------------------ *)
+(* Fleet workloads: many projects over one shared framework layer.     *)
+
+(* The WordPress-core stand-in: a benign, function-heavy layer shipped
+   verbatim inside every generated project, under [_shared/] so it
+   sorts (and is therefore scanned) before the project's own files —
+   '_' orders before every lowercase stem.  That prefix position is
+   what lets the engine's content-addressed summary store recognise
+   the layer as identical across projects and summarize it once
+   fleet-wide. *)
+let shared_layer ?(seed = default_seed) () : Appgen.file list =
+  let core =
+    Appgen.generate ~seed:(seed * 127 + 13) ~kind:Appgen.Plugin
+      ~name:"shared-core" ~version:"6.0" ~files:6 ~vuln_files:0 ~vulns:[]
+      ~fp_easy:0 ~fp_hard:0 ~sanitized:0 ()
+  in
+  List.mapi
+    (fun i (f : Appgen.file) ->
+      (* core_<i>.php: basenames distinct from any plugin stem, so
+         include splicing inside a project never resolves a project
+         file to a framework one by accident *)
+      { f with Appgen.f_name = Printf.sprintf "_shared/core_%d.php" i })
+    core.Appgen.pkg_files
+
+(** [count] plugin-like projects, each carrying the identical
+    {!shared_layer} prefix plus its own seeded files — the workload
+    [wap fleet] shards across workers.  Ground truth ([pkg_seeded])
+    covers only the per-project files; the shared layer is benign. *)
+let generated_projects ?(seed = default_seed) ?(files = 4) ~count () :
+    (string * Appgen.package) list =
+  let shared = shared_layer ~seed () in
+  List.init count (fun i ->
+      let name = Printf.sprintf "proj_%03d" i in
+      let own =
+        Appgen.generate ~seed:(seed + (i * 1009) + 17) ~kind:Appgen.Plugin
+          ~name ~version:"1.0" ~files ~vuln_files:2
+          ~vulns:[ (VC.Sqli, 1); (VC.Xss_reflected, 1) ]
+          ~fp_easy:1 ~fp_hard:0 ~sanitized:1 ()
+      in
+      (name, { own with Appgen.pkg_files = shared @ own.Appgen.pkg_files }))
+
+(* ------------------------------------------------------------------ *)
 (* Training material for the false-positive predictor.                 *)
 
 type training_program = {

@@ -24,6 +24,21 @@ val plugins :
 val vulnerable_plugins :
   ?seed:int -> unit -> (Profiles.plugin_profile * Appgen.package) list
 
+(** The framework layer shared verbatim by every generated project
+    (the WordPress-core stand-in): benign, function-heavy files named
+    [_shared/core_<i>.php], so they sort — and are scanned — before
+    any project's own files.  Deterministic in the seed. *)
+val shared_layer : ?seed:int -> unit -> Appgen.file list
+
+(** [count] plugin-like projects, each prefixed with the identical
+    {!shared_layer} plus its own seeded files — the multi-project
+    workload [wap fleet] shards across workers ([wap corpus-gen
+    --projects N] writes it to disk).  Ground truth covers only the
+    per-project files.  [files] sizes each project's own layer
+    (default 4). *)
+val generated_projects :
+  ?seed:int -> ?files:int -> count:int -> unit -> (string * Appgen.package) list
+
 (** A small labelled PHP program with exactly one candidate flow, used
     to build the predictor's training data set. *)
 type training_program = {

@@ -18,7 +18,18 @@
     The marshalling is untyped, so a key must always be requested at the
     type it was stored at — callers guarantee this by embedding a kind
     tag (e.g. ["parse"], ["analyze"]) and a format-version string in the
-    key material. *)
+    key material.
+
+    Disk entries are crash- and concurrency-safe: every entry is
+    published by writing a unique same-directory temp file and renaming
+    it into place (readers see the old or the new complete entry, never
+    a torn one), and carries a digest-verified frame.  An entry that
+    fails verification — truncated by a crash, corrupted on disk, or a
+    foreign file — is deleted and read as a miss; a verified frame whose
+    marshalled payload still cannot be decoded is likewise evicted and
+    read as a miss instead of raising.  Several processes may therefore
+    share one cache directory (the fleet's cross-project summary store
+    does exactly this). *)
 
 type t
 
@@ -48,6 +59,11 @@ val find : t -> key:string -> 'a option
 
 (** Store a value without touching the hit/miss counters. *)
 val store : t -> key:string -> 'a -> unit
+
+(** Drop an entry from the in-memory table and the persistence
+    directory (used internally to evict undecodable entries; exposed
+    for targeted invalidation and tests). *)
+val invalidate : t -> key:string -> unit
 
 (** Lookups that found an entry / had to compute / entries evicted since
     creation (or the last {!reset_stats}). *)

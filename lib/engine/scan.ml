@@ -17,6 +17,7 @@ type request = Session.request = {
   interprocedural : bool;
   fuse : bool;
   ir : bool;
+  summary_store : bool;
   on_progress : (progress -> unit) option;
 }
 

@@ -50,6 +50,11 @@ type request = Session.request = {
       (** fused pass 3 runs over lowered three-address IR (default)
           instead of the AST walker; both produce byte-identical merged
           output, which is what the [scan-ir-equiv] fuzz oracle checks *)
+  summary_store : bool;
+      (** persist pass-1 summary deltas in the cache under
+          content-addressed chained prefix keys, shared across projects
+          through a common cache directory; off by default, enabled by
+          the fleet workers — see {!Session.request} *)
   on_progress : (progress -> unit) option;
       (** invoked in the calling domain, once per finished work item *)
 }
@@ -64,6 +69,7 @@ val request :
   ?interprocedural:bool ->
   ?fuse:bool ->
   ?ir:bool ->
+  ?summary_store:bool ->
   ?on_progress:(progress -> unit) ->
   specs:Wap_catalog.Catalog.spec list ->
   (string * string) list ->

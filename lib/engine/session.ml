@@ -47,15 +47,19 @@ type request = {
   interprocedural : bool;
   fuse : bool;
   ir : bool;  (** fused pass 3 on the lowered IR (default) or the AST *)
+  summary_store : bool;
+      (** persist pass-1 summary deltas under content-addressed chained
+          keys, shared across projects through the cache *)
   on_progress : (progress -> unit) option;
 }
 
 let request ?(jobs = Config.default_jobs ()) ?cache ?(fingerprint = "")
-    ?(interprocedural = true) ?fuse ?ir ?on_progress ~specs files =
+    ?(interprocedural = true) ?fuse ?ir ?(summary_store = false) ?on_progress
+    ~specs files =
   let fuse = Config.fuse fuse in
   let ir = Config.ir ir in
   { files; specs; jobs; cache; fingerprint; interprocedural; fuse; ir;
-    on_progress }
+    summary_store; on_progress }
 
 type file_report = {
   fr_path : string;
@@ -162,6 +166,7 @@ type t = {
   s_interprocedural : bool;
   s_fuse : bool;
   s_ir : bool;
+  s_summary_store : bool;
   s_on_progress : (progress -> unit) option;
   s_on_event : (event -> unit) option;
   s_hits0 : int;
@@ -287,6 +292,40 @@ let file_key ~fuse_digest e =
       e.ent_src_digest ]
 
 (* ------------------------------------------------------------------ *)
+(* Pass-1 summary store.                                               *)
+
+(* Content-addressed chained keys for pass-1 summary deltas.  The
+   delta of file i depends only on the file's own source, the active
+   specs and the summaries registered by files 0..i-1 — so its key is
+   the running hash of the (path, digest) prefix up to and including
+   file i.  Identical prefixes (a framework layer shared by many
+   projects, ordered first) therefore share entries {e across}
+   projects through a shared cache directory, unlike the analyze-file
+   entries whose keys embed the whole-project digest.  Opt-in
+   ([summary_store], enabled by the fleet workers): it changes the
+   cache hit/miss profile that batch callers observe. *)
+let summary_chain_seed t =
+  Cache.key
+    [ cache_format_version; "summary-chain"; t.s_fingerprint;
+      Cat.set_fingerprint t.s_specs; string_of_bool t.s_interprocedural ]
+
+let summarize_entries t st =
+  match t.s_cache with
+  | Some c when t.s_summary_store ->
+      let chain = ref (summary_chain_seed t) in
+      List.iter
+        (fun e ->
+          chain := Cache.key [ !chain; e.ent_path; e.ent_src_digest ];
+          match
+            (Cache.find c ~key:!chain : Wap_taint.Summary.fused list option)
+          with
+          | Some fs -> An.register_summaries st fs
+          | None ->
+              Cache.store c ~key:!chain (An.summarize_file_delta st e.ent_unit))
+        t.s_entries
+  | _ -> List.iter (fun e -> An.summarize_file st e.ent_unit) t.s_entries
+
+(* ------------------------------------------------------------------ *)
 (* Fused pass runners.                                                 *)
 
 (* pass 3 per-file work item: lower once and sweep the flat
@@ -320,7 +359,7 @@ let ensure_state t (fs : fused_state) =
           ~specs:t.s_specs ()
       in
       let units = units_of t in
-      if t.s_interprocedural then List.iter (An.summarize_file st) units;
+      if t.s_interprocedural then summarize_entries t st;
       List.iter (fun u -> ignore (An.analyze_file_functions st u)) units;
       fs.fs_st <- Some st;
       st
@@ -339,7 +378,7 @@ let reanalyze_all t (fs : fused_state) =
      across files); pass 3 is pure per file and fans out *)
   if t.s_interprocedural then
     Obs.with_span ~cat:"engine" "fused.summaries" (fun () ->
-        List.iter (An.summarize_file st) units);
+        summarize_entries t st);
   Obs.with_span ~cat:"engine" "fused.functions" (fun () ->
       List.iter
         (fun e -> e.ent_pass2 <- An.analyze_file_functions st e.ent_unit)
@@ -457,7 +496,7 @@ let fused_stage t ~project_digest =
     let units = units_of t in
     if t.s_interprocedural then
       Obs.with_span ~cat:"engine" "fused.summaries" (fun () ->
-          List.iter (An.summarize_file st) units);
+          summarize_entries t st);
     Obs.with_span ~cat:"engine" "fused.functions" (fun () ->
         List.iter
           (fun e -> e.ent_pass2 <- An.analyze_file_functions st e.ent_unit)
@@ -542,6 +581,7 @@ let open_project ?on_event (req : request) : t =
       s_interprocedural = req.interprocedural;
       s_fuse = req.fuse;
       s_ir = req.ir;
+      s_summary_store = req.summary_store;
       s_on_progress = req.on_progress;
       s_on_event = on_event;
       s_hits0 = (match req.cache with Some c -> Cache.hits c | None -> 0);

@@ -63,6 +63,15 @@ type request = {
       (** fused pass 3 runs over lowered three-address IR (default)
           instead of the AST walker; both produce byte-identical merged
           output, which is what the [scan-ir-equiv] fuzz oracle checks *)
+  summary_store : bool;
+      (** persist pass-1 summary deltas in the cache under
+          content-addressed {e chained} keys — the key of file [i] is
+          the running hash of the [(path, source digest)] prefix up to
+          it, plus the spec-set fingerprint — so projects sharing a
+          common file prefix (a vendored framework layer, ordered
+          first) summarize it once {e across} projects.  Off by
+          default (it changes the observable cache hit/miss profile);
+          the fleet workers turn it on. *)
   on_progress : (progress -> unit) option;
       (** invoked in the calling domain, once per finished work item;
           see {!open_project}'s [on_event] for the generation-tagged
@@ -80,6 +89,7 @@ val request :
   ?interprocedural:bool ->
   ?fuse:bool ->
   ?ir:bool ->
+  ?summary_store:bool ->
   ?on_progress:(progress -> unit) ->
   specs:Wap_catalog.Catalog.spec list ->
   (string * string) list ->

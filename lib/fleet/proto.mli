@@ -1,0 +1,39 @@
+(** The fleet wire protocol: newline-delimited JSON between the
+    coordinator and its worker processes — one [config] line down at
+    startup, then [job] lines down and [result] lines back.  A dead
+    worker is detected as plain [EOF]; a torn line never parses. *)
+
+module Json = Wap_report.Json
+
+type config = {
+  cfg_jobs : int;  (** analysis domains inside each worker *)
+  cfg_cache_dir : string option;  (** shared disk cache, fleet-wide *)
+  cfg_summary_store : bool;  (** cross-project summary store *)
+}
+
+type job = { job_dir : string; job_attempt : int  (** 1, then 2 on retry *) }
+
+type result = {
+  res_project : string;  (** base name of the project directory *)
+  res_dir : string;
+  res_attempt : int;
+  res_ok : bool;
+  res_error : string;  (** [""] when ok *)
+  res_payload : Json.t;
+      (** the deterministic per-project scan report (no timings, no
+          cache state): what the merged NDJSON output is made of *)
+  res_files : int;
+  res_loc : int;
+  res_candidates : int;
+  res_reported : int;
+  res_seconds : float;  (** worker wall clock on this project *)
+  res_cache_hits : int;  (** cache traffic attributed to this scan *)
+  res_cache_misses : int;
+}
+
+val config_line : config -> string
+val config_of_line : string -> (config, string) Stdlib.result
+val job_line : job -> string
+val job_of_line : string -> (job, string) Stdlib.result
+val result_line : result -> string
+val result_of_line : string -> (result, string) Stdlib.result

@@ -55,17 +55,16 @@ let handle_path (src : source) (path : string) : response =
 
 let serve_client (src : source) fd =
   let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
   (match Http.read_request ic with
   | None -> ()
-  | Some (Error e) -> Http.write_response oc ~code:400 ~content_type:"text/plain" (e ^ "\n")
+  | Some (Error e) -> Http.write_response fd ~code:400 ~content_type:"text/plain" (e ^ "\n")
   | Some (Ok rq) ->
       if rq.Http.rq_meth <> "GET" then
-        Http.write_response oc ~code:405 ~content_type:"text/plain"
+        Http.write_response fd ~code:405 ~content_type:"text/plain"
           "admin endpoints are GET-only\n"
       else begin
         let r = handle_path src (Http.strip_query rq.Http.rq_path) in
-        Http.write_response oc ~code:r.code ~content_type:r.content_type r.body
+        Http.write_response fd ~code:r.code ~content_type:r.content_type r.body
       end);
   try Unix.close fd with _ -> ()
 

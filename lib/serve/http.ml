@@ -67,10 +67,28 @@ let reason = function
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
-let write_response (oc : out_channel) ~code ~content_type (body : string) :
+(* Unbuffered full write: [Unix.write] on a socket may return short
+   (send buffer full under a slow or loaded scraper) and may be
+   interrupted; loop until every byte of a large [/metrics] or [/trace]
+   body is out instead of silently truncating the response. *)
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+    | written -> off := !off + written
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  done
+
+let write_response (fd : Unix.file_descr) ~code ~content_type (body : string) :
     unit =
-  Printf.fprintf oc
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-    code (reason code) content_type (String.length body);
-  output_string oc body;
-  flush oc
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      code (reason code) content_type (String.length body)
+  in
+  (* one buffer, one write loop: header and body cannot interleave with
+     a concurrent log write's output, and small responses go out in a
+     single syscall *)
+  write_all fd (head ^ body)

@@ -17,7 +17,12 @@ val strip_query : string -> string
     line; [Some (Error _)] on a malformed request line or headers. *)
 val read_request : in_channel -> (request, string) result option
 
+(** Write [s] to [fd] in full, looping on short writes and [EINTR]/
+    [EAGAIN] (a zero-byte write raises [EPIPE]): large bodies over a
+    slow connection are never silently truncated. *)
+val write_all : Unix.file_descr -> string -> unit
+
 (** Write a complete response ([Content-Length] + [Connection: close])
-    and flush. *)
+    directly to the connection's descriptor via {!write_all}. *)
 val write_response :
-  out_channel -> code:int -> content_type:string -> string -> unit
+  Unix.file_descr -> code:int -> content_type:string -> string -> unit

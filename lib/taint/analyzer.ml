@@ -1210,7 +1210,7 @@ let project_state ?(interprocedural = true) ~(specs : Cat.spec list) () =
 (** Summary sweep over one file: each function's summary is registered
     as soon as it is computed, so later functions (and later files) see
     earlier ones. *)
-let summarize_file st (u : file_unit) : unit =
+let summarize_file_delta st (u : file_unit) : Summary.fused list =
   Wap_obs.Trace.with_span ~cat:"taint" "summarize_file"
     ~args:[ ("file", u.path) ]
   @@ fun () ->
@@ -1219,9 +1219,18 @@ let summarize_file st (u : file_unit) : unit =
       ~summaries:st.st_summaries
   in
   ctx.file <- u.path;
-  List.iter
-    (fun f -> Summary.register st.st_summaries (analyze_function ctx f))
+  List.map
+    (fun f ->
+      let s = analyze_function ctx f in
+      Summary.register st.st_summaries s;
+      s)
     (Visitor.collect_functions u.program)
+
+let summarize_file st (u : file_unit) : unit =
+  ignore (summarize_file_delta st u)
+
+let register_summaries st (fs : Summary.fused list) : unit =
+  List.iter (Summary.register st.st_summaries) fs
 
 (** Function-body sweep over one file: returns the candidates found
     inside this file's function bodies (spec-indexed, discovery order)

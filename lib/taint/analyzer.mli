@@ -102,6 +102,18 @@ val project_state :
     Sequential, in file order. *)
 val summarize_file : project_state -> file_unit -> unit
 
+(** {!summarize_file}, returning the summaries it registered (this
+    file's pass-1 delta, function order).  A pass-1 delta depends only
+    on the file's own source, the active specs and the summaries
+    registered before it, so a caller that replays the same file order
+    can persist deltas and {!register_summaries} them instead of
+    re-analyzing — the engine's cross-project summary store. *)
+val summarize_file_delta : project_state -> file_unit -> Summary.fused list
+
+(** Register previously computed pass-1 summaries (a persisted delta)
+    exactly as {!summarize_file} would have. *)
+val register_summaries : project_state -> Summary.fused list -> unit
+
 (** Pass-2 step: the candidates found inside one file's function bodies
     (paired with the finding spec's id, discovery order), refining
     their summaries now that callees are known.  Sequential, in file
