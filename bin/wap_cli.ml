@@ -27,12 +27,7 @@
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Wap_php.Io.read_file
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -793,8 +788,13 @@ let fleet_cmd =
                    store (files shared between projects are then \
                    re-summarized per project).")
   in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ]
+             ~doc:"Silence the periodic progress/ETA line on stderr.")
+  in
   let run roots workers worker_jobs out summary no_cache cache_dir
-      no_summary_store log_level log_format =
+      no_summary_store quiet log_level log_format =
     Wap_obs.Log.set_level log_level;
     Wap_obs.Log.set_format log_format;
     let dirs = Wap_fleet.Coordinator.discover roots in
@@ -804,6 +804,7 @@ let fleet_cmd =
         fc_worker_jobs = worker_jobs;
         fc_cache_dir = (if no_cache then None else cache_dir);
         fc_summary_store = (not no_summary_store) && not no_cache;
+        fc_progress = not quiet;
       }
     in
     let on_result (r : Wap_fleet.Proto.result) =
@@ -869,7 +870,7 @@ let fleet_cmd =
   in
   Cmd.v (Cmd.info "fleet" ~doc)
     Term.(ret (const run $ roots $ workers $ worker_jobs $ out $ summary
-               $ no_cache_arg $ cache_dir_arg $ no_summary_store
+               $ no_cache_arg $ cache_dir_arg $ no_summary_store $ quiet
                $ log_level_arg $ log_format_arg))
 
 (* ------------------------------------------------------------------ *)

@@ -110,11 +110,7 @@ let spec_of_string ~(vclass : Vuln_class.t) contents : Catalog.spec =
   }
 
 let load_file ~vclass path : Catalog.spec =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  spec_of_string ~vclass s
+  spec_of_string ~vclass (Wap_php.Io.read_file path)
 
 let save_file (spec : Catalog.spec) path : unit =
   let oc = open_out_bin path in

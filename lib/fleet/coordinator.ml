@@ -22,6 +22,8 @@ type config = {
   fc_worker_jobs : int;  (** analysis domains inside each worker *)
   fc_cache_dir : string option;  (** shared disk cache, fleet-wide *)
   fc_summary_store : bool;  (** cross-project summary store *)
+  fc_progress : bool;
+      (** emit periodic [done/total, files/s, ETA] lines on stderr *)
 }
 
 type report = {
@@ -127,6 +129,18 @@ type shared = {
   mutable sh_results : Proto.result list;
   mutable sh_retried : int;
   sh_on_result : (Proto.result -> unit) option;
+  sh_progress : progress option;
+}
+
+(* Progress accounting, mutated only under [sh_mutex].  The ETA
+   extrapolates the mean project rate so far; lines are throttled to
+   one per second plus a final one at [done = total]. *)
+and progress = {
+  pg_total : int;
+  pg_t0 : float;
+  mutable pg_done : int;
+  mutable pg_files : int;
+  mutable pg_last_emit : float;
 }
 
 let locked sh f =
@@ -135,9 +149,39 @@ let locked sh f =
 
 let pop sh = locked sh (fun () -> Queue.take_opt sh.sh_queue)
 
+let emit_progress pg ~now =
+  pg.pg_last_emit <- now;
+  let elapsed = now -. pg.pg_t0 in
+  let fps =
+    if elapsed > 0. then float_of_int pg.pg_files /. elapsed else 0.
+  in
+  let rate =
+    if elapsed > 0. then float_of_int pg.pg_done /. elapsed else 0.
+  in
+  if pg.pg_done >= pg.pg_total then
+    Printf.eprintf "fleet: %d/%d projects, %.1f files/s, done in %.0fs\n%!"
+      pg.pg_done pg.pg_total fps elapsed
+  else begin
+    let eta =
+      if rate > 0. then float_of_int (pg.pg_total - pg.pg_done) /. rate
+      else 0.
+    in
+    Printf.eprintf "fleet: %d/%d projects, %.1f files/s, ETA %.0fs\n%!"
+      pg.pg_done pg.pg_total fps eta
+  end
+
 let record sh r =
   locked sh (fun () ->
       sh.sh_results <- r :: sh.sh_results;
+      (match sh.sh_progress with
+      | Some pg ->
+          pg.pg_done <- pg.pg_done + 1;
+          if r.Proto.res_ok then
+            pg.pg_files <- pg.pg_files + r.Proto.res_files;
+          let now = Unix.gettimeofday () in
+          if pg.pg_done >= pg.pg_total || now -. pg.pg_last_emit >= 1.0 then
+            emit_progress pg ~now
+      | None -> ());
       match sh.sh_on_result with Some f -> f r | None -> ())
 
 let drive (cfg : config) (sh : shared) =
@@ -187,6 +231,17 @@ let run ?on_result (cfg : config) ~dirs : outcome =
       sh_results = [];
       sh_retried = 0;
       sh_on_result = on_result;
+      sh_progress =
+        (if cfg.fc_progress && dirs <> [] then
+           Some
+             {
+               pg_total = List.length dirs;
+               pg_t0 = t0;
+               pg_done = 0;
+               pg_files = 0;
+               pg_last_emit = t0;
+             }
+         else None);
     }
   in
   List.iter

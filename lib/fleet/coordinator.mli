@@ -16,6 +16,10 @@ type config = {
   fc_worker_jobs : int;  (** analysis domains inside each worker *)
   fc_cache_dir : string option;  (** shared disk cache, fleet-wide *)
   fc_summary_store : bool;  (** cross-project summary store *)
+  fc_progress : bool;
+      (** emit a [fleet: done/total projects, files/s, ETA] line on
+          stderr about once a second (and at completion); stdout and
+          the merged NDJSON are untouched *)
 }
 
 type report = {

@@ -36,11 +36,7 @@ let should_crash ~spec (job : Proto.job) =
       String.equal (Filename.chop_suffix s ":always") project
   | Some s -> String.equal s project && job.Proto.job_attempt = 1
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Wap_php.Io.read_file
 
 (* Project-relative .php paths, sorted at every level — the same walk
    order on every worker, and relative so cache keys (parse entries,

@@ -148,9 +148,7 @@ let replay ?tool ?(oracles = Oracle.all) dir : report =
   List.iter
     (fun f ->
       let path = Filename.concat dir f in
-      let ic = open_in_bin path in
-      let source = really_input_string ic (in_channel_length ic) in
-      close_in ic;
+      let source = Wap_php.Io.read_file path in
       let case = Oracle.case_of_source source in
       List.iter
         (fun (oracle : Oracle.t) ->

@@ -1,0 +1,12 @@
+(** Whole-file source reading, shared by every layer that loads PHP
+    text: {!Lexer.tokenize_file}, {!Parser.parse_file}, the CLI and the
+    fleet worker all route through this one binary-mode
+    [really_input_string] pass — no per-line loops, no intermediate
+    [Buffer] accumulation, and the channel is closed even when the read
+    raises. *)
+
+let read_file path : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

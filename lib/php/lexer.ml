@@ -4,34 +4,78 @@
     [<?php ... ?>] everything is inline HTML; inside, it produces the
     tokens of {!Token.t}.  Double-quoted strings and heredocs are split
     into interpolation parts here so the parser can rebuild the implicit
-    concatenation that WAP's taint analysis must see. *)
+    concatenation that WAP's taint analysis must see.
+
+    The hot path is a byte-level scanner that emits straight into a flat
+    {!Token_buf.t}: keyword matching compares bytes in place (no
+    [String.sub] / [lowercase_ascii] round trip), identifiers and plain
+    string literals are recorded as (offset, length) slices of the
+    source and materialized at most once through a per-tokenize
+    interning pool, and repeated [VARIABLE] / [IDENT] / [CONST_STRING]
+    tokens are hashconsed so the buffer's pool holds one boxed token per
+    distinct spelling.  Interpolated strings, heredocs and escape-heavy
+    literals take the original [Buffer]-based slow path — they are rare
+    and their payloads are not source slices.
+
+    {!Lexer_ref} keeps the pre-buffer list-building lexer verbatim as
+    the differential reference: the [tokenize-equiv] fuzz oracle and the
+    seed-replay tests require the two to agree token-for-token and
+    loc-for-loc. *)
 
 exception Error of string * Loc.t
+
+(* ------------------------------------------------------------------ *)
+(* Scanner state.                                                      *)
 
 type state = {
   src : string;
   file : string;
+  len : int;
   mutable pos : int;
   mutable line : int;
   mutable col : int;
+  (* Per-tokenize interning pool: fixed buckets of already-materialized
+     strings, looked up by hashing a source slice in place. *)
+  intern : string list array;
+  (* Hashconsed boxed tokens, keyed by their (interned) payload. *)
+  var_toks : (string, Token.t) Hashtbl.t;
+  ident_toks : (string, Token.t) Hashtbl.t;
+  str_toks : (string, Token.t) Hashtbl.t;
 }
 
-let make_state ~file src = { src; file; pos = 0; line = 1; col = 0 }
+let intern_buckets = 512
+
+let make_state ~file src =
+  {
+    src;
+    file;
+    len = String.length src;
+    pos = 0;
+    line = 1;
+    col = 0;
+    intern = Array.make intern_buckets [];
+    var_toks = Hashtbl.create 64;
+    ident_toks = Hashtbl.create 64;
+    str_toks = Hashtbl.create 64;
+  }
 
 let loc st = Loc.make ~file:st.file ~line:st.line ~col:st.col
 
 let fail st msg = raise (Error (msg, loc st))
 
-let at_end st = st.pos >= String.length st.src
+let at_end st = st.pos >= st.len
 
-let peek st = if at_end st then '\000' else st.src.[st.pos]
+let peek st = if at_end st then '\000' else String.unsafe_get st.src st.pos
 
 let peek2 st =
-  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+  if st.pos + 1 >= st.len then '\000' else String.unsafe_get st.src (st.pos + 1)
+
+let peek3 st =
+  if st.pos + 2 >= st.len then '\000' else String.unsafe_get st.src (st.pos + 2)
 
 let advance st =
   if not (at_end st) then begin
-    if st.src.[st.pos] = '\n' then begin
+    if String.unsafe_get st.src st.pos = '\n' then begin
       st.line <- st.line + 1;
       st.col <- 0
     end
@@ -44,27 +88,133 @@ let advance_n st n =
     advance st
   done
 
+(* In-place prefix test: no [String.sub]. *)
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  st.pos + n <= st.len
+  &&
+  let rec go i =
+    i = n
+    || (String.unsafe_get st.src (st.pos + i) = String.unsafe_get s i && go (i + 1))
+  in
+  go 0
 
+let lower_char c =
+  if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c
+
+(* Case-insensitive in-place prefix test ([s] must be lowercase). *)
 let looking_at_ci st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src
-  && String.lowercase_ascii (String.sub st.src st.pos n) = String.lowercase_ascii s
+  st.pos + n <= st.len
+  &&
+  let rec go i =
+    i = n
+    || (lower_char (String.unsafe_get st.src (st.pos + i)) = String.unsafe_get s i
+       && go (i + 1))
+  in
+  go 0
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 
-let read_ident st =
-  let buf = Buffer.create 16 in
+(* ------------------------------------------------------------------ *)
+(* Interning pool.  One FNV-1a hash works for both source slices and
+   already-materialized strings, so escape-processed literals land in
+   the same pool as plain slices.                                      *)
+
+let hash_bytes data off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get data i)) * 0x01000193 land 0xffffffff
+  done;
+  !h
+
+let slice_equal data off len s =
+  String.length s = len
+  &&
+  let rec go i =
+    i = len || (String.unsafe_get s i = String.unsafe_get data (off + i) && go (i + 1))
+  in
+  go 0
+
+let intern_bytes st data off len =
+  let b = hash_bytes data off len land (intern_buckets - 1) in
+  let rec find = function
+    | [] ->
+        let s = String.sub data off len in
+        st.intern.(b) <- s :: st.intern.(b);
+        s
+    | s :: rest -> if slice_equal data off len s then s else find rest
+  in
+  find st.intern.(b)
+
+(* Materialize a source slice at most once per tokenize. *)
+let intern_slice st off len = intern_bytes st st.src off len
+
+(* Dedupe an already-built string (escape/interp slow paths). *)
+let intern_string st s = intern_bytes st s 0 (String.length s)
+
+let hashcons tbl mk s =
+  match Hashtbl.find_opt tbl s with
+  | Some t -> t
+  | None ->
+      let t = mk s in
+      Hashtbl.add tbl s t;
+      t
+
+let var_token st s = hashcons st.var_toks (fun s -> Token.VARIABLE s) s
+let ident_token st s = hashcons st.ident_toks (fun s -> Token.IDENT s) s
+let const_string_token st s = hashcons st.str_toks (fun s -> Token.CONST_STRING s) s
+
+(* ------------------------------------------------------------------ *)
+(* Keyword recognition: buckets of (lowercase spelling, token) by
+   length, compared byte-for-byte against the source slice — no
+   intermediate string, no lowercased copy.                            *)
+
+let max_kw_len =
+  List.fold_left (fun m (k, _) -> max m (String.length k)) 0 Token.keyword_table
+
+let kw_by_len : (string * Token.t) array array =
+  let buckets = Array.make (max_kw_len + 1) [] in
+  List.iter
+    (fun (k, t) ->
+      let n = String.length k in
+      buckets.(n) <- (String.lowercase_ascii k, t) :: buckets.(n))
+    Token.keyword_table;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let kw_lookup src off len : Token.t option =
+  if len > max_kw_len then None
+  else begin
+    let cands = kw_by_len.(len) in
+    let n = Array.length cands in
+    let rec try_cand i =
+      if i = n then None
+      else
+        let k, t = Array.unsafe_get cands i in
+        let rec eq j =
+          j = len
+          || (lower_char (String.unsafe_get src (off + j)) = String.unsafe_get k j
+             && eq (j + 1))
+        in
+        if eq 0 then Some t else try_cand (i + 1)
+    in
+    try_cand 0
+  end
+
+(* Scan an identifier in place; returns its (offset, length) extent. *)
+let scan_ident st =
+  let start = st.pos in
   while (not (at_end st)) && is_ident_char (peek st) do
-    Buffer.add_char buf (peek st);
     advance st
   done;
-  Buffer.contents buf
+  (start, st.pos - start)
+
+let read_ident st =
+  let off, len = scan_ident st in
+  intern_slice st off len
 
 (* ------------------------------------------------------------------ *)
 (* Escape sequences in double-quoted context.                          *)
@@ -122,12 +272,9 @@ let resolve_dq_escape ?(quote = '"') st =
       None
 
 (* ------------------------------------------------------------------ *)
-(* Interpolated (double-quoted / heredoc) content.                     *)
+(* Interpolated (double-quoted / heredoc) content — the slow path,
+   reached only for strings that actually contain [$], [{] or [\ ].    *)
 
-(* Scans the body of a double-quoted string or heredoc that has already
-   been isolated as [body] positions; works directly on [st] until
-   [stop_at] says the terminator is reached.  Emits interpolation
-   parts. *)
 let scan_interp_parts ?quote st ~(stop : state -> bool)
     ~(consume_stop : state -> unit) : Token.interp_part list =
   let parts = ref [] in
@@ -280,14 +427,17 @@ let scan_interp_parts ?quote st ~(stop : state -> bool)
 
 (* When a double-quoted string has no interpolation we collapse it into a
    CONST_STRING so downstream code sees plain literals. *)
-let collapse_parts (parts : Token.interp_part list) : Token.t =
+let collapse_parts st (parts : Token.interp_part list) : Token.t =
   let all_str =
     List.for_all (function Token.Part_str _ -> true | _ -> false) parts
   in
   if all_str then
-    Token.CONST_STRING
-      (String.concat ""
-         (List.map (function Token.Part_str s -> s | _ -> assert false) parts))
+    const_string_token st
+      (intern_string st
+         (String.concat ""
+            (List.map
+               (function Token.Part_str s -> s | _ -> assert false)
+               parts)))
   else Token.INTERP_STRING parts
 
 (* ------------------------------------------------------------------ *)
@@ -295,75 +445,86 @@ let collapse_parts (parts : Token.interp_part list) : Token.t =
 
 type mode = Html | Php
 
-let tokenize ~file src : (Token.t * Loc.t) list =
+let tokenize_buf ~file src : Token_buf.t =
   let st = make_state ~file src in
-  let out = ref [] in
-  let emit tok l = out := (tok, l) :: !out in
+  let buf =
+    Token_buf.create ~capacity:(max 64 (String.length src / 8)) ~file ()
+  in
   let mode = ref Html in
   let rec run () =
-    if at_end st then emit Token.EOF (loc st)
-    else
-      match !mode with
-      | Html -> html ()
-      | Php -> php ()
+    if at_end st then Token_buf.push buf Token.EOF ~line:st.line ~col:st.col
+    else match !mode with Html -> html () | Php -> php ()
   and html () =
-    let l = loc st in
-    let buf = Buffer.create 64 in
-    let rec loop () =
-      if at_end st then ()
-      else if looking_at_ci st "<?php" then begin
-        advance_n st 5;
-        mode := Php
-      end
-      else if looking_at st "<?=" then begin
-        advance_n st 3;
-        mode := Php;
-        (* <?= is sugar for echo *)
-        if Buffer.length buf > 0 then emit (Token.INLINE_HTML (Buffer.contents buf)) l;
-        Buffer.clear buf;
-        emit Token.K_ECHO (loc st)
-      end
+    let l_line = st.line and l_col = st.col in
+    let start = st.pos in
+    (* Scan forward to the next open tag (or EOF); the chunk is emitted
+       as one source slice, never staged through a Buffer. *)
+    let rec scan () =
+      if at_end st then `Eof
+      else if looking_at_ci st "<?php" then `Open
+      else if looking_at st "<?=" then `Echo
       else begin
-        Buffer.add_char buf (peek st);
         advance st;
-        loop ()
+        scan ()
       end
     in
-    loop ();
-    if Buffer.length buf > 0 then emit (Token.INLINE_HTML (Buffer.contents buf)) l;
+    let stop = scan () in
+    let chunk_len = st.pos - start in
+    let emit_chunk () =
+      if chunk_len > 0 then
+        Token_buf.push buf
+          (Token.INLINE_HTML (String.sub st.src start chunk_len))
+          ~line:l_line ~col:l_col
+    in
+    (match stop with
+    | `Eof -> emit_chunk ()
+    | `Open ->
+        advance_n st 5;
+        mode := Php;
+        emit_chunk ()
+    | `Echo ->
+        advance_n st 3;
+        mode := Php;
+        emit_chunk ();
+        (* <?= is sugar for echo *)
+        Token_buf.push buf Token.K_ECHO ~line:st.line ~col:st.col);
     run ()
   and php () =
-    if at_end st then emit Token.EOF (loc st)
+    if at_end st then Token_buf.push buf Token.EOF ~line:st.line ~col:st.col
     else begin
       let c = peek st in
       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
         advance st;
         php ()
       end
-      else if looking_at st "?>" then begin
+      else if c = '?' && peek2 st = '>' then begin
         (* close tag terminates the current statement; only synthesize a
            semicolon when one is actually missing *)
-        let l = loc st in
+        let l_line = st.line and l_col = st.col in
         advance_n st 2;
         (* PHP swallows a single newline right after the close tag *)
         if peek st = '\n' then advance st;
-        (match !out with
-        | (Token.SEMI, _) :: _ | (Token.LBRACE, _) :: _ | (Token.RBRACE, _) :: _
-        | (Token.COLON, _) :: _ | [] ->
+        (match Token_buf.last_tok buf with
+        | Some Token.SEMI | Some Token.LBRACE | Some Token.RBRACE
+        | Some Token.COLON | None ->
             ()
-        | _ -> emit Token.SEMI l);
+        | Some _ -> Token_buf.push buf Token.SEMI ~line:l_line ~col:l_col);
         mode := Html;
         run ()
       end
-      else if looking_at st "//" || c = '#' then begin
-        while (not (at_end st)) && peek st <> '\n' && not (looking_at st "?>") do
+      else if (c = '/' && peek2 st = '/') || c = '#' then begin
+        while
+          (not (at_end st))
+          && peek st <> '\n'
+          && not (peek st = '?' && peek2 st = '>')
+        do
           advance st
         done;
         php ()
       end
-      else if looking_at st "/*" then begin
+      else if c = '/' && peek2 st = '*' then begin
         advance_n st 2;
-        while (not (at_end st)) && not (looking_at st "*/") do
+        while (not (at_end st)) && not (peek st = '*' && peek2 st = '/') do
           advance st
         done;
         if at_end st then fail st "unterminated block comment";
@@ -371,43 +532,47 @@ let tokenize ~file src : (Token.t * Loc.t) list =
         php ()
       end
       else begin
-        let l = loc st in
-        let tok = token l in
-        emit tok l;
+        let t_line = st.line and t_col = st.col in
+        let tok = token () in
+        Token_buf.push buf tok ~line:t_line ~col:t_col;
         php ()
       end
     end
-  and token l =
+  and token () =
     let c = peek st in
     if c = '$' then begin
       advance st;
-      if is_ident_start (peek st) then Token.VARIABLE (read_ident st)
+      if is_ident_start (peek st) then var_token st (read_ident st)
       else if peek st = '$' then Token.DOLLAR
       else if peek st = '{' then fail st "${expr} variable-variables unsupported"
       else Token.DOLLAR
     end
     else if is_ident_start c then begin
-      let id = read_ident st in
-      match Token.of_keyword id with Some k -> k | None -> Token.IDENT id
+      let off, len = scan_ident st in
+      match kw_lookup st.src off len with
+      | Some k -> k
+      | None -> ident_token st (intern_slice st off len)
     end
     else if is_digit c || (c = '.' && is_digit (peek2 st)) then number ()
     else if c = '\'' then single_quoted ()
     else if c = '"' then double_quoted ()
     else if c = '`' then backtick ()
-    else if looking_at st "<<<" then heredoc ()
-    else operator l
+    else if c = '<' && peek2 st = '<' && peek3 st = '<' then heredoc ()
+    else operator ()
   and number () =
-    let b = Buffer.create 16 in
-    if looking_at st "0x" || looking_at st "0X" then begin
-      Buffer.add_string b "0x";
+    (* The literal's text is exactly the consumed source slice, so the
+       digits never go through a Buffer; the slice is materialized once
+       for the final numeric conversion. *)
+    let start = st.pos in
+    if peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') then begin
       advance_n st 2;
+      let dstart = st.pos in
       while is_hex (peek st) do
-        Buffer.add_char b (peek st);
         advance st
       done;
-      if Buffer.length b = 2 then fail st "malformed hexadecimal literal";
-      let s = Buffer.contents b in
-      (match int_of_string_opt s with
+      if st.pos = dstart then fail st "malformed hexadecimal literal";
+      let s = String.sub st.src start (st.pos - start) in
+      match int_of_string_opt s with
       | Some n -> Token.INT n
       | None ->
           (* hex literal beyond the native int range: PHP overflows to
@@ -421,46 +586,39 @@ let tokenize ~file src : (Token.t * Loc.t) list =
               in
               v := (!v *. 16.0) +. float_of_int d)
             (String.sub s 2 (String.length s - 2));
-          Token.FLOAT !v)
+          Token.FLOAT !v
     end
     else begin
       let is_float = ref false in
       while is_digit (peek st) do
-        Buffer.add_char b (peek st);
         advance st
       done;
       if peek st = '.' && is_digit (peek2 st) then begin
         is_float := true;
-        Buffer.add_char b '.';
         advance st;
         while is_digit (peek st) do
-          Buffer.add_char b (peek st);
           advance st
         done
       end;
       if peek st = 'e' || peek st = 'E' then begin
         let save = st.pos in
-        let b2 = Buffer.create 4 in
-        Buffer.add_char b2 'e';
+        let save_col = st.col in
         advance st;
-        if peek st = '+' || peek st = '-' then begin
-          Buffer.add_char b2 (peek st);
-          advance st
-        end;
+        if peek st = '+' || peek st = '-' then advance st;
         if is_digit (peek st) then begin
           is_float := true;
           while is_digit (peek st) do
-            Buffer.add_char b2 (peek st);
             advance st
-          done;
-          Buffer.add_buffer b b2
+          done
         end
         else begin
-          (* not an exponent after all; rewind *)
-          st.pos <- save
+          (* not an exponent after all; rewind (column included, or
+             every later loc on the line drifts) *)
+          st.pos <- save;
+          st.col <- save_col
         end
       end;
-      let s = Buffer.contents b in
+      let s = String.sub st.src start (st.pos - start) in
       if !is_float then Token.FLOAT (float_of_string s)
       else
         match int_of_string_opt s with
@@ -469,12 +627,31 @@ let tokenize ~file src : (Token.t * Loc.t) list =
     end
   and single_quoted () =
     advance st (* ' *);
-    let b = Buffer.create 16 in
-    let rec loop () =
+    let start = st.pos in
+    (* Fast path: no backslash before the closing quote — the payload is
+       a pure source slice, interned without a Buffer round trip. *)
+    let rec scan () =
       if at_end st then fail st "unterminated single-quoted string"
       else
         match peek st with
-        | '\'' -> advance st
+        | '\'' ->
+            let s = intern_slice st start (st.pos - start) in
+            advance st;
+            const_string_token st s
+        | '\\' ->
+            let b = Buffer.create (st.pos - start + 16) in
+            Buffer.add_substring b st.src start (st.pos - start);
+            slow b
+        | _ ->
+            advance st;
+            scan ()
+    and slow b =
+      if at_end st then fail st "unterminated single-quoted string"
+      else
+        match peek st with
+        | '\'' ->
+            advance st;
+            const_string_token st (intern_string st (Buffer.contents b))
         | '\\' ->
             advance st;
             (match peek st with
@@ -484,22 +661,41 @@ let tokenize ~file src : (Token.t * Loc.t) list =
                 Buffer.add_char b '\\';
                 Buffer.add_char b other);
             advance st;
-            loop ()
+            slow b
         | ch ->
             Buffer.add_char b ch;
             advance st;
-            loop ()
+            slow b
     in
-    loop ();
-    Token.CONST_STRING (Buffer.contents b)
+    scan ()
   and double_quoted () =
     advance st (* opening quote *);
-    let parts =
-      scan_interp_parts st
-        ~stop:(fun s -> peek s = '"')
-        ~consume_stop:(fun s -> advance s)
+    (* Fast path: lookahead for a closing quote with no escape or
+       interpolation trigger in between — then the payload is a pure
+       source slice. *)
+    let rec plain i =
+      if i >= st.len then -1
+      else
+        match String.unsafe_get st.src i with
+        | '"' -> i
+        | '\\' | '$' | '{' -> -1
+        | _ -> plain (i + 1)
     in
-    collapse_parts parts
+    let e = plain st.pos in
+    if e >= 0 then begin
+      let s = intern_slice st st.pos (e - st.pos) in
+      while st.pos <= e do
+        advance st
+      done;
+      const_string_token st s
+    end
+    else
+      let parts =
+        scan_interp_parts st
+          ~stop:(fun s -> peek s = '"')
+          ~consume_stop:(fun s -> advance s)
+      in
+      collapse_parts st parts
   and backtick () =
     advance st (* opening backtick *);
     let parts =
@@ -515,7 +711,8 @@ let tokenize ~file src : (Token.t * Loc.t) list =
     if nowdoc || peek st = '"' then advance st;
     let tag = read_ident st in
     if tag = "" then fail st "missing heredoc tag";
-    if nowdoc || peek st = '"' then if peek st = '\'' || peek st = '"' then advance st;
+    if nowdoc || peek st = '"' then
+      if peek st = '\'' || peek st = '"' then advance st;
     (* consume to end of line *)
     while (not (at_end st)) && peek st <> '\n' do
       advance st
@@ -524,14 +721,14 @@ let tokenize ~file src : (Token.t * Loc.t) list =
     let terminator st =
       (* the terminator must start a line, possibly indented *)
       let rec check i =
-        if i >= String.length st.src then false
+        if i >= st.len then false
         else
           match st.src.[i] with
           | ' ' | '\t' -> check (i + 1)
           | _ ->
-              i + String.length tag <= String.length st.src
-              && String.sub st.src i (String.length tag) = tag
-              && (i + String.length tag >= String.length st.src
+              i + String.length tag <= st.len
+              && slice_equal st.src i (String.length tag) tag
+              && (i + String.length tag >= st.len
                  ||
                  let nc = st.src.[i + String.length tag] in
                  not (is_ident_char nc))
@@ -550,18 +747,26 @@ let tokenize ~file src : (Token.t * Loc.t) list =
       if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
     in
     if nowdoc then begin
-      let b = Buffer.create 32 in
+      (* nowdoc bodies are verbatim source slices *)
+      let start = st.pos in
       let rec loop () =
         if at_end st then fail st "unterminated nowdoc"
-        else if terminator st then consume_term st
+        else if terminator st then begin
+          let body_len = st.pos - start in
+          consume_term st;
+          body_len
+        end
         else begin
-          Buffer.add_char b (peek st);
           advance st;
           loop ()
         end
       in
-      loop ();
-      Token.CONST_STRING (strip_last_nl (Buffer.contents b))
+      let body_len = loop () in
+      let body_len =
+        if body_len > 0 && st.src.[start + body_len - 1] = '\n' then body_len - 1
+        else body_len
+      in
+      const_string_token st (intern_slice st start body_len)
     end
     else
       let parts = scan_interp_parts st ~stop:terminator ~consume_stop:consume_term in
@@ -573,82 +778,96 @@ let tokenize ~file src : (Token.t * Loc.t) list =
             else List.rev (Token.Part_str s :: rest)
         | _ -> parts
       in
-      collapse_parts parts
-  and operator _l =
-    let tk2 t n =
+      collapse_parts st parts
+  and operator () =
+    (* First-char dispatch over in-place lookahead; token-for-token the
+       same mapping as the reference lexer's [looking_at] chain. *)
+    let take n t =
       advance_n st n;
       t
     in
-    if looking_at st "<=>" then tk2 Token.SPACESHIP 3
-    else if looking_at st "===" then tk2 Token.IDENTICAL 3
-    else if looking_at st "!==" then tk2 Token.NOT_IDENTICAL 3
-    else if looking_at st "**=" then tk2 Token.POW_EQ 3
-    else if looking_at st "<<=" then tk2 Token.SHL_EQ 3
-    else if looking_at st ">>=" then tk2 Token.SHR_EQ 3
-    else if looking_at st "??=" then tk2 Token.QQ_EQ 3
-    else if looking_at st "..." then tk2 Token.ELLIPSIS 3
-    else if looking_at st "==" then tk2 Token.EQ_EQ 2
-    else if looking_at st "!=" || looking_at st "<>" then tk2 Token.NEQ 2
-    else if looking_at st "<=" then tk2 Token.LE 2
-    else if looking_at st ">=" then tk2 Token.GE 2
-    else if looking_at st "&&" then tk2 Token.AMP_AMP 2
-    else if looking_at st "||" then tk2 Token.PIPE_PIPE 2
-    else if looking_at st "++" then tk2 Token.INC 2
-    else if looking_at st "--" then tk2 Token.DEC 2
-    else if looking_at st "+=" then tk2 Token.PLUS_EQ 2
-    else if looking_at st "-=" then tk2 Token.MINUS_EQ 2
-    else if looking_at st "*=" then tk2 Token.STAR_EQ 2
-    else if looking_at st "/=" then tk2 Token.SLASH_EQ 2
-    else if looking_at st "%=" then tk2 Token.PERCENT_EQ 2
-    else if looking_at st ".=" then tk2 Token.DOT_EQ 2
-    else if looking_at st "&=" then tk2 Token.AMP_EQ 2
-    else if looking_at st "|=" then tk2 Token.PIPE_EQ 2
-    else if looking_at st "^=" then tk2 Token.CARET_EQ 2
-    else if looking_at st "**" then tk2 Token.POW 2
-    else if looking_at st "<<" then tk2 Token.SHL 2
-    else if looking_at st ">>" then tk2 Token.SHR 2
-    else if looking_at st "->" then tk2 Token.ARROW 2
-    else if looking_at st "=>" then tk2 Token.DOUBLE_ARROW 2
-    else if looking_at st "::" then tk2 Token.DOUBLE_COLON 2
-    else if looking_at st "??" then tk2 Token.QQ 2
-    else
-      let c = peek st in
-      advance st;
-      match c with
-      | '(' -> Token.LPAREN
-      | ')' -> Token.RPAREN
-      | '{' -> Token.LBRACE
-      | '}' -> Token.RBRACE
-      | '[' -> Token.LBRACKET
-      | ']' -> Token.RBRACKET
-      | ';' -> Token.SEMI
-      | ',' -> Token.COMMA
-      | ':' -> Token.COLON
-      | '?' -> Token.QUESTION
-      | '@' -> Token.AT
-      | '+' -> Token.PLUS
-      | '-' -> Token.MINUS
-      | '*' -> Token.STAR
-      | '/' -> Token.SLASH
-      | '%' -> Token.PERCENT
-      | '.' -> Token.DOT
-      | '=' -> Token.EQ
-      | '<' -> Token.LT
-      | '>' -> Token.GT
-      | '!' -> Token.BANG
-      | '&' -> Token.AMP
-      | '|' -> Token.PIPE
-      | '^' -> Token.CARET
-      | '~' -> Token.TILDE
-      | other -> fail st (Printf.sprintf "unexpected character %C" other)
+    let c = peek st in
+    let c2 = peek2 st in
+    match c with
+    | '<' ->
+        (* <<< never reaches here: [token] routes it to heredoc *)
+        if c2 = '=' && peek3 st = '>' then take 3 Token.SPACESHIP
+        else if c2 = '=' then take 2 Token.LE
+        else if c2 = '<' && peek3 st = '=' then take 3 Token.SHL_EQ
+        else if c2 = '<' then take 2 Token.SHL
+        else if c2 = '>' then take 2 Token.NEQ
+        else take 1 Token.LT
+    | '=' ->
+        if c2 = '=' && peek3 st = '=' then take 3 Token.IDENTICAL
+        else if c2 = '=' then take 2 Token.EQ_EQ
+        else if c2 = '>' then take 2 Token.DOUBLE_ARROW
+        else take 1 Token.EQ
+    | '!' ->
+        if c2 = '=' && peek3 st = '=' then take 3 Token.NOT_IDENTICAL
+        else if c2 = '=' then take 2 Token.NEQ
+        else take 1 Token.BANG
+    | '*' ->
+        if c2 = '*' && peek3 st = '=' then take 3 Token.POW_EQ
+        else if c2 = '*' then take 2 Token.POW
+        else if c2 = '=' then take 2 Token.STAR_EQ
+        else take 1 Token.STAR
+    | '>' ->
+        if c2 = '>' && peek3 st = '=' then take 3 Token.SHR_EQ
+        else if c2 = '=' then take 2 Token.GE
+        else if c2 = '>' then take 2 Token.SHR
+        else take 1 Token.GT
+    | '?' ->
+        if c2 = '?' && peek3 st = '=' then take 3 Token.QQ_EQ
+        else if c2 = '?' then take 2 Token.QQ
+        else take 1 Token.QUESTION
+    | '.' ->
+        if c2 = '.' && peek3 st = '.' then take 3 Token.ELLIPSIS
+        else if c2 = '=' then take 2 Token.DOT_EQ
+        else take 1 Token.DOT
+    | '&' ->
+        if c2 = '&' then take 2 Token.AMP_AMP
+        else if c2 = '=' then take 2 Token.AMP_EQ
+        else take 1 Token.AMP
+    | '|' ->
+        if c2 = '|' then take 2 Token.PIPE_PIPE
+        else if c2 = '=' then take 2 Token.PIPE_EQ
+        else take 1 Token.PIPE
+    | '+' ->
+        if c2 = '+' then take 2 Token.INC
+        else if c2 = '=' then take 2 Token.PLUS_EQ
+        else take 1 Token.PLUS
+    | '-' ->
+        if c2 = '-' then take 2 Token.DEC
+        else if c2 = '=' then take 2 Token.MINUS_EQ
+        else if c2 = '>' then take 2 Token.ARROW
+        else take 1 Token.MINUS
+    | '/' -> if c2 = '=' then take 2 Token.SLASH_EQ else take 1 Token.SLASH
+    | '%' -> if c2 = '=' then take 2 Token.PERCENT_EQ else take 1 Token.PERCENT
+    | '^' -> if c2 = '=' then take 2 Token.CARET_EQ else take 1 Token.CARET
+    | ':' -> if c2 = ':' then take 2 Token.DOUBLE_COLON else take 1 Token.COLON
+    | '(' -> take 1 Token.LPAREN
+    | ')' -> take 1 Token.RPAREN
+    | '{' -> take 1 Token.LBRACE
+    | '}' -> take 1 Token.RBRACE
+    | '[' -> take 1 Token.LBRACKET
+    | ']' -> take 1 Token.RBRACKET
+    | ';' -> take 1 Token.SEMI
+    | ',' -> take 1 Token.COMMA
+    | '@' -> take 1 Token.AT
+    | '~' -> take 1 Token.TILDE
+    | other ->
+        advance st;
+        fail st (Printf.sprintf "unexpected character %C" other)
   in
   run ();
-  List.rev !out
+  buf
 
-(** Convenience wrapper that reads and tokenizes a file from disk. *)
-let tokenize_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  tokenize ~file:path s
+(* Compat wrapper: the boxed located-token list the pre-buffer lexer
+   produced.  Kept for the differential oracle, tests and external
+   callers; the parser consumes the buffer directly. *)
+let tokenize ~file src : (Token.t * Loc.t) list =
+  Token_buf.to_list (tokenize_buf ~file src)
+
+let tokenize_buf_file path = tokenize_buf ~file:path (Io.read_file path)
+
+let tokenize_file path = tokenize ~file:path (Io.read_file path)

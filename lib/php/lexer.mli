@@ -4,17 +4,35 @@
     [<?php ... ?>] everything is inline HTML; inside, it produces
     {!Token.t} values.  Double-quoted strings, heredocs and backticks are
     split into interpolation parts here so the parser can rebuild the
-    implicit concatenation that WAP's taint analysis must see. *)
+    implicit concatenation that WAP's taint analysis must see.
+
+    The scanner is allocation-free on its hot path: it emits into a flat
+    {!Token_buf.t}, matches keywords byte-for-byte in place, and
+    materializes identifier / literal slices at most once through a
+    per-tokenize interning pool (repeated spellings share one string and
+    one hashconsed token).  {!Lexer_ref} keeps the old list-building
+    lexer as the differential reference. *)
 
 (** Lexical error with its position. *)
 exception Error of string * Loc.t
 
-(** [tokenize ~file src] turns a whole source text (HTML and PHP
-    segments) into a located token stream ending with {!Token.EOF}.
+(** [tokenize_buf ~file src] scans a whole source text (HTML and PHP
+    segments) into a flat token buffer ending with {!Token.EOF}.  This
+    is the hot path the parser consumes directly.
 
     @raise Error on malformed input (unterminated strings or comments,
     bad characters, malformed literals). *)
+val tokenize_buf : file:string -> string -> Token_buf.t
+
+(** [tokenize ~file src] is [tokenize_buf] re-materialized as the boxed
+    located-token list of the pre-buffer lexer — a thin compat wrapper
+    for tests, oracles and external callers.
+
+    @raise Error as {!tokenize_buf}. *)
 val tokenize : file:string -> string -> (Token.t * Loc.t) list
 
-(** Read and tokenize a file from disk. *)
+(** Read ({!Io.read_file}) and tokenize a file from disk. *)
+val tokenize_buf_file : string -> Token_buf.t
+
+(** Read and tokenize a file from disk (compat list form). *)
 val tokenize_file : string -> (Token.t * Loc.t) list

@@ -1,0 +1,7 @@
+(** The pre-buffer list-building lexer, kept verbatim as the
+    differential reference for {!Lexer}'s zero-allocation scanner.  The
+    [tokenize-equiv] fuzz oracle and the seed-replay tests compare the
+    two token-for-token and loc-for-loc.  Not a production path.
+
+    @raise Lexer.Error on malformed input, exactly like {!Lexer}. *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) list

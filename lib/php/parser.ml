@@ -7,22 +7,36 @@
 
 exception Error of string * Loc.t
 
+(* The parser is an index cursor over the lexer's flat {!Token_buf.t}:
+   no boxed [(Token.t * Loc.t)] array is ever built.  Locations live as
+   packed ints in the buffer; [cur_loc] materializes the current one at
+   most once per cursor position (rules routinely ask for the same
+   token's loc several times). *)
 type t = {
-  toks : (Token.t * Loc.t) array;
+  toks : Token_buf.t;
   mutable i : int;
+  mutable loc_i : int;
+  mutable loc_v : Loc.t;
 }
 
-let make toks = { toks = Array.of_list toks; i = 0 }
+let make_buf buf = { toks = buf; i = 0; loc_i = -1; loc_v = Loc.dummy }
 
-let peek p = fst p.toks.(p.i)
+let peek p = Token_buf.tok p.toks p.i
 
 let peek_at p n =
   let j = p.i + n in
-  if j < Array.length p.toks then fst p.toks.(j) else Token.EOF
+  if j < Token_buf.length p.toks then Token_buf.tok p.toks j else Token.EOF
 
-let cur_loc p = snd p.toks.(p.i)
+let cur_loc p =
+  if p.loc_i = p.i then p.loc_v
+  else begin
+    let l = Token_buf.loc p.toks p.i in
+    p.loc_i <- p.i;
+    p.loc_v <- l;
+    l
+  end
 
-let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+let advance p = if p.i < Token_buf.length p.toks - 1 then p.i <- p.i + 1
 
 let fail p msg =
   raise (Error (Printf.sprintf "%s (got %s)" msg (Token.describe (peek p)), cur_loc p))
@@ -435,8 +449,8 @@ and interp_part_to_ast ~loc (part : Token.interp_part) : Ast.interp_part =
 
 (* Parse an isolated expression, used for the {$...} interpolation syntax. *)
 and expr_of_string ~loc src : Ast.expr =
-  let toks = Lexer.tokenize ~file:loc.Loc.file ("<?php " ^ src ^ ";") in
-  let sub = make toks in
+  let buf = Lexer.tokenize_buf ~file:loc.Loc.file ("<?php " ^ src ^ ";") in
+  let sub = make_buf buf in
   let e = parse_expr sub in
   e
 
@@ -1284,30 +1298,30 @@ and parse_class p loc : Ast.stmt =
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                       *)
 
-(** Parse a full PHP source string (HTML + [<?php ... ?>] segments). *)
-let parse_string ~file src : Ast.program =
-  let toks = Lexer.tokenize ~file src in
-  Wap_obs.Trace.with_span ~cat:"php" "parse" ~args:[ ("file", file) ]
-  @@ fun () ->
-  let p = make toks in
+(** Parse an already-tokenized buffer.  This is the raw parse kernel —
+    no lexing, no tracing — used by the bench harness to time the parse
+    phase in isolation and by callers that already hold a buffer. *)
+let parse_buf buf : Ast.program =
+  let p = make_buf buf in
   let prog = parse_stmts_until p [] in
   (match peek p with
   | Token.EOF -> ()
   | _ -> fail p "trailing tokens after program");
   prog
 
+(** Parse a full PHP source string (HTML + [<?php ... ?>] segments). *)
+let parse_string ~file src : Ast.program =
+  let buf = Lexer.tokenize_buf ~file src in
+  Wap_obs.Trace.with_span ~cat:"php" "parse" ~args:[ ("file", file) ]
+  @@ fun () -> parse_buf buf
+
 (** Parse a file from disk. *)
-let parse_file path : Ast.program =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  parse_string ~file:path s
+let parse_file path : Ast.program = parse_string ~file:path (Io.read_file path)
 
 (** Parse a standalone expression, e.g. from a weapon spec file. *)
 let parse_expression ?(file = "<expr>") src : Ast.expr =
-  let toks = Lexer.tokenize ~file ("<?php " ^ src ^ ";") in
-  let p = make toks in
+  let buf = Lexer.tokenize_buf ~file ("<?php " ^ src ^ ";") in
+  let p = make_buf buf in
   let e = parse_expr p in
   e
 
@@ -1340,12 +1354,12 @@ let rec skip_to_boundary p depth =
     plus the list of recovered errors — a scanner must not die on the
     one malformed file of an 8,000-file application. *)
 let parse_string_tolerant ~file src : Ast.program * recovered_error list =
-  match Lexer.tokenize ~file src with
+  match Lexer.tokenize_buf ~file src with
   | exception Lexer.Error (msg, loc) -> ([], [ { err_msg = msg; err_loc = loc } ])
-  | toks ->
+  | buf ->
       Wap_obs.Trace.with_span ~cat:"php" "parse" ~args:[ ("file", file) ]
       @@ fun () ->
-      let p = make toks in
+      let p = make_buf buf in
       let stmts = ref [] in
       let errors = ref [] in
       let rec loop () =

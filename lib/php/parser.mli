@@ -14,6 +14,13 @@ exception Error of string * Loc.t
     @raise Error on syntax errors; @raise Lexer.Error on lexical ones. *)
 val parse_string : file:string -> string -> Ast.program
 
+(** Parse an already-tokenized buffer (see {!Lexer.tokenize_buf} and
+    {!Token_buf.of_list}).  Raw parse kernel: no lexing, no tracing —
+    the bench harness uses it to time the parse phase in isolation.
+
+    @raise Error on syntax errors. *)
+val parse_buf : Token_buf.t -> Ast.program
+
 (** Parse a file from disk. *)
 val parse_file : string -> Ast.program
 

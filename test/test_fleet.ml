@@ -80,6 +80,7 @@ let fleet_config ?cache_dir ?(summary_store = false) workers =
     fc_worker_jobs = 1;
     fc_cache_dir = cache_dir;
     fc_summary_store = summary_store;
+    fc_progress = false;
   }
 
 let run_fleet ?cache_dir ?summary_store workers =

@@ -606,6 +606,151 @@ let qcheck_string_literal_roundtrip =
       | Ast.String s' -> String.equal s s'
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Token buffer and the zero-allocation scanner.                       *)
+
+let test_token_buf_roundtrip () =
+  let keywords = List.map snd Token.keyword_table in
+  let punct =
+    Token.
+      [ LPAREN; RPAREN; LBRACE; RBRACE; LBRACKET; RBRACKET; SEMI; COMMA;
+        COLON; DOUBLE_COLON; ARROW; DOUBLE_ARROW; QUESTION; QQ; QQ_EQ; AT;
+        DOLLAR; ELLIPSIS; PLUS; MINUS; STAR; SLASH; PERCENT; POW; DOT; EQ;
+        PLUS_EQ; MINUS_EQ; STAR_EQ; SLASH_EQ; PERCENT_EQ; DOT_EQ; POW_EQ;
+        AMP_EQ; PIPE_EQ; CARET_EQ; SHL_EQ; SHR_EQ; EQ_EQ; NEQ; IDENTICAL;
+        NOT_IDENTICAL; LT; GT; LE; GE; SPACESHIP; AMP_AMP; PIPE_PIPE; BANG;
+        AMP; PIPE; CARET; TILDE; SHL; SHR; INC; DEC; EOF ]
+  in
+  let boxed =
+    Token.
+      [ INT 42; INT min_int; FLOAT 3.14; CONST_STRING "s'\n";
+        INTERP_STRING [ Part_str "a"; Part_var "v"; Part_complex "$x+1" ];
+        VARIABLE "x"; IDENT "strlen"; INLINE_HTML "<b>&amp;</b>";
+        BACKTICK_STRING [ Part_str "ls "; Part_var "dir" ] ]
+  in
+  let toks = keywords @ punct @ boxed in
+  let buf = Token_buf.create ~capacity:1 ~file:"t.php" () in
+  List.iteri (fun i t -> Token_buf.push buf t ~line:(i + 1) ~col:(2 * i)) toks;
+  Alcotest.(check int) "length" (List.length toks) (Token_buf.length buf);
+  Alcotest.(check string) "file" "t.php" (Token_buf.file buf);
+  List.iteri
+    (fun i t ->
+      if not (Token.equal (Token_buf.tok buf i) t) then
+        Alcotest.failf "token %d: pushed %s, read back %s" i (Token.show t)
+          (Token.show (Token_buf.tok buf i));
+      Alcotest.(check int) "line" (i + 1) (Token_buf.line buf i);
+      Alcotest.(check int) "col" (2 * i) (Token_buf.col buf i))
+    toks;
+  match Token_buf.last_tok buf with
+  | Some t when Token.equal t (List.nth toks (List.length toks - 1)) -> ()
+  | t ->
+      Alcotest.failf "last_tok: %s"
+        (match t with Some t -> Token.show t | None -> "None")
+
+(* line/col pack into one immediate int; extreme values must survive. *)
+let test_token_buf_loc_packing () =
+  let buf = Token_buf.create ~file:"big.php" () in
+  let cases =
+    [ (1, 0); (1, 1); (123_456, 789); (1 lsl 30, (1 lsl 31) - 1) ]
+  in
+  List.iter (fun (line, col) -> Token_buf.push buf Token.SEMI ~line ~col) cases;
+  List.iteri
+    (fun i (line, col) ->
+      Alcotest.(check int) "line" line (Token_buf.line buf i);
+      Alcotest.(check int) "col" col (Token_buf.col buf i);
+      let l = Token_buf.loc buf i in
+      if not (Loc.equal l (Loc.make ~file:"big.php" ~line ~col)) then
+        Alcotest.failf "loc %d: %s" i (Loc.to_string l))
+    cases
+
+(* Repeated identifiers, variables and plain strings come back as the
+   same physical token: the scanner hashconses per tokenize call. *)
+let test_lexer_interning_identity () =
+  let toks =
+    Lexer.tokenize ~file:"i.php"
+      "<?php $foo = $foo + $foo; bar(); bar(); $s = 'dup'; $t = 'dup';"
+    |> List.map fst
+  in
+  let physical_pair name pick =
+    match List.filter pick toks with
+    | a :: b :: _ ->
+        if not (a == b) then Alcotest.failf "%s tokens not shared" name
+    | _ -> Alcotest.failf "expected %s at least twice" name
+  in
+  physical_pair "VARIABLE foo"
+    (function Token.VARIABLE "foo" -> true | _ -> false);
+  physical_pair "IDENT bar" (function Token.IDENT "bar" -> true | _ -> false);
+  physical_pair "CONST_STRING dup"
+    (function Token.CONST_STRING "dup" -> true | _ -> false)
+
+(* Differential check against the reference lexer: same tokens, same
+   locations, same error, on one source. *)
+let check_tokenize_equiv ?(file = "equiv.php") src =
+  let run f = try Ok (f ~file src) with Lexer.Error (m, l) -> Error (m, l) in
+  match (run Lexer.tokenize, run Lexer_ref.tokenize) with
+  | Ok got, Ok want ->
+      if List.length got <> List.length want then
+        Alcotest.failf "%s: %d tokens vs %d reference" file (List.length got)
+          (List.length want);
+      List.iteri
+        (fun i ((t, l), (t', l')) ->
+          if not (Token.equal t t') then
+            Alcotest.failf "%s: token %d is %s, reference %s" file i
+              (Token.show t) (Token.show t');
+          if not (Loc.equal l l') then
+            Alcotest.failf "%s: token %d (%s) at %s, reference %s" file i
+              (Token.show t) (Loc.to_string l) (Loc.to_string l'))
+        (List.combine got want)
+  | Error (m, l), Error (m', l') ->
+      Alcotest.(check string) (file ^ ": error message") m' m;
+      if not (Loc.equal l l') then
+        Alcotest.failf "%s: error at %s, reference %s" file (Loc.to_string l)
+          (Loc.to_string l')
+  | Ok _, Error (m, _) ->
+      Alcotest.failf "%s: reference rejects (%s), scanner accepts" file m
+  | Error (m, _), Ok _ ->
+      Alcotest.failf "%s: scanner rejects (%s), reference accepts" file m
+
+let test_lexer_equiv_tricky () =
+  List.iter check_tokenize_equiv
+    [
+      (* heredoc with every interpolation shape *)
+      "<?php $s = <<<EOT\nHello $name and {$a['x']}\n\
+       also $obj->prop plus $_GET[id] and $arr[3]\nEOT;\n";
+      (* nowdoc stays raw *)
+      "<?php $s = <<<'EOT'\nraw $notinterp \\n {$x}\nEOT;\n";
+      (* astral characters in strings, html and interpolation *)
+      "<?php $e = \"smile \xF0\x9F\x98\x80 $v tail\"; $p = '\xE2\x82\xAC';";
+      "<html>\xF0\x9F\x98\x80<?= $x ?>\xE2\x82\xAC</html>";
+      (* escapes, legacy ${name}, backtick *)
+      "<?php $q = \"a\\tb\\x41\\101${legacy}c\"; $b = `ls $dir`;";
+      (* bare exponent rewinds both position and column *)
+      "<?php $n = 1e; $m = 1E+; $f = 1.5e3;\n$g = 0x1F + 007 + .5;";
+      (* close-tag semicolon synthesis and alternative syntax *)
+      "<?php if ($a): ?><b><?php endif; ?>trailer";
+      (* comments of all three kinds around a close tag *)
+      "<?php /* multi\nline */ # hash ?> after\n<?php echo 'end'; // eof";
+      (* lexer errors must agree too *)
+      "<?php $s = 'unterminated";
+      "<?php \x01";
+    ]
+
+(* The compat wrapper and the reference lexer agree on every fuzz
+   seed the repository has accumulated. *)
+let test_lexer_equiv_fuzz_seeds () =
+  let dir = "fuzz_seeds" in
+  let seeds =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".php")
+    |> List.sort String.compare
+  in
+  if seeds = [] then Alcotest.fail "no fuzz seeds found";
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      check_tokenize_equiv ~file:path (Io.read_file path))
+    seeds
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "wap_php"
@@ -699,6 +844,17 @@ let () =
           Alcotest.test_case "map identity" `Quick test_visitor_map_expr_identity;
           Alcotest.test_case "map rewrites" `Quick test_visitor_map_expr_rewrites;
           Alcotest.test_case "stmt count" `Quick test_visitor_stmt_count;
+        ] );
+      ( "token buffer",
+        [
+          Alcotest.test_case "round trip" `Quick test_token_buf_roundtrip;
+          Alcotest.test_case "loc packing" `Quick test_token_buf_loc_packing;
+          Alcotest.test_case "interning identity" `Quick
+            test_lexer_interning_identity;
+          Alcotest.test_case "scanner equiv: tricky sources" `Quick
+            test_lexer_equiv_tricky;
+          Alcotest.test_case "scanner equiv: fuzz seeds" `Quick
+            test_lexer_equiv_fuzz_seeds;
         ] );
       ( "properties",
         [
